@@ -1,0 +1,78 @@
+// Ablation: which ingredients of the rectangle-packing scheduler matter?
+//
+// Sweeps the packer options on p93791m and reports the makespan (and %
+// above the lower bound) per configuration at three TAM widths.  This
+// quantifies the design choices DESIGN.md calls out: gap-fill placement,
+// order racing, iterative repair and flexible-width digital rectangles.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "msoc/common/table.hpp"
+#include "msoc/soc/benchmarks.hpp"
+#include "msoc/tam/packing.hpp"
+
+int main() {
+  using namespace msoc;
+  std::puts("=== Packing ablation: p93791m, singleton partition ===\n");
+
+  const soc::Soc soc = soc::make_p93791m();
+  const tam::AnalogPartition partition = tam::singleton_partition(soc);
+
+  struct Config {
+    const char* name;
+    tam::PackingOptions options;
+  };
+  std::vector<Config> configs;
+  {
+    Config full{"full (race+repair+flex)", {}};
+    configs.push_back(full);
+
+    Config no_race{"single order (area desc)", {}};
+    no_race.options.race_orders = false;
+    configs.push_back(no_race);
+
+    Config no_repair{"no iterative repair", {}};
+    no_repair.options.improvement_rounds = 0;
+    configs.push_back(no_repair);
+
+    Config rigid{"rigid width (widest only)", {}};
+    rigid.options.flexible_width = false;
+    configs.push_back(rigid);
+
+    Config naive{"naive (declaration order, greedy)", {}};
+    naive.options.race_orders = false;
+    naive.options.order = tam::PlacementOrder::kDeclaration;
+    naive.options.improvement_rounds = 0;
+    configs.push_back(naive);
+  }
+
+  TextTable table({"configuration", "W=32", "over LB", "W=48", "over LB",
+                   "W=64", "over LB"});
+  table.set_alignment({Align::kLeft, Align::kRight, Align::kRight,
+                       Align::kRight, Align::kRight, Align::kRight,
+                       Align::kRight});
+
+  const std::vector<int> widths = {32, 48, 64};
+  for (const Config& config : configs) {
+    std::vector<std::string> row = {config.name};
+    for (int w : widths) {
+      const Cycles makespan =
+          tam::schedule_soc(soc, w, partition, config.options).makespan();
+      const Cycles lb = tam::schedule_lower_bound(soc, w, partition);
+      row.push_back(std::to_string(makespan));
+      row.push_back(
+          fixed(100.0 * (static_cast<double>(makespan) /
+                             static_cast<double>(lb) -
+                         1.0),
+                1) +
+          "%");
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("\n(lower bound = max(digital area bound, busiest analog "
+            "wrapper); smaller %% over LB is better)");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Regenerates paper Figure 5: the cut-off frequency test of analog core
+// A applied (a) directly and (b) through the analog test wrapper, with
+// the frequency spectra of the applied test, the direct response and the
+// wrapped response.
+//
+// Paper setup: 50 MHz system clock, 1.7 MHz sampling, 4551 samples, 4 V
+// supply, three-tone stimulus.  Paper result: f_c = 61 kHz direct vs
+// 58 kHz wrapped, ~5 % error.  This behavioral reproduction reads
+// 62 kHz / 58.2 kHz (6 %) with the 0.5 um converter mismatch + wrapper
+// buffer model.
+
+#include <cstdio>
+
+#include "msoc/analog/experiment.hpp"
+#include "msoc/common/math.hpp"
+
+namespace {
+
+// Compact ASCII rendering of one spectrum panel (dB vs frequency) in the
+// 0..250 kHz range the paper plots.
+void print_panel(const char* title, const msoc::dsp::Spectrum& spectrum) {
+  std::printf("%s\n", title);
+  constexpr int kColumns = 64;
+  constexpr int kRows = 12;
+  constexpr double kFMax = 250e3;
+  constexpr double kDbTop = 0.0;
+  constexpr double kDbBottom = -60.0;
+
+  // Column-wise max magnitude in dB.
+  double column_db[kColumns];
+  for (int c = 0; c < kColumns; ++c) column_db[c] = -300.0;
+  for (const msoc::dsp::SpectrumPoint& p : spectrum.points) {
+    if (p.frequency.hz() > kFMax) break;
+    const int c = static_cast<int>(p.frequency.hz() / kFMax * (kColumns - 1));
+    if (p.magnitude_db > column_db[c]) column_db[c] = p.magnitude_db;
+  }
+  for (int r = 0; r < kRows; ++r) {
+    const double level =
+        kDbTop - (kDbTop - kDbBottom) * r / static_cast<double>(kRows - 1);
+    std::printf("%6.0f dB |", level);
+    for (int c = 0; c < kColumns; ++c) {
+      std::putchar(column_db[c] >= level ? '#' : ' ');
+    }
+    std::putchar('\n');
+  }
+  std::printf("          +");
+  for (int c = 0; c < kColumns; ++c) std::putchar('-');
+  std::printf("\n           0 kHz%*s250 kHz\n\n", kColumns - 12, "");
+}
+
+}  // namespace
+
+int main() {
+  using namespace msoc;
+  std::puts("=== Figure 5: wrapped analog core cut-off frequency test ===");
+  std::puts("core A (61 kHz Butterworth LPF), 50 MHz clock, fs = 1.7 MHz,");
+  std::puts("4551 samples, 4 V supply, three-tone stimulus\n");
+
+  const analog::CutoffExperimentResult r = analog::run_cutoff_experiment();
+
+  print_panel("(a) applied analog test |LPF i/p| (dB)", r.input_spectrum);
+  print_panel("(b) direct analog response |LPF o/p| (dB)",
+              r.direct_spectrum);
+  print_panel("(c) wrapped-core response |Wrapper o/p| (dB)",
+              r.wrapped_spectrum);
+
+  std::puts("tone gains (dB):");
+  std::puts("  frequency      direct    wrapped");
+  for (std::size_t i = 0; i < r.direct_gains.size(); ++i) {
+    std::printf("  %8.1f kHz  %7.2f    %7.2f\n",
+                r.direct_gains[i].frequency.khz(),
+                r.direct_gains[i].gain_db(), r.wrapped_gains[i].gain_db());
+  }
+
+  std::printf("\nextracted cut-off: direct f_c = %.1f kHz (paper: 61 kHz), "
+              "wrapped f_c = %.1f kHz (paper: 58 kHz)\n",
+              r.cutoff_direct.khz(), r.cutoff_wrapped.khz());
+  std::printf("measurement error through the wrapper: %.2f %% "
+              "(paper: ~5 %%)\n",
+              r.cutoff_error_percent());
+  std::printf("wrapper timing: %d TAM cycles/sample over %d wires, clock "
+              "divide ratio %d, record = %llu TAM cycles\n",
+              r.timing.frames_per_sample, 4, r.timing.divide_ratio,
+              static_cast<unsigned long long>(r.timing.tam_cycles));
+  return 0;
+}

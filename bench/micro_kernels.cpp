@@ -1,0 +1,94 @@
+// Google-benchmark microbenchmarks for the library's hot kernels:
+// FFT, Goertzel, wrapper design (BFD), Pareto-set computation, rectangle
+// packing and partition enumeration.
+
+#include <benchmark/benchmark.h>
+
+#include "msoc/common/rng.hpp"
+#include "msoc/dsp/fft.hpp"
+#include "msoc/dsp/goertzel.hpp"
+#include "msoc/dsp/multitone.hpp"
+#include "msoc/mswrap/partition.hpp"
+#include "msoc/soc/benchmarks.hpp"
+#include "msoc/tam/packing.hpp"
+#include "msoc/wrapper/wrapper_design.hpp"
+
+namespace {
+
+using namespace msoc;
+
+void BM_FftRadix2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  std::vector<dsp::Complex> data(n);
+  for (auto& c : data) c = dsp::Complex(rng.uniform(-1.0, 1.0), 0.0);
+  for (auto _ : state) {
+    std::vector<dsp::Complex> work = data;
+    dsp::fft_inplace(work);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FftRadix2)->RangeMultiplier(4)->Range(256, 16384)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_Goertzel(benchmark::State& state) {
+  dsp::MultitoneSpec spec;
+  spec.tones = {dsp::Tone{Hertz(61e3), 1.0, 0.0}};
+  const dsp::Signal s = dsp::generate_multitone(
+      spec, Hertz(1.7e6), static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::goertzel(s, Hertz(61e3)).amplitude);
+  }
+}
+BENCHMARK(BM_Goertzel)->Arg(4551)->Arg(16384);
+
+void BM_DesignWrapper(benchmark::State& state) {
+  const soc::Soc soc = soc::make_p93791();
+  const soc::DigitalCore& core = soc.digital_cores()[0];  // largest
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wrapper::design_wrapper(core, width).scan_in);
+  }
+}
+BENCHMARK(BM_DesignWrapper)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_ParetoWidths(benchmark::State& state) {
+  const soc::Soc soc = soc::make_p93791();
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (const soc::DigitalCore& core : soc.digital_cores()) {
+      benchmark::DoNotOptimize(wrapper::pareto_widths(core, width).size());
+    }
+  }
+}
+BENCHMARK(BM_ParetoWidths)->Arg(32)->Arg(64);
+
+void BM_SchedulePack(benchmark::State& state) {
+  const soc::Soc soc = soc::make_p93791m();
+  const tam::AnalogPartition partition = tam::singleton_partition(soc);
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tam::schedule_soc(soc, width, partition).makespan());
+  }
+}
+BENCHMARK(BM_SchedulePack)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EnumeratePartitions(benchmark::State& state) {
+  soc::SyntheticSocParams params;
+  params.digital_cores = 0;
+  params.analog_cores = static_cast<int>(state.range(0));
+  params.seed = 9;
+  const soc::Soc soc = soc::make_synthetic_soc(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mswrap::enumerate_partitions(soc.analog_cores()).size());
+  }
+}
+BENCHMARK(BM_EnumeratePartitions)->DenseRange(4, 9, 1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,24 @@
+// Regenerates paper Table 2: the specification tests of the five analog
+// cores (frequency bands, sampling frequencies, test lengths in TAM
+// cycles and TAM width requirements).  These values are embedded verbatim
+// from the paper and drive every scheduling experiment.
+
+#include <cstdio>
+
+#include "msoc/plan/report.hpp"
+#include "msoc/soc/benchmarks.hpp"
+
+int main() {
+  using namespace msoc;
+  std::puts("=== Table 2: test requirements of the analog cores ===\n");
+  const plan::Table2 table = plan::make_table2(soc::table2_analog_cores());
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nper-core totals (cycles / TAM width):");
+  for (const soc::AnalogCore& core : table.cores) {
+    std::printf("  %s: %8llu cycles, width %2d  (%s)\n", core.name.c_str(),
+                static_cast<unsigned long long>(core.total_cycles()),
+                core.tam_width(), core.description.c_str());
+  }
+  return 0;
+}

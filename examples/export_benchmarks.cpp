@@ -1,0 +1,37 @@
+// Exports the embedded benchmarks as .soc files so they can be inspected,
+// versioned, edited, and fed back through `msoc_plan --soc`.
+
+#include <cstdio>
+#include <fstream>
+
+#include "msoc/soc/benchmarks.hpp"
+#include "msoc/soc/itc02.hpp"
+
+int main() {
+  using namespace msoc;
+  const soc::Soc benchmarks[] = {soc::make_d695(), soc::make_p93791(),
+                                 soc::make_p93791m()};
+  for (const soc::Soc& soc : benchmarks) {
+    const std::string path = soc.name() + ".soc";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    soc::write_soc(out, soc);
+    std::printf("wrote %-14s (%zu digital, %zu analog cores)\n",
+                path.c_str(), soc.digital_count(), soc.analog_count());
+  }
+  // Round-trip check: files must parse back to identical SOCs.
+  for (const soc::Soc& soc : benchmarks) {
+    const soc::Soc back = soc::load_soc_file(soc.name() + ".soc");
+    if (back.total_scan_cells() != soc.total_scan_cells() ||
+        back.total_analog_cycles() != soc.total_analog_cycles()) {
+      std::fprintf(stderr, "round-trip mismatch for %s\n",
+                   soc.name().c_str());
+      return 1;
+    }
+  }
+  std::puts("round-trip check passed");
+  return 0;
+}

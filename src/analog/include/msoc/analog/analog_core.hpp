@@ -1,0 +1,101 @@
+#pragma once
+// Behavioral models of embedded analog cores.
+//
+// The paper's five analog cores come from a commercial baseband chip we do
+// not have; these are behavioral stand-ins (documented in DESIGN.md) whose
+// transfer characteristics match the Table-2 bandwidths.  The test-planning
+// layers never look inside them — they only consume (TAM width, cycles) —
+// but the §5 wrapper-simulation experiment drives them sample by sample.
+
+#include <memory>
+#include <string>
+
+#include "msoc/common/units.hpp"
+#include "msoc/dsp/signal.hpp"
+
+namespace msoc::analog {
+
+/// A continuous-time analog block, simulated at the sample rate of the
+/// stimulus it is given (callers oversample to approximate CT behaviour).
+class AnalogCoreModel {
+ public:
+  virtual ~AnalogCoreModel() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  /// Processes a stimulus record; output has the same rate and length.
+  [[nodiscard]] virtual dsp::Signal process(const dsp::Signal& in) = 0;
+};
+
+/// Butterworth low-pass channel filter (models the I-Q transmit path and
+/// the audio CODEC path).  Optional DC offset and mild cubic
+/// nonlinearity make distortion/offset tests meaningful.
+class FilterCore final : public AnalogCoreModel {
+ public:
+  struct Params {
+    std::string name = "filter";
+    int order = 2;
+    Hertz cutoff{};
+    double passband_gain = 1.0;
+    double dc_offset_v = 0.0;
+    double cubic_coefficient = 0.0;  ///< y += c*x^3 ahead of the filter.
+  };
+
+  explicit FilterCore(Params params);
+
+  [[nodiscard]] const std::string& name() const override { return p_.name; }
+  [[nodiscard]] const Params& params() const noexcept { return p_; }
+  [[nodiscard]] dsp::Signal process(const dsp::Signal& in) override;
+
+ private:
+  Params p_;
+};
+
+/// General-purpose amplifier with finite slew rate and rail clipping
+/// (models core E; the slew-rate test SR exercises the limit).
+class AmplifierCore final : public AnalogCoreModel {
+ public:
+  struct Params {
+    std::string name = "amplifier";
+    double gain = 2.0;
+    double slew_rate_v_per_us = 10.0;
+    double rail_v = 2.0;  ///< Output clips to [-rail, +rail].
+  };
+
+  explicit AmplifierCore(Params params);
+
+  [[nodiscard]] const std::string& name() const override { return p_.name; }
+  [[nodiscard]] const Params& params() const noexcept { return p_; }
+  [[nodiscard]] dsp::Signal process(const dsp::Signal& in) override;
+
+ private:
+  Params p_;
+};
+
+/// Baseband down-converter: multiplies by a local oscillator and low-pass
+/// filters the product (models core D).
+class DownConverterCore final : public AnalogCoreModel {
+ public:
+  struct Params {
+    std::string name = "downconverter";
+    Hertz lo_frequency{};
+    Hertz output_cutoff{};
+    int filter_order = 3;
+    double conversion_gain = 1.0;
+  };
+
+  explicit DownConverterCore(Params params);
+
+  [[nodiscard]] const std::string& name() const override { return p_.name; }
+  [[nodiscard]] const Params& params() const noexcept { return p_; }
+  [[nodiscard]] dsp::Signal process(const dsp::Signal& in) override;
+
+ private:
+  Params p_;
+};
+
+/// Behavioral core A of the paper: 2nd-order Butterworth low-pass with a
+/// 61 kHz cut-off — the device under test of the §5/Fig. 5 experiment.
+[[nodiscard]] std::unique_ptr<AnalogCoreModel> make_core_a_filter();
+
+}  // namespace msoc::analog

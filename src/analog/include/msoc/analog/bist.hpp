@@ -1,0 +1,60 @@
+#pragma once
+// Built-in self-test of the wrapper's data converters (the paper's §7
+// future work: "investigating the cost of testing the data converters in
+// the analog test wrappers"; §5 points at histogram/linearity BIST).
+//
+// Two classical linearity BISTs are modeled:
+//  * ADC ramp-histogram test: a slow linear ramp exercises every code;
+//    the code histogram yields DNL, whose running sum yields INL.
+//  * DAC level sweep: every code's output level is measured (through the
+//    wrapper's self-test path the ADC serves as the measuring device);
+//    step deviations give DNL/INL.
+//
+// bist_cycles() prices the self-test in TAM cycles so a planner can
+// account for it — e.g. by appending a "self_test" AnalogTestSpec to
+// each core sharing a wrapper (the data model supports this directly).
+
+#include <vector>
+
+#include "msoc/analog/converter.hpp"
+#include "msoc/analog/test_wrapper.hpp"
+#include "msoc/common/units.hpp"
+
+namespace msoc::analog {
+
+/// Linearity metrics in LSB.
+struct LinearityResult {
+  std::vector<double> dnl;  ///< Per code-transition (size 2^bits - 2).
+  std::vector<double> inl;  ///< Per code (running sum of DNL).
+  int missing_codes = 0;    ///< Codes never hit by the ramp.
+
+  [[nodiscard]] double max_abs_dnl() const;
+  [[nodiscard]] double max_abs_inl() const;
+
+  /// Conventional pass criterion: |DNL| and |INL| below the limits and
+  /// no missing codes.
+  [[nodiscard]] bool passes(double dnl_limit_lsb = 1.0,
+                            double inl_limit_lsb = 2.0) const;
+};
+
+/// Ramp-histogram linearity test of the wrapper's ADC.
+/// `samples_per_code` controls resolution of the estimate (paper-style
+/// BISTs use 16-64).
+[[nodiscard]] LinearityResult adc_ramp_histogram_bist(
+    const PipelinedAdc8& adc, int samples_per_code = 32);
+
+/// Level-sweep linearity test of the wrapper's DAC.
+[[nodiscard]] LinearityResult dac_level_sweep_bist(const ModularDac8& dac);
+
+/// Full wrapper self-test: DAC sweep measured through the ADC (the
+/// self-test loopback of Fig. 1).  Reports the combined pair linearity.
+[[nodiscard]] LinearityResult wrapper_loopback_bist(
+    const AnalogTestWrapper& wrapper, int samples_per_code = 8);
+
+/// TAM cycles needed to run a histogram BIST of `bits` resolution with
+/// `samples_per_code` hits per code over `tam_width` wires: every sample
+/// is one stimulus word in and one response word out.
+[[nodiscard]] Cycles bist_cycles(int bits, int samples_per_code,
+                                 int tam_width);
+
+}  // namespace msoc::analog

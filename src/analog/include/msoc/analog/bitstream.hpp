@@ -1,0 +1,30 @@
+#pragma once
+// TAM-side bit-serial framing for the analog test wrapper.
+//
+// The wrapper's input/output registers are written and read semi-serially
+// over w TAM wires (paper §2): an n-bit sample needs ceil(n/w) TAM clock
+// cycles.  These helpers perform the exact framing so tests can verify the
+// cycle accounting that the planner's analog test times are built on.
+
+#include <cstdint>
+#include <vector>
+
+namespace msoc::analog {
+
+/// One TAM clock cycle's worth of bits (one bit per TAM wire).
+using TamFrame = std::vector<bool>;
+
+/// Serializes `codes` (each `bits` wide, LSB first) onto `width` wires.
+/// The last frame of a sample is zero-padded on unused wires.
+[[nodiscard]] std::vector<TamFrame> serialize_codes(
+    const std::vector<std::uint16_t>& codes, int bits, int width);
+
+/// Inverse of serialize_codes; `count` is the number of samples encoded.
+[[nodiscard]] std::vector<std::uint16_t> deserialize_codes(
+    const std::vector<TamFrame>& frames, int bits, int width,
+    std::size_t count);
+
+/// TAM cycles needed to move one `bits`-wide sample over `width` wires.
+[[nodiscard]] int frames_per_sample(int bits, int width);
+
+}  // namespace msoc::analog

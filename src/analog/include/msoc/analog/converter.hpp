@@ -1,0 +1,118 @@
+#pragma once
+// Behavioral data-converter models (paper Fig. 4).
+//
+// The analog test wrapper is built around an 8-bit modular pipelined ADC
+// (two 4-bit flash stages + a 4-bit DAC computing the residue) and an
+// 8-bit modular voltage-steering DAC (two 4-bit DACs, the LSB one scaled
+// by 1/16).  The models here are behavioral equivalents of the paper's
+// transistor-level implementation: ideal staircases plus configurable
+// non-idealities (comparator offsets, resistor-string mismatch, gain
+// error) that reproduce the ~5 % measurement error of the HSPICE demo.
+//
+// All converters operate single-supply on [0, vref); the wrapper biases
+// bipolar core signals to mid-scale.
+
+#include <cstdint>
+#include <vector>
+
+#include "msoc/common/rng.hpp"
+
+namespace msoc::analog {
+
+/// Static non-ideality knobs, expressed in LSB of the *4-bit sub-block*
+/// they perturb.  Zero everywhere = ideal converter.
+struct ConverterNonideality {
+  double comparator_offset_sigma_lsb = 0.0;  ///< Flash threshold spread.
+  double resistor_mismatch_sigma_lsb = 0.0;  ///< DAC level spread.
+  double interstage_gain_error = 0.0;        ///< Residue-amplifier gain error.
+  std::uint64_t seed = 0x5EED;               ///< Mismatch draw seed.
+
+  [[nodiscard]] static ConverterNonideality ideal() { return {}; }
+
+  /// Mismatch magnitudes representative of the paper's 0.5 um test chip
+  /// (produces roughly 5 % error on the core-A cut-off measurement).
+  [[nodiscard]] static ConverterNonideality typical_05um();
+};
+
+/// 4-bit flash ADC: 15 comparators against a resistor-ladder reference.
+class FlashAdc4 {
+ public:
+  FlashAdc4(double vref, const ConverterNonideality& cfg, Rng& mismatch_rng);
+
+  /// Converts a voltage in [0, vref) to a 4-bit code.
+  [[nodiscard]] std::uint8_t convert(double v) const;
+
+  [[nodiscard]] double vref() const noexcept { return vref_; }
+  [[nodiscard]] const std::vector<double>& thresholds() const noexcept {
+    return thresholds_;
+  }
+
+ private:
+  double vref_;
+  std::vector<double> thresholds_;  // 15 ascending comparator thresholds.
+};
+
+/// 4-bit voltage-steering DAC: resistor-string levels.
+class Dac4 {
+ public:
+  Dac4(double vref, const ConverterNonideality& cfg, Rng& mismatch_rng);
+
+  /// Converts a 4-bit code to its level voltage.
+  [[nodiscard]] double convert(std::uint8_t code) const;
+
+  [[nodiscard]] double vref() const noexcept { return vref_; }
+
+ private:
+  double vref_;
+  std::vector<double> levels_;  // 16 output levels.
+};
+
+/// Modular pipelined 8-bit ADC (Fig. 4a): MSB flash -> DAC -> x16 residue
+/// -> LSB flash.  With ideal sub-blocks this equals an ideal 8-bit
+/// quantizer, which the tests exploit.
+class PipelinedAdc8 {
+ public:
+  explicit PipelinedAdc8(
+      double vref,
+      const ConverterNonideality& cfg = ConverterNonideality::ideal());
+
+  [[nodiscard]] std::uint8_t convert(double v) const;
+
+  [[nodiscard]] double vref() const noexcept { return vref_; }
+  [[nodiscard]] int resolution_bits() const noexcept { return 8; }
+
+  /// Number of comparators in this modular design (2 x 15); an 8-bit flash
+  /// would need 255 — the area argument of §5.
+  [[nodiscard]] static constexpr int comparator_count() { return 30; }
+
+ private:
+  double vref_;
+  double interstage_gain_;
+  FlashAdc4 msb_;
+  Dac4 residue_dac_;
+  FlashAdc4 lsb_;
+};
+
+/// Modular 8-bit DAC (Fig. 4b): MSB nibble DAC + LSB nibble DAC / 16.
+class ModularDac8 {
+ public:
+  explicit ModularDac8(
+      double vref,
+      const ConverterNonideality& cfg = ConverterNonideality::ideal());
+
+  [[nodiscard]] double convert(std::uint8_t code) const;
+
+  [[nodiscard]] double vref() const noexcept { return vref_; }
+  [[nodiscard]] int resolution_bits() const noexcept { return 8; }
+
+  /// Resistor count of the modular design (2 x 16) vs 256 for a flat
+  /// string — the factor-of-8 reduction quoted in §5.
+  [[nodiscard]] static constexpr int resistor_count() { return 32; }
+
+ private:
+  double vref_;
+  Dac4 msb_;
+  Dac4 lsb_;
+};
+
+}  // namespace msoc::analog

@@ -1,0 +1,109 @@
+#pragma once
+// Behavioral analog test wrapper (paper Fig. 1, sharing per Fig. 2).
+//
+// The wrapper turns an analog core into a virtual digital core:
+//
+//   TAM -> input register (serial->parallel) -> DAC --analog--> core
+//   core --analog--> S/H + ADC -> output register (parallel->serial) -> TAM
+//
+// It is reconfigurable per test: TAM clock divide ratio, serial/parallel
+// conversion ratio and mode (normal / self-test / core-test) are set by
+// the test control block.  This model is cycle-faithful on the digital
+// side (framing, divide ratios) and behavioral on the analog side
+// (converter models from converter.hpp, zero-order-hold reconstruction,
+// oversampled core simulation).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "msoc/analog/analog_core.hpp"
+#include "msoc/analog/converter.hpp"
+#include "msoc/common/units.hpp"
+#include "msoc/dsp/multitone.hpp"
+#include "msoc/dsp/signal.hpp"
+
+namespace msoc::analog {
+
+enum class WrapperMode { kNormal, kSelfTest, kCoreTest };
+
+/// Static configuration of one wrapper instantiation.
+struct WrapperConfig {
+  int resolution_bits = 8;     ///< ADC/DAC resolution (the test chip is 8).
+  int tam_width = 1;           ///< TAM wires allocated to this wrapper.
+  Hertz tam_clock{50e6};       ///< Digital TAM/system clock (paper: 50 MHz).
+  double vref = 4.0;           ///< Single-supply full scale (paper: 4 V).
+  int core_oversampling = 8;   ///< CT-approximation factor for the core sim.
+  /// First-order bandwidth of the wrapper's analog buffers (DAC output
+  /// buffer and ADC driver).  The 0.5 um test chip's buffers are the
+  /// dominant systematic error of the wrapped measurement; 0 disables.
+  Hertz buffer_bandwidth{200e3};
+  ConverterNonideality nonideality = ConverterNonideality::ideal();
+};
+
+/// Per-test reconfiguration (chosen by the wrapper's test control block).
+struct TestConfiguration {
+  Hertz sampling_frequency{};  ///< Converter sample rate for this test.
+  std::size_t sample_count = 0;
+  WrapperMode mode = WrapperMode::kCoreTest;
+};
+
+/// Derived timing of one test through the wrapper.
+struct WrapperTiming {
+  int frames_per_sample = 0;   ///< TAM cycles to move one sample.
+  int divide_ratio = 0;        ///< tam_clock / sampling_frequency (floor).
+  Cycles tam_cycles = 0;       ///< Total TAM cycles for the record.
+  bool io_rate_feasible = false;  ///< Can wires keep up with the converters?
+};
+
+/// Result of running one core test through the wrapper.
+struct WrappedTestResult {
+  dsp::Signal stimulus;          ///< Ideal analog stimulus (reference).
+  dsp::Signal direct_response;   ///< Core response without the wrapper.
+  dsp::Signal wrapped_response;  ///< Response through DAC -> core -> ADC.
+  WrapperTiming timing;
+};
+
+class AnalogTestWrapper {
+ public:
+  explicit AnalogTestWrapper(WrapperConfig config);
+
+  [[nodiscard]] const WrapperConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Computes framing/divide-ratio/cycle-count for a test.
+  [[nodiscard]] WrapperTiming timing(const TestConfiguration& test) const;
+
+  /// Quantizes a bipolar analog record into ADC codes (adds the mid-scale
+  /// bias first).
+  [[nodiscard]] std::vector<std::uint16_t> digitize(
+      const dsp::Signal& in) const;
+
+  /// Reconstructs a bipolar analog record from DAC codes at `fs`
+  /// (zero-order hold at the converter rate, bias removed).
+  [[nodiscard]] dsp::Signal reconstruct(
+      const std::vector<std::uint16_t>& codes, Hertz fs) const;
+
+  /// Self-test mode: stimulus codes -> DAC -> ADC -> response codes,
+  /// bypassing the core (used to characterize the converter pair).
+  [[nodiscard]] std::vector<std::uint16_t> run_self_test(
+      const std::vector<std::uint16_t>& stimulus_codes, Hertz fs) const;
+
+  /// Core-test mode: applies a multitone test to `core` both directly
+  /// (oversampled, no converters) and through the wrapper, so callers can
+  /// compare spectra as in Fig. 5.
+  [[nodiscard]] WrappedTestResult run_core_test(
+      AnalogCoreModel& core, const dsp::MultitoneSpec& stimulus,
+      const TestConfiguration& test) const;
+
+ private:
+  [[nodiscard]] double full_scale() const { return config_.vref; }
+  [[nodiscard]] double bias() const { return config_.vref / 2.0; }
+
+  WrapperConfig config_;
+  PipelinedAdc8 adc_;
+  ModularDac8 dac_;
+};
+
+}  // namespace msoc::analog

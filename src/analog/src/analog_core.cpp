@@ -1,0 +1,89 @@
+#include "msoc/analog/analog_core.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "msoc/common/error.hpp"
+#include "msoc/dsp/butterworth.hpp"
+
+namespace msoc::analog {
+
+FilterCore::FilterCore(Params params) : p_(std::move(params)) {
+  require(p_.order >= 1, "filter order must be >= 1");
+  require(p_.cutoff.hz() > 0.0, "filter cutoff must be positive");
+}
+
+dsp::Signal FilterCore::process(const dsp::Signal& in) {
+  require(p_.cutoff.hz() < in.sample_rate().hz() / 2.0,
+          "stimulus sample rate too low for this core's cutoff");
+  // Static nonlinearity first (models the input stage), then the channel
+  // filter, then the output offset.
+  dsp::Signal shaped = in;
+  if (p_.cubic_coefficient != 0.0) {
+    for (double& s : shaped.samples()) {
+      s += p_.cubic_coefficient * s * s * s;
+    }
+  }
+  dsp::BiquadCascade filter = dsp::make_lowpass(
+      p_.order, p_.cutoff, in.sample_rate(), p_.passband_gain);
+  dsp::Signal out = filter.process(shaped);
+  if (p_.dc_offset_v != 0.0) {
+    for (double& s : out.samples()) s += p_.dc_offset_v;
+  }
+  return out;
+}
+
+AmplifierCore::AmplifierCore(Params params) : p_(std::move(params)) {
+  require(p_.gain > 0.0, "amplifier gain must be positive");
+  require(p_.slew_rate_v_per_us > 0.0, "slew rate must be positive");
+  require(p_.rail_v > 0.0, "rail voltage must be positive");
+}
+
+dsp::Signal AmplifierCore::process(const dsp::Signal& in) {
+  const double dt_us = 1e6 / in.sample_rate().hz();
+  const double max_step = p_.slew_rate_v_per_us * dt_us;
+  std::vector<double> out(in.size());
+  double y = 0.0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double target =
+        std::clamp(p_.gain * in[i], -p_.rail_v, p_.rail_v);
+    const double step = std::clamp(target - y, -max_step, max_step);
+    y += step;
+    out[i] = y;
+  }
+  return dsp::Signal(in.sample_rate(), std::move(out));
+}
+
+DownConverterCore::DownConverterCore(Params params) : p_(std::move(params)) {
+  require(p_.lo_frequency.hz() > 0.0, "LO frequency must be positive");
+  require(p_.output_cutoff.hz() > 0.0, "output cutoff must be positive");
+  require(p_.filter_order >= 1, "filter order must be >= 1");
+}
+
+dsp::Signal DownConverterCore::process(const dsp::Signal& in) {
+  require(p_.lo_frequency.hz() < in.sample_rate().hz() / 2.0,
+          "stimulus sample rate too low for the LO");
+  std::vector<double> mixed(in.size());
+  const double w = 2.0 * 3.14159265358979323846 * p_.lo_frequency.hz() /
+                   in.sample_rate().hz();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    // 2x gain restores the half-amplitude of the difference term.
+    mixed[i] = 2.0 * p_.conversion_gain * in[i] *
+               std::cos(w * static_cast<double>(i));
+  }
+  dsp::Signal product(in.sample_rate(), std::move(mixed));
+  dsp::BiquadCascade filter = dsp::make_lowpass(
+      p_.filter_order, p_.output_cutoff, in.sample_rate(), 1.0);
+  return filter.process(product);
+}
+
+std::unique_ptr<AnalogCoreModel> make_core_a_filter() {
+  FilterCore::Params p;
+  p.name = "core-A (I-Q transmit LPF)";
+  p.order = 2;
+  p.cutoff = Hertz(61e3);
+  p.passband_gain = 1.0;
+  return std::make_unique<FilterCore>(std::move(p));
+}
+
+}  // namespace msoc::analog

@@ -1,0 +1,155 @@
+#include "msoc/analog/bist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "msoc/analog/bitstream.hpp"
+#include "msoc/common/error.hpp"
+
+namespace msoc::analog {
+
+double LinearityResult::max_abs_dnl() const {
+  double m = 0.0;
+  for (double v : dnl) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double LinearityResult::max_abs_inl() const {
+  double m = 0.0;
+  for (double v : inl) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+bool LinearityResult::passes(double dnl_limit_lsb,
+                             double inl_limit_lsb) const {
+  return missing_codes == 0 && max_abs_dnl() <= dnl_limit_lsb &&
+         max_abs_inl() <= inl_limit_lsb;
+}
+
+LinearityResult adc_ramp_histogram_bist(const PipelinedAdc8& adc,
+                                        int samples_per_code) {
+  require(samples_per_code >= 4, "need >= 4 samples per code");
+  constexpr int kCodes = 256;
+  const double vref = adc.vref();
+  const long long total_samples =
+      static_cast<long long>(kCodes) * samples_per_code;
+
+  // Slow linear ramp covering the full scale; histogram of output codes.
+  std::vector<long long> histogram(kCodes, 0);
+  for (long long i = 0; i < total_samples; ++i) {
+    const double v = vref * (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(total_samples);
+    ++histogram[adc.convert(v)];
+  }
+
+  LinearityResult result;
+  // End codes absorb clipping; linearity uses interior transitions.
+  const double ideal = static_cast<double>(samples_per_code);
+  result.dnl.reserve(kCodes - 2);
+  double inl_acc = 0.0;
+  result.inl.reserve(kCodes - 2);
+  for (int code = 1; code <= kCodes - 2; ++code) {
+    const auto idx = static_cast<std::size_t>(code);
+    if (histogram[idx] == 0) ++result.missing_codes;
+    const double dnl =
+        static_cast<double>(histogram[idx]) / ideal - 1.0;
+    result.dnl.push_back(dnl);
+    inl_acc += dnl;
+    result.inl.push_back(inl_acc);
+  }
+  // Remove the straight-line (endpoint-fit) component from the INL.
+  if (!result.inl.empty()) {
+    const double slope =
+        result.inl.back() / static_cast<double>(result.inl.size());
+    for (std::size_t i = 0; i < result.inl.size(); ++i) {
+      result.inl[i] -= slope * static_cast<double>(i + 1);
+    }
+  }
+  return result;
+}
+
+LinearityResult dac_level_sweep_bist(const ModularDac8& dac) {
+  constexpr int kCodes = 256;
+  const double lsb = dac.vref() / kCodes;
+
+  std::vector<double> levels(kCodes);
+  for (int code = 0; code < kCodes; ++code) {
+    levels[static_cast<std::size_t>(code)] =
+        dac.convert(static_cast<std::uint8_t>(code));
+  }
+
+  LinearityResult result;
+  result.dnl.reserve(kCodes - 1);
+  result.inl.reserve(kCodes - 1);
+  double inl_acc = 0.0;
+  for (int code = 1; code < kCodes; ++code) {
+    const double step = levels[static_cast<std::size_t>(code)] -
+                        levels[static_cast<std::size_t>(code - 1)];
+    const double dnl = step / lsb - 1.0;
+    result.dnl.push_back(dnl);
+    inl_acc += dnl;
+    result.inl.push_back(inl_acc);
+  }
+  if (!result.inl.empty()) {
+    const double slope =
+        result.inl.back() / static_cast<double>(result.inl.size());
+    for (std::size_t i = 0; i < result.inl.size(); ++i) {
+      result.inl[i] -= slope * static_cast<double>(i + 1);
+    }
+  }
+  return result;
+}
+
+LinearityResult wrapper_loopback_bist(const AnalogTestWrapper& wrapper,
+                                      int samples_per_code) {
+  require(samples_per_code >= 1, "need >= 1 sample per code");
+  constexpr int kCodes = 256;
+  // Drive every DAC code repeatedly through the self-test path and
+  // histogram the ADC read-back: a combined-pair histogram test.
+  std::vector<std::uint16_t> stimulus;
+  stimulus.reserve(static_cast<std::size_t>(kCodes) *
+                   static_cast<std::size_t>(samples_per_code));
+  for (int code = 0; code < kCodes; ++code) {
+    for (int s = 0; s < samples_per_code; ++s) {
+      stimulus.push_back(static_cast<std::uint16_t>(code));
+    }
+  }
+  const std::vector<std::uint16_t> response =
+      wrapper.run_self_test(stimulus, Hertz(1e6));
+
+  std::vector<long long> histogram(kCodes, 0);
+  for (std::uint16_t code : response) ++histogram[code];
+
+  LinearityResult result;
+  const double ideal = static_cast<double>(samples_per_code);
+  double inl_acc = 0.0;
+  for (int code = 1; code <= kCodes - 2; ++code) {
+    const auto idx = static_cast<std::size_t>(code);
+    if (histogram[idx] == 0) ++result.missing_codes;
+    const double dnl =
+        static_cast<double>(histogram[idx]) / ideal - 1.0;
+    result.dnl.push_back(dnl);
+    inl_acc += dnl;
+    result.inl.push_back(inl_acc);
+  }
+  if (!result.inl.empty()) {
+    const double slope =
+        result.inl.back() / static_cast<double>(result.inl.size());
+    for (std::size_t i = 0; i < result.inl.size(); ++i) {
+      result.inl[i] -= slope * static_cast<double>(i + 1);
+    }
+  }
+  return result;
+}
+
+Cycles bist_cycles(int bits, int samples_per_code, int tam_width) {
+  require(samples_per_code >= 1, "need >= 1 sample per code");
+  const int fps = frames_per_sample(bits, tam_width);
+  const auto codes = static_cast<Cycles>(1ULL << static_cast<unsigned>(bits));
+  // Stimulus in and response out per sample; the serial paths overlap,
+  // but each direction needs its own frames on the shared wires.
+  return codes * static_cast<Cycles>(samples_per_code) *
+         static_cast<Cycles>(2 * fps);
+}
+
+}  // namespace msoc::analog

@@ -1,0 +1,61 @@
+#include "msoc/analog/bitstream.hpp"
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/math.hpp"
+
+namespace msoc::analog {
+
+int frames_per_sample(int bits, int width) {
+  require(bits >= 1 && bits <= 16, "sample width must be in [1,16] bits");
+  require(width >= 1, "TAM width must be >= 1");
+  return ceil_div(bits, width);
+}
+
+std::vector<TamFrame> serialize_codes(const std::vector<std::uint16_t>& codes,
+                                      int bits, int width) {
+  const int fps = frames_per_sample(bits, width);
+  std::vector<TamFrame> frames;
+  frames.reserve(codes.size() * static_cast<std::size_t>(fps));
+  for (std::uint16_t code : codes) {
+    int bit = 0;
+    for (int f = 0; f < fps; ++f) {
+      TamFrame frame(static_cast<std::size_t>(width), false);
+      for (int wire = 0; wire < width && bit < bits; ++wire, ++bit) {
+        frame[static_cast<std::size_t>(wire)] =
+            ((code >> static_cast<unsigned>(bit)) & 1U) != 0;
+      }
+      frames.push_back(std::move(frame));
+    }
+  }
+  return frames;
+}
+
+std::vector<std::uint16_t> deserialize_codes(
+    const std::vector<TamFrame>& frames, int bits, int width,
+    std::size_t count) {
+  const int fps = frames_per_sample(bits, width);
+  require(frames.size() == count * static_cast<std::size_t>(fps),
+          "frame count does not match sample count");
+  std::vector<std::uint16_t> codes;
+  codes.reserve(count);
+  std::size_t frame_idx = 0;
+  for (std::size_t s = 0; s < count; ++s) {
+    std::uint16_t code = 0;
+    int bit = 0;
+    for (int f = 0; f < fps; ++f, ++frame_idx) {
+      const TamFrame& frame = frames[frame_idx];
+      check_invariant(frame.size() == static_cast<std::size_t>(width),
+                      "frame width mismatch");
+      for (int wire = 0; wire < width && bit < bits; ++wire, ++bit) {
+        if (frame[static_cast<std::size_t>(wire)]) {
+          code = static_cast<std::uint16_t>(
+              code | (1U << static_cast<unsigned>(bit)));
+        }
+      }
+    }
+    codes.push_back(code);
+  }
+  return codes;
+}
+
+}  // namespace msoc::analog

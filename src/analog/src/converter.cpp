@@ -1,0 +1,105 @@
+#include "msoc/analog/converter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "msoc/common/error.hpp"
+
+namespace msoc::analog {
+
+ConverterNonideality ConverterNonideality::typical_05um() {
+  ConverterNonideality cfg;
+  cfg.comparator_offset_sigma_lsb = 0.10;
+  cfg.resistor_mismatch_sigma_lsb = 0.05;
+  cfg.interstage_gain_error = 0.01;
+  return cfg;
+}
+
+FlashAdc4::FlashAdc4(double vref, const ConverterNonideality& cfg,
+                     Rng& mismatch_rng)
+    : vref_(vref) {
+  require(vref > 0.0, "vref must be positive");
+  const double lsb = vref / 16.0;
+  thresholds_.reserve(15);
+  for (int i = 1; i <= 15; ++i) {
+    double t = static_cast<double>(i) * lsb;
+    t += mismatch_rng.gaussian(0.0, cfg.comparator_offset_sigma_lsb * lsb);
+    thresholds_.push_back(t);
+  }
+  // A real flash ladder is monotone by construction; keep the model so.
+  std::sort(thresholds_.begin(), thresholds_.end());
+}
+
+std::uint8_t FlashAdc4::convert(double v) const {
+  // Thermometer decode: count comparators whose threshold is below v.
+  const auto it =
+      std::upper_bound(thresholds_.begin(), thresholds_.end(), v);
+  return static_cast<std::uint8_t>(it - thresholds_.begin());
+}
+
+Dac4::Dac4(double vref, const ConverterNonideality& cfg, Rng& mismatch_rng)
+    : vref_(vref) {
+  require(vref > 0.0, "vref must be positive");
+  const double lsb = vref / 16.0;
+  levels_.reserve(16);
+  for (int code = 0; code < 16; ++code) {
+    double v = static_cast<double>(code) * lsb;
+    if (code > 0) {
+      v += mismatch_rng.gaussian(0.0, cfg.resistor_mismatch_sigma_lsb * lsb);
+    }
+    levels_.push_back(v);
+  }
+  std::sort(levels_.begin(), levels_.end());
+}
+
+double Dac4::convert(std::uint8_t code) const {
+  check_invariant(code < 16, "4-bit DAC code out of range");
+  return levels_[code];
+}
+
+PipelinedAdc8::PipelinedAdc8(double vref, const ConverterNonideality& cfg)
+    : vref_(vref),
+      interstage_gain_(16.0 * (1.0 + cfg.interstage_gain_error)),
+      msb_([&] {
+        Rng rng(cfg.seed);
+        return FlashAdc4(vref, cfg, rng);
+      }()),
+      residue_dac_([&] {
+        Rng rng(cfg.seed + 1);
+        return Dac4(vref, cfg, rng);
+      }()),
+      lsb_([&] {
+        Rng rng(cfg.seed + 2);
+        return FlashAdc4(vref, cfg, rng);
+      }()) {}
+
+std::uint8_t PipelinedAdc8::convert(double v) const {
+  const double clamped = std::clamp(v, 0.0, std::nextafter(vref_, 0.0));
+  const std::uint8_t msb = msb_.convert(clamped);
+  const double reconstructed = residue_dac_.convert(msb);
+  const double residue =
+      std::clamp((clamped - reconstructed) * interstage_gain_, 0.0,
+                 std::nextafter(vref_, 0.0));
+  const std::uint8_t lsb = lsb_.convert(residue);
+  return static_cast<std::uint8_t>((msb << 4U) | lsb);
+}
+
+ModularDac8::ModularDac8(double vref, const ConverterNonideality& cfg)
+    : vref_(vref),
+      msb_([&] {
+        Rng rng(cfg.seed + 3);
+        return Dac4(vref, cfg, rng);
+      }()),
+      lsb_([&] {
+        Rng rng(cfg.seed + 4);
+        return Dac4(vref, cfg, rng);
+      }()) {}
+
+double ModularDac8::convert(std::uint8_t code) const {
+  const auto msb_code = static_cast<std::uint8_t>(code >> 4U);
+  const auto lsb_code = static_cast<std::uint8_t>(code & 0x0FU);
+  // Fig. 4b: Vout = V_msb + V_lsb / 16.
+  return msb_.convert(msb_code) + lsb_.convert(lsb_code) / 16.0;
+}
+
+}  // namespace msoc::analog

@@ -1,0 +1,68 @@
+#include "msoc/analog/experiment.hpp"
+
+#include <cmath>
+
+#include "msoc/common/error.hpp"
+#include "msoc/dsp/multitone.hpp"
+
+namespace msoc::analog {
+
+double CutoffExperimentResult::cutoff_error_percent() const {
+  check_invariant(cutoff_direct.hz() > 0.0, "no direct cutoff measured");
+  return 100.0 * std::fabs(cutoff_wrapped.hz() - cutoff_direct.hz()) /
+         cutoff_direct.hz();
+}
+
+CutoffExperimentResult run_cutoff_experiment(
+    const CutoffExperimentConfig& config, AnalogCoreModel* core) {
+  require(config.tone_frequencies.size() >= 2,
+          "cut-off extraction needs at least two tones");
+  require(config.sample_count >= 64, "need a reasonable record length");
+
+  std::unique_ptr<AnalogCoreModel> default_core;
+  if (core == nullptr) {
+    default_core = make_core_a_filter();
+    core = default_core.get();
+  }
+
+  // Coherent tone placement removes FFT leakage from the comparison, as
+  // post-processing of a transient analysis would do via windowing.
+  dsp::MultitoneSpec spec;
+  for (Hertz f : config.tone_frequencies) {
+    spec.tones.push_back(dsp::Tone{f, config.tone_amplitude_v, 0.0});
+  }
+  spec = dsp::make_coherent(spec, config.sampling_frequency,
+                            config.sample_count);
+
+  WrapperConfig wrapper_config;
+  wrapper_config.tam_width = config.tam_width;
+  wrapper_config.tam_clock = config.system_clock;
+  wrapper_config.vref = config.supply_v;
+  wrapper_config.nonideality = config.nonideality;
+
+  TestConfiguration test;
+  test.sampling_frequency = config.sampling_frequency;
+  test.sample_count = config.sample_count;
+  test.mode = WrapperMode::kCoreTest;
+
+  const AnalogTestWrapper wrapper(wrapper_config);
+  const WrappedTestResult run = wrapper.run_core_test(*core, spec, test);
+
+  CutoffExperimentResult result;
+  result.timing = run.timing;
+  result.input_spectrum = dsp::compute_spectrum(run.stimulus);
+  result.direct_spectrum = dsp::compute_spectrum(run.direct_response);
+  result.wrapped_spectrum = dsp::compute_spectrum(run.wrapped_response);
+
+  std::vector<Hertz> tones;
+  for (const dsp::Tone& t : spec.tones) tones.push_back(t.frequency);
+  result.direct_gains =
+      dsp::measure_gains(run.stimulus, run.direct_response, tones);
+  result.wrapped_gains =
+      dsp::measure_gains(run.stimulus, run.wrapped_response, tones);
+  result.cutoff_direct = dsp::extract_cutoff(result.direct_gains);
+  result.cutoff_wrapped = dsp::extract_cutoff(result.wrapped_gains);
+  return result;
+}
+
+}  // namespace msoc::analog

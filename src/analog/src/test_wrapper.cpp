@@ -1,0 +1,146 @@
+#include "msoc/analog/test_wrapper.hpp"
+
+#include <cmath>
+
+#include "msoc/analog/bitstream.hpp"
+#include "msoc/common/error.hpp"
+#include "msoc/common/math.hpp"
+#include "msoc/dsp/butterworth.hpp"
+
+namespace msoc::analog {
+
+AnalogTestWrapper::AnalogTestWrapper(WrapperConfig config)
+    : config_(config),
+      adc_(config.vref, config.nonideality),
+      dac_(config.vref, config.nonideality) {
+  require(config_.resolution_bits == 8,
+          "this wrapper implementation instantiates 8-bit converters");
+  require(config_.tam_width >= 1, "wrapper needs at least one TAM wire");
+  require(config_.tam_clock.hz() > 0.0, "TAM clock must be positive");
+  require(config_.vref > 0.0, "vref must be positive");
+  require(config_.core_oversampling >= 1,
+          "core oversampling factor must be >= 1");
+}
+
+WrapperTiming AnalogTestWrapper::timing(const TestConfiguration& test) const {
+  require(test.sampling_frequency.hz() > 0.0,
+          "test sampling frequency must be positive");
+  require(test.sample_count > 0, "test needs at least one sample");
+  WrapperTiming t;
+  t.frames_per_sample =
+      frames_per_sample(config_.resolution_bits, config_.tam_width);
+  t.divide_ratio = static_cast<int>(
+      std::floor(config_.tam_clock.hz() / test.sampling_frequency.hz()));
+  require(t.divide_ratio >= 1,
+          "sampling frequency exceeds the TAM clock");
+  // The serial register must finish loading a sample within one converter
+  // period, i.e. ceil(bits/w) TAM cycles <= divide ratio.
+  t.io_rate_feasible = t.frames_per_sample <= t.divide_ratio;
+  // One extra sample period drains the output register pipeline.
+  t.tam_cycles = static_cast<Cycles>(test.sample_count + 1) *
+                 static_cast<Cycles>(t.frames_per_sample);
+  return t;
+}
+
+std::vector<std::uint16_t> AnalogTestWrapper::digitize(
+    const dsp::Signal& in) const {
+  std::vector<std::uint16_t> codes;
+  codes.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    codes.push_back(adc_.convert(in[i] + bias()));
+  }
+  return codes;
+}
+
+dsp::Signal AnalogTestWrapper::reconstruct(
+    const std::vector<std::uint16_t>& codes, Hertz fs) const {
+  std::vector<double> samples;
+  samples.reserve(codes.size());
+  for (std::uint16_t code : codes) {
+    check_invariant(code < 256, "8-bit code out of range");
+    samples.push_back(dac_.convert(static_cast<std::uint8_t>(code)) - bias());
+  }
+  return dsp::Signal(fs, std::move(samples));
+}
+
+std::vector<std::uint16_t> AnalogTestWrapper::run_self_test(
+    const std::vector<std::uint16_t>& stimulus_codes, Hertz /*fs*/) const {
+  std::vector<std::uint16_t> out;
+  out.reserve(stimulus_codes.size());
+  for (std::uint16_t code : stimulus_codes) {
+    check_invariant(code < 256, "8-bit code out of range");
+    const double v = dac_.convert(static_cast<std::uint8_t>(code));
+    out.push_back(adc_.convert(v));
+  }
+  return out;
+}
+
+WrappedTestResult AnalogTestWrapper::run_core_test(
+    AnalogCoreModel& core, const dsp::MultitoneSpec& stimulus,
+    const TestConfiguration& test) const {
+  require(test.mode == WrapperMode::kCoreTest,
+          "run_core_test requires core-test mode");
+  const Hertz fs = test.sampling_frequency;
+  const std::size_t n = test.sample_count;
+  const auto osf = static_cast<std::size_t>(config_.core_oversampling);
+  const Hertz fsim(fs.hz() * static_cast<double>(osf));
+
+  WrappedTestResult result;
+  result.timing = timing(test);
+
+  // --- Reference path: pure analog stimulus, no converters. ---
+  const dsp::Signal stim_ct =
+      dsp::generate_multitone(stimulus, fsim, n * osf);
+  const dsp::Signal direct_ct = core.process(stim_ct);
+
+  // Sample both at the converter instants so all three records share fs.
+  const auto decimate = [&](const dsp::Signal& s) {
+    std::vector<double> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(s[i * osf]);
+    }
+    return dsp::Signal(fs, std::move(out));
+  };
+  result.stimulus = decimate(stim_ct);
+  result.direct_response = decimate(direct_ct);
+
+  // --- Wrapped path: codes -> DAC -> ZOH -> core -> ADC -> codes. ---
+  const dsp::Signal stim_discrete = dsp::generate_multitone(stimulus, fs, n);
+  const std::vector<std::uint16_t> in_codes = digitize(stim_discrete);
+
+  // DAC output held for one converter period (zero-order hold at fs),
+  // expressed on the oversampled grid the core model runs on.
+  std::vector<double> held(n * osf);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v =
+        dac_.convert(static_cast<std::uint8_t>(in_codes[i])) - bias();
+    for (std::size_t k = 0; k < osf; ++k) held[i * osf + k] = v;
+  }
+  dsp::Signal into_core(fsim, std::move(held));
+  // The wrapper's analog buffers (DAC output driver, ADC input driver)
+  // band-limit the signal path; this is the dominant systematic error of
+  // the wrapped measurement.
+  const bool buffered = config_.buffer_bandwidth.hz() > 0.0;
+  dsp::BiquadCascade dac_buffer =
+      buffered ? dsp::make_lowpass(1, config_.buffer_bandwidth, fsim)
+               : dsp::BiquadCascade{};
+  dsp::BiquadCascade adc_buffer =
+      buffered ? dsp::make_lowpass(1, config_.buffer_bandwidth, fsim)
+               : dsp::BiquadCascade{};
+  if (buffered) into_core = dac_buffer.process(into_core);
+  dsp::Signal core_out = core.process(into_core);
+  if (buffered) core_out = adc_buffer.process(core_out);
+
+  // S/H + ADC at the end of each hold period (settled value).
+  std::vector<std::uint16_t> out_codes;
+  out_codes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = core_out[i * osf + (osf - 1)];
+    out_codes.push_back(adc_.convert(v + bias()));
+  }
+  result.wrapped_response = reconstruct(out_codes, fs);
+  return result;
+}
+
+}  // namespace msoc::analog

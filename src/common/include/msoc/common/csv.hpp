@@ -1,0 +1,30 @@
+#pragma once
+// Minimal CSV writer for exporting schedules, spectra and sweep results so
+// they can be re-plotted outside the repo.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace msoc {
+
+class CsvWriter {
+ public:
+  /// Writes the header row immediately.
+  CsvWriter(std::ostream& out, std::vector<std::string> columns);
+
+  /// Writes one data row; must match the header width.
+  void write_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  /// RFC-4180-style escaping: quotes fields containing comma/quote/newline.
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace msoc

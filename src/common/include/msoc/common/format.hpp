@@ -1,0 +1,21 @@
+#pragma once
+// Miscellaneous formatting helpers shared by report writers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "msoc/common/units.hpp"
+
+namespace msoc {
+
+/// Groups digits with commas: 1234567 -> "1,234,567".
+[[nodiscard]] std::string with_thousands(std::uint64_t value);
+
+/// Renders a percentage with one decimal, e.g. "61.5".
+[[nodiscard]] std::string percent(double value);
+
+/// Renders a set of core names as the paper does: "{A,C} {B,D,E}".
+[[nodiscard]] std::string braces(const std::vector<std::string>& names);
+
+}  // namespace msoc

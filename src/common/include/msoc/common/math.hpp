@@ -1,0 +1,74 @@
+#pragma once
+// Small numeric helpers used across the test-planning libraries.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+
+#include "msoc/common/error.hpp"
+
+namespace msoc {
+
+/// Integer ceiling division; `b` must be positive.
+template <typename T>
+[[nodiscard]] constexpr T ceil_div(T a, T b) {
+  static_assert(std::numeric_limits<T>::is_integer);
+  return static_cast<T>((a + b - 1) / b);
+}
+
+/// Relative/absolute tolerance comparison for doubles.
+[[nodiscard]] inline bool almost_equal(double a, double b,
+                                       double rel_tol = 1e-9,
+                                       double abs_tol = 1e-12) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  return diff <= rel_tol * std::fmax(std::fabs(a), std::fabs(b));
+}
+
+/// Amplitude ratio in decibels: 20*log10(x).  Clamps to the noise floor
+/// (-400 dB) for non-positive magnitudes so FFT bins with zero energy are
+/// plottable.
+[[nodiscard]] inline double to_db(double magnitude) {
+  constexpr double kFloorDb = -400.0;
+  if (magnitude <= 0.0) return kFloorDb;
+  return 20.0 * std::log10(magnitude);
+}
+
+/// Inverse of to_db.
+[[nodiscard]] inline double from_db(double db) {
+  return std::pow(10.0, db / 20.0);
+}
+
+/// True when `x` is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_power_of_two(std::size_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Smallest power of two >= x (x must be nonzero and representable).
+[[nodiscard]] constexpr std::size_t next_power_of_two(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) p <<= 1U;
+  return p;
+}
+
+/// Linear interpolation between (x0,y0) and (x1,y1) evaluated at x.
+[[nodiscard]] inline double lerp_at(double x0, double y0, double x1, double y1,
+                                    double x) {
+  if (almost_equal(x0, x1)) return 0.5 * (y0 + y1);
+  return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+}
+
+/// Checked narrowing from size_t to int (used at API boundaries where
+/// counts are small by construction).
+[[nodiscard]] inline int checked_int(std::size_t v) {
+  check_invariant(v <= static_cast<std::size_t>(
+                           std::numeric_limits<int>::max()),
+                  "size does not fit in int");
+  return static_cast<int>(v);
+}
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+}  // namespace msoc

@@ -1,0 +1,93 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (synthetic benchmark generation, noise
+// injection in the analog models) use this generator so every experiment
+// is exactly reproducible from a seed.  xoshiro256** by Blackman & Vigna;
+// public-domain reference algorithm, reimplemented here.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace msoc {
+
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) { reseed(seed); }
+
+  /// Re-initializes the state from `seed` via SplitMix64 expansion.
+  constexpr void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      // SplitMix64 step: guarantees a well-mixed nonzero state even for
+      // adversarial seeds like 0.
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30U)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27U)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31U);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17U;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; lo must be <= hi.
+  constexpr std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next_u64();  // full range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return lo + v % span;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr int uniform_int(int lo, int hi) {
+    return lo + static_cast<int>(uniform_u64(
+                    0, static_cast<std::uint64_t>(hi - lo)));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() {
+    // 53 top bits -> double mantissa.
+    return static_cast<double>(next_u64() >> 11U) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Normal deviate via Box-Muller.
+  double gaussian(double mean = 0.0, double stddev = 1.0) {
+    // Draw until u1 is safely nonzero so log() stays finite.
+    double u1 = uniform01();
+    while (u1 <= 1e-300) u1 = uniform01();
+    const double u2 = uniform01();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << static_cast<unsigned>(k)) |
+           (x >> static_cast<unsigned>(64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace msoc

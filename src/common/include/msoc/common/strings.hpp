@@ -1,0 +1,38 @@
+#pragma once
+// String utilities used by the .soc parser and the report writers.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msoc {
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Splits on any of the characters in `delims`, dropping empty fields.
+[[nodiscard]] std::vector<std::string_view> split_fields(
+    std::string_view s, std::string_view delims = " \t");
+
+/// Splits on a single delimiter, keeping empty fields (CSV-style).
+[[nodiscard]] std::vector<std::string_view> split_keep_empty(
+    std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// ASCII lower-casing.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// True when `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Strict integer parse of the whole field; nullopt on any junk.
+[[nodiscard]] std::optional<long long> parse_int(std::string_view s);
+
+/// Strict floating-point parse of the whole field; nullopt on any junk.
+[[nodiscard]] std::optional<double> parse_double(std::string_view s);
+
+}  // namespace msoc

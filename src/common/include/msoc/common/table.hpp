@@ -1,0 +1,47 @@
+#pragma once
+// ASCII table rendering for benchmark/report output.
+//
+// The paper's evaluation is a set of tables; every bench binary renders its
+// rows through TextTable so output is aligned and diff-friendly.
+
+#include <string>
+#include <vector>
+
+namespace msoc {
+
+enum class Align { kLeft, kRight };
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Sets per-column alignment; by default all columns are left-aligned.
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal rule between row groups.
+  void add_rule();
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with column separators and a header rule.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Row {
+    bool is_rule = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> alignment_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with `decimals` digits after the point (fixed).
+[[nodiscard]] std::string fixed(double value, int decimals = 1);
+
+}  // namespace msoc

@@ -1,0 +1,64 @@
+#pragma once
+// Strong unit types for the quantities that flow through the planner.
+//
+// Frequencies (Hz) and test lengths (TAM clock cycles) are easy to mix up
+// in scheduling code; these thin wrappers make such mistakes type errors
+// while staying trivially copyable and cheap.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace msoc {
+
+/// A frequency in hertz.
+class Hertz {
+ public:
+  constexpr Hertz() = default;
+  constexpr explicit Hertz(double hz) : hz_(hz) {}
+
+  [[nodiscard]] constexpr double hz() const noexcept { return hz_; }
+  [[nodiscard]] constexpr double khz() const noexcept { return hz_ / 1e3; }
+  [[nodiscard]] constexpr double mhz() const noexcept { return hz_ / 1e6; }
+
+  friend constexpr auto operator<=>(Hertz, Hertz) = default;
+  friend constexpr Hertz operator*(Hertz f, double k) {
+    return Hertz(f.hz_ * k);
+  }
+  friend constexpr Hertz operator*(double k, Hertz f) { return f * k; }
+  friend constexpr double operator/(Hertz a, Hertz b) {
+    return a.hz_ / b.hz_;
+  }
+
+  /// Human-readable rendering with an auto-selected SI prefix
+  /// (e.g. "61 kHz", "1.5 MHz").
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  double hz_ = 0.0;
+};
+
+constexpr Hertz operator""_Hz(long double v) {
+  return Hertz(static_cast<double>(v));
+}
+constexpr Hertz operator""_Hz(unsigned long long v) {
+  return Hertz(static_cast<double>(v));
+}
+constexpr Hertz operator""_kHz(long double v) {
+  return Hertz(static_cast<double>(v) * 1e3);
+}
+constexpr Hertz operator""_kHz(unsigned long long v) {
+  return Hertz(static_cast<double>(v) * 1e3);
+}
+constexpr Hertz operator""_MHz(long double v) {
+  return Hertz(static_cast<double>(v) * 1e6);
+}
+constexpr Hertz operator""_MHz(unsigned long long v) {
+  return Hertz(static_cast<double>(v) * 1e6);
+}
+
+/// A duration measured in TAM clock cycles.  All scheduling arithmetic is
+/// integral so schedules are exactly reproducible.
+using Cycles = std::uint64_t;
+
+}  // namespace msoc

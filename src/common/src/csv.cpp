@@ -1,0 +1,40 @@
+#include "msoc/common/csv.hpp"
+
+#include "msoc/common/error.hpp"
+
+namespace msoc {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> columns)
+    : out_(out), columns_(columns.size()) {
+  require(columns_ > 0, "CSV needs at least one column");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(columns[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  require(cells.size() == columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace msoc

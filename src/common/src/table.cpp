@@ -1,0 +1,90 @@
+#include "msoc/common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "msoc/common/error.hpp"
+
+namespace msoc {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)),
+      alignment_(headers_.size(), Align::kLeft) {
+  require(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::set_alignment(std::vector<Align> alignment) {
+  require(alignment.size() == headers_.size(),
+          "alignment vector size must match header count");
+  alignment_ = std::move(alignment);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(),
+          "row size must match header count");
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TextTable::add_rule() { rows_.push_back(Row{true, {}}); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.is_rule) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  const auto emit_cell = [&](std::ostringstream& os, const std::string& text,
+                             std::size_t c) {
+    const std::size_t pad = width[c] - text.size();
+    if (alignment_[c] == Align::kRight) os << std::string(pad, ' ') << text;
+    else os << text << std::string(pad, ' ');
+  };
+  const auto emit_rule = [&](std::ostringstream& os) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << (c == 0 ? "+" : "+") << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+
+  std::ostringstream os;
+  emit_rule(os);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ';
+    emit_cell(os, headers_[c], c);
+    os << " |";
+  }
+  os << '\n';
+  emit_rule(os);
+  for (const Row& row : rows_) {
+    if (row.is_rule) {
+      emit_rule(os);
+      continue;
+    }
+    os << "|";
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      os << ' ';
+      emit_cell(os, row.cells[c], c);
+      os << " |";
+    }
+    os << '\n';
+  }
+  emit_rule(os);
+  return os.str();
+}
+
+std::string fixed(double value, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << value;
+  return os.str();
+}
+
+}  // namespace msoc

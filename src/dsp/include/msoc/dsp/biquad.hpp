@@ -1,0 +1,70 @@
+#pragma once
+// Direct-form-II-transposed biquad sections and cascades.
+//
+// The behavioral analog cores are modeled as IIR filters running at the
+// simulation sample rate; a cascade of biquads covers every filter order
+// we need.
+
+#include <array>
+#include <vector>
+
+#include "msoc/dsp/signal.hpp"
+
+namespace msoc::dsp {
+
+/// One second-order section with normalized a0 = 1.
+struct BiquadCoefficients {
+  double b0 = 1.0, b1 = 0.0, b2 = 0.0;
+  double a1 = 0.0, a2 = 0.0;
+};
+
+class Biquad {
+ public:
+  Biquad() = default;
+  explicit Biquad(const BiquadCoefficients& c) : c_(c) {}
+
+  [[nodiscard]] const BiquadCoefficients& coefficients() const noexcept {
+    return c_;
+  }
+
+  /// Processes one sample.
+  double step(double x) {
+    const double y = c_.b0 * x + z1_;
+    z1_ = c_.b1 * x - c_.a1 * y + z2_;
+    z2_ = c_.b2 * x - c_.a2 * y;
+    return y;
+  }
+
+  /// Clears internal state.
+  void reset() { z1_ = z2_ = 0.0; }
+
+ private:
+  BiquadCoefficients c_;
+  double z1_ = 0.0;
+  double z2_ = 0.0;
+};
+
+class BiquadCascade {
+ public:
+  BiquadCascade() = default;
+  explicit BiquadCascade(std::vector<BiquadCoefficients> sections);
+
+  [[nodiscard]] std::size_t section_count() const noexcept {
+    return sections_.size();
+  }
+
+  double step(double x);
+  void reset();
+
+  /// Filters a whole signal (state is reset first).
+  [[nodiscard]] Signal process(const Signal& in);
+
+  /// Exact frequency response magnitude |H(e^{jw})| at `f` for sample rate
+  /// `fs` (product over sections).
+  [[nodiscard]] double magnitude_at(Hertz f, Hertz fs) const;
+
+ private:
+  std::vector<Biquad> sections_;
+};
+
+}  // namespace msoc::dsp

@@ -1,0 +1,29 @@
+#pragma once
+// Butterworth low-pass / high-pass design via bilinear transform.
+//
+// The behavioral analog cores (I-Q transmit filter, CODEC audio path) are
+// Butterworth low-pass models parameterized by the Table-2 bandwidths.
+
+#include <vector>
+
+#include "msoc/common/units.hpp"
+#include "msoc/dsp/biquad.hpp"
+
+namespace msoc::dsp {
+
+/// Designs an order-`order` Butterworth low-pass with -3 dB point `cutoff`
+/// for sample rate `fs`.  Returns the biquad sections (odd orders get a
+/// degenerate first-order section).
+[[nodiscard]] std::vector<BiquadCoefficients> butterworth_lowpass(
+    int order, Hertz cutoff, Hertz fs);
+
+/// Designs an order-`order` Butterworth high-pass with -3 dB point
+/// `cutoff` for sample rate `fs`.
+[[nodiscard]] std::vector<BiquadCoefficients> butterworth_highpass(
+    int order, Hertz cutoff, Hertz fs);
+
+/// Convenience: low-pass cascade with unit DC gain scaled by `gain`.
+[[nodiscard]] BiquadCascade make_lowpass(int order, Hertz cutoff, Hertz fs,
+                                         double gain = 1.0);
+
+}  // namespace msoc::dsp

@@ -1,0 +1,26 @@
+#pragma once
+// Iterative radix-2 FFT.
+//
+// Self-contained (no external FFT dependency) and deterministic; big
+// enough for the 4551-sample records of the Figure-5 experiment after
+// zero-padding to 8192 points.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace msoc::dsp {
+
+using Complex = std::complex<double>;
+
+/// In-place decimation-in-time FFT; `data.size()` must be a power of two.
+void fft_inplace(std::vector<Complex>& data);
+
+/// In-place inverse FFT (includes the 1/N scaling).
+void ifft_inplace(std::vector<Complex>& data);
+
+/// Forward FFT of a real record, zero-padded to the next power of two.
+/// Returns the full complex spectrum (length = padded size).
+[[nodiscard]] std::vector<Complex> fft_real(const std::vector<double>& x);
+
+}  // namespace msoc::dsp

@@ -1,0 +1,22 @@
+#pragma once
+// Goertzel single-bin DFT.
+//
+// Tone-magnitude measurements (gain at a specification frequency) are far
+// more accurate with Goertzel evaluated exactly at the tone frequency than
+// with the nearest FFT bin, especially for the non-power-of-two records
+// the wrapper produces.
+
+#include "msoc/common/units.hpp"
+#include "msoc/dsp/signal.hpp"
+
+namespace msoc::dsp {
+
+struct ToneMeasurement {
+  double amplitude = 0.0;  ///< Reconstructed peak amplitude of the tone.
+  double phase_rad = 0.0;  ///< Phase at sample 0.
+};
+
+/// Measures the component of `signal` at `frequency` (need not be a bin).
+[[nodiscard]] ToneMeasurement goertzel(const Signal& signal, Hertz frequency);
+
+}  // namespace msoc::dsp

@@ -1,0 +1,54 @@
+#pragma once
+// Specification-measurement extraction.
+//
+// These functions turn raw responses into the specification values the
+// paper's analog tests check: pass-band gain, cut-off frequency (the §5
+// demonstration), attenuation, THD, DC offset.
+
+#include <vector>
+
+#include "msoc/common/units.hpp"
+#include "msoc/dsp/signal.hpp"
+
+namespace msoc::dsp {
+
+/// One (frequency, gain) sample of a measured transfer function.
+struct GainPoint {
+  Hertz frequency{};
+  double gain = 0.0;  ///< Linear output/input amplitude ratio.
+
+  [[nodiscard]] double gain_db() const;
+};
+
+/// Measures gain at each tone frequency via Goertzel correlation of the
+/// input and output records.
+[[nodiscard]] std::vector<GainPoint> measure_gains(
+    const Signal& input, const Signal& output,
+    const std::vector<Hertz>& tones);
+
+/// Extracts the -3 dB cut-off frequency from a sparse set of gain points.
+///
+/// The reference level is the gain of the lowest-frequency point (the
+/// pass band).  The crossing is located by log-frequency/ dB-gain linear
+/// interpolation between the bracketing tones; if all tones are still in
+/// the pass band the crossing is extrapolated from the last two points
+/// (this mirrors the paper's 3-tone extrapolation).
+[[nodiscard]] Hertz extract_cutoff(const std::vector<GainPoint>& points,
+                                   double drop_db = 3.0);
+
+/// Pass-band gain in dB: gain of the lowest-frequency point.
+[[nodiscard]] double passband_gain_db(const std::vector<GainPoint>& points);
+
+/// Attenuation in dB at `f` relative to the pass band (positive = weaker).
+[[nodiscard]] double attenuation_db(const std::vector<GainPoint>& points,
+                                    Hertz f);
+
+/// Total harmonic distortion of `signal` given the fundamental `f0`:
+/// sqrt(sum of harmonic powers)/fundamental, using `harmonics` overtones.
+[[nodiscard]] double total_harmonic_distortion(const Signal& signal,
+                                               Hertz f0, int harmonics = 5);
+
+/// DC offset (mean) of a response record.
+[[nodiscard]] double dc_offset(const Signal& signal);
+
+}  // namespace msoc::dsp

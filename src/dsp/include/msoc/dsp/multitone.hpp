@@ -1,0 +1,40 @@
+#pragma once
+// Multitone test-stimulus generation.
+//
+// Analog specification tests in the paper apply multi-tone signals (three
+// tones for the core-A cut-off test).  ToneSpec lists the tones; the
+// generator optionally snaps each tone onto an FFT bin (coherent sampling)
+// so spectra have no leakage even with a rectangular window.
+
+#include <vector>
+
+#include "msoc/common/units.hpp"
+#include "msoc/dsp/signal.hpp"
+
+namespace msoc::dsp {
+
+struct Tone {
+  Hertz frequency{};
+  double amplitude = 1.0;
+  double phase_rad = 0.0;
+};
+
+struct MultitoneSpec {
+  std::vector<Tone> tones;
+  double dc_offset = 0.0;
+};
+
+/// Synthesizes `n` samples of the tone sum at `sample_rate`.
+[[nodiscard]] Signal generate_multitone(const MultitoneSpec& spec,
+                                        Hertz sample_rate, std::size_t n);
+
+/// Returns the frequency of the FFT bin nearest `f` for an `n`-point
+/// record at `sample_rate` — the coherent-sampling frequency.
+[[nodiscard]] Hertz coherent_frequency(Hertz f, Hertz sample_rate,
+                                       std::size_t n);
+
+/// Snaps every tone of `spec` onto an FFT bin for an `n`-point record.
+[[nodiscard]] MultitoneSpec make_coherent(const MultitoneSpec& spec,
+                                          Hertz sample_rate, std::size_t n);
+
+}  // namespace msoc::dsp

@@ -1,0 +1,58 @@
+#pragma once
+// Sampled real-valued signals.
+//
+// A Signal couples a sample vector with its sampling rate, so every
+// consumer (filters, FFT, the ADC model) can reason about absolute
+// frequencies instead of normalized ones.
+
+#include <cstddef>
+#include <vector>
+
+#include "msoc/common/units.hpp"
+
+namespace msoc::dsp {
+
+class Signal {
+ public:
+  Signal() = default;
+  Signal(Hertz sample_rate, std::vector<double> samples);
+
+  /// A zero signal of `n` samples.
+  static Signal zeros(Hertz sample_rate, std::size_t n);
+
+  [[nodiscard]] Hertz sample_rate() const noexcept { return sample_rate_; }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] double operator[](std::size_t i) const { return samples_[i]; }
+  [[nodiscard]] double& operator[](std::size_t i) { return samples_[i]; }
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::vector<double>& samples() noexcept { return samples_; }
+
+  /// Duration in seconds (size / fs).
+  [[nodiscard]] double duration_s() const;
+
+  /// Sample-wise sum; both signals must share rate and length.
+  [[nodiscard]] Signal operator+(const Signal& other) const;
+
+  /// Scales all samples by `k`.
+  [[nodiscard]] Signal scaled(double k) const;
+
+  /// Largest absolute sample value (0 for an empty signal).
+  [[nodiscard]] double peak() const;
+
+  /// Root-mean-square value (0 for an empty signal).
+  [[nodiscard]] double rms() const;
+
+  /// Arithmetic mean (DC component); 0 for an empty signal.
+  [[nodiscard]] double mean() const;
+
+ private:
+  Hertz sample_rate_{};
+  std::vector<double> samples_;
+};
+
+}  // namespace msoc::dsp

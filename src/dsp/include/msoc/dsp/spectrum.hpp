@@ -1,0 +1,38 @@
+#pragma once
+// Magnitude spectra for the Figure-5 style plots.
+
+#include <vector>
+
+#include "msoc/common/units.hpp"
+#include "msoc/dsp/signal.hpp"
+#include "msoc/dsp/window.hpp"
+
+namespace msoc::dsp {
+
+struct SpectrumPoint {
+  Hertz frequency{};
+  double magnitude = 0.0;  ///< Peak-amplitude-calibrated linear magnitude.
+  double magnitude_db = 0.0;
+};
+
+struct Spectrum {
+  std::vector<SpectrumPoint> points;  ///< Bins 0..N/2 (DC..Nyquist).
+  Hertz bin_width{};
+
+  /// Index of the bin closest to `f`.
+  [[nodiscard]] std::size_t bin_of(Hertz f) const;
+
+  /// Magnitude (linear) of the bin closest to `f`.
+  [[nodiscard]] double magnitude_at(Hertz f) const;
+
+  /// The `count` largest-magnitude bins, descending, skipping DC.
+  [[nodiscard]] std::vector<SpectrumPoint> peaks(std::size_t count) const;
+};
+
+/// Computes the single-sided amplitude spectrum of `signal`.
+/// Magnitudes are calibrated so a full-record coherent tone of amplitude A
+/// reads as A (window coherent gain is divided out).
+[[nodiscard]] Spectrum compute_spectrum(
+    const Signal& signal, WindowKind window = WindowKind::kHann);
+
+}  // namespace msoc::dsp

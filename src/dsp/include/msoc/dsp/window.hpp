@@ -1,0 +1,22 @@
+#pragma once
+// Window functions for spectral analysis.
+
+#include <cstddef>
+#include <vector>
+
+namespace msoc::dsp {
+
+enum class WindowKind { kRectangular, kHann, kBlackmanHarris };
+
+/// Returns the `n`-point window samples for `kind`.
+[[nodiscard]] std::vector<double> make_window(WindowKind kind, std::size_t n);
+
+/// Coherent gain of the window: mean of its samples.  Tone magnitudes
+/// measured after windowing must be divided by this to recover amplitude.
+[[nodiscard]] double coherent_gain(const std::vector<double>& window);
+
+/// Applies the window in place; sizes must match.
+void apply_window(std::vector<double>& samples,
+                  const std::vector<double>& window);
+
+}  // namespace msoc::dsp

@@ -1,0 +1,48 @@
+#include "msoc/dsp/biquad.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/math.hpp"
+
+namespace msoc::dsp {
+
+BiquadCascade::BiquadCascade(std::vector<BiquadCoefficients> sections) {
+  sections_.reserve(sections.size());
+  for (const auto& c : sections) sections_.emplace_back(c);
+}
+
+double BiquadCascade::step(double x) {
+  double v = x;
+  for (Biquad& s : sections_) v = s.step(v);
+  return v;
+}
+
+void BiquadCascade::reset() {
+  for (Biquad& s : sections_) s.reset();
+}
+
+Signal BiquadCascade::process(const Signal& in) {
+  reset();
+  std::vector<double> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = step(in[i]);
+  return Signal(in.sample_rate(), std::move(out));
+}
+
+double BiquadCascade::magnitude_at(Hertz f, Hertz fs) const {
+  require(fs.hz() > 0.0, "sample rate must be positive");
+  const double w = kTwoPi * f.hz() / fs.hz();
+  const std::complex<double> z_inv = std::exp(std::complex<double>(0.0, -w));
+  const std::complex<double> z_inv2 = z_inv * z_inv;
+  std::complex<double> h(1.0, 0.0);
+  for (const Biquad& s : sections_) {
+    const BiquadCoefficients& c = s.coefficients();
+    const std::complex<double> num = c.b0 + c.b1 * z_inv + c.b2 * z_inv2;
+    const std::complex<double> den = 1.0 + c.a1 * z_inv + c.a2 * z_inv2;
+    h *= num / den;
+  }
+  return std::abs(h);
+}
+
+}  // namespace msoc::dsp

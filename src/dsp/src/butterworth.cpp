@@ -1,0 +1,119 @@
+#include "msoc/dsp/butterworth.hpp"
+
+#include <cmath>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/math.hpp"
+
+namespace msoc::dsp {
+
+namespace {
+
+// Quality factors of the conjugate pole pairs of an order-N Butterworth
+// prototype.  Poles sit at angle phi_k = (2k+1)*pi/(2N) from the
+// imaginary axis, i.e. 90deg - phi_k from the negative real axis, so
+// Q_k = 1 / (2 sin(phi_k)).  (For even orders cos/sin give the same set;
+// odd orders need sin.)
+std::vector<double> butterworth_q(int order) {
+  std::vector<double> q;
+  for (int k = 0; k < order / 2; ++k) {
+    const double phi = (2.0 * k + 1.0) * kPi / (2.0 * order);
+    q.push_back(1.0 / (2.0 * std::sin(phi)));
+  }
+  return q;
+}
+
+BiquadCoefficients rbj_lowpass(Hertz cutoff, Hertz fs, double q) {
+  const double w0 = kTwoPi * cutoff.hz() / fs.hz();
+  const double cw = std::cos(w0);
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double a0 = 1.0 + alpha;
+  BiquadCoefficients c;
+  c.b0 = (1.0 - cw) / 2.0 / a0;
+  c.b1 = (1.0 - cw) / a0;
+  c.b2 = c.b0;
+  c.a1 = -2.0 * cw / a0;
+  c.a2 = (1.0 - alpha) / a0;
+  return c;
+}
+
+BiquadCoefficients rbj_highpass(Hertz cutoff, Hertz fs, double q) {
+  const double w0 = kTwoPi * cutoff.hz() / fs.hz();
+  const double cw = std::cos(w0);
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double a0 = 1.0 + alpha;
+  BiquadCoefficients c;
+  c.b0 = (1.0 + cw) / 2.0 / a0;
+  c.b1 = -(1.0 + cw) / a0;
+  c.b2 = c.b0;
+  c.a1 = -2.0 * cw / a0;
+  c.a2 = (1.0 - alpha) / a0;
+  return c;
+}
+
+BiquadCoefficients first_order_lowpass(Hertz cutoff, Hertz fs) {
+  const double k = std::tan(kPi * cutoff.hz() / fs.hz());
+  BiquadCoefficients c;
+  c.b0 = k / (k + 1.0);
+  c.b1 = c.b0;
+  c.b2 = 0.0;
+  c.a1 = (k - 1.0) / (k + 1.0);
+  c.a2 = 0.0;
+  return c;
+}
+
+BiquadCoefficients first_order_highpass(Hertz cutoff, Hertz fs) {
+  const double k = std::tan(kPi * cutoff.hz() / fs.hz());
+  BiquadCoefficients c;
+  c.b0 = 1.0 / (k + 1.0);
+  c.b1 = -c.b0;
+  c.b2 = 0.0;
+  c.a1 = (k - 1.0) / (k + 1.0);
+  c.a2 = 0.0;
+  return c;
+}
+
+void validate(int order, Hertz cutoff, Hertz fs) {
+  require(order >= 1 && order <= 12, "Butterworth order must be in [1,12]");
+  require(fs.hz() > 0.0, "sample rate must be positive");
+  require(cutoff.hz() > 0.0 && cutoff.hz() < fs.hz() / 2.0,
+          "cutoff must lie strictly inside (0, fs/2)");
+}
+
+}  // namespace
+
+std::vector<BiquadCoefficients> butterworth_lowpass(int order, Hertz cutoff,
+                                                    Hertz fs) {
+  validate(order, cutoff, fs);
+  std::vector<BiquadCoefficients> sections;
+  for (double q : butterworth_q(order)) {
+    sections.push_back(rbj_lowpass(cutoff, fs, q));
+  }
+  if (order % 2 == 1) sections.push_back(first_order_lowpass(cutoff, fs));
+  return sections;
+}
+
+std::vector<BiquadCoefficients> butterworth_highpass(int order, Hertz cutoff,
+                                                     Hertz fs) {
+  validate(order, cutoff, fs);
+  std::vector<BiquadCoefficients> sections;
+  for (double q : butterworth_q(order)) {
+    sections.push_back(rbj_highpass(cutoff, fs, q));
+  }
+  if (order % 2 == 1) sections.push_back(first_order_highpass(cutoff, fs));
+  return sections;
+}
+
+BiquadCascade make_lowpass(int order, Hertz cutoff, Hertz fs, double gain) {
+  std::vector<BiquadCoefficients> sections =
+      butterworth_lowpass(order, cutoff, fs);
+  // Fold the overall gain into the first section's numerator.
+  if (!sections.empty() && gain != 1.0) {
+    sections.front().b0 *= gain;
+    sections.front().b1 *= gain;
+    sections.front().b2 *= gain;
+  }
+  return BiquadCascade(std::move(sections));
+}
+
+}  // namespace msoc::dsp

@@ -1,0 +1,66 @@
+#include "msoc/dsp/fft.hpp"
+
+#include <cmath>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/math.hpp"
+
+namespace msoc::dsp {
+
+namespace {
+
+void bit_reverse_permute(std::vector<Complex>& a) {
+  const std::size_t n = a.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1U;
+    while (j & bit) {
+      j ^= bit;
+      bit >>= 1U;
+    }
+    j |= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+void transform(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  require(is_power_of_two(n), "FFT length must be a power of two");
+  bit_reverse_permute(a);
+  for (std::size_t len = 2; len <= n; len <<= 1U) {
+    const double angle = (inverse ? 1.0 : -1.0) * kTwoPi /
+                         static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (Complex& c : a) c *= inv_n;
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::vector<Complex>& data) { transform(data, false); }
+
+void ifft_inplace(std::vector<Complex>& data) { transform(data, true); }
+
+std::vector<Complex> fft_real(const std::vector<double>& x) {
+  require(!x.empty(), "FFT input must be non-empty");
+  const std::size_t padded = next_power_of_two(x.size());
+  std::vector<Complex> data(padded, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < x.size(); ++i) data[i] = Complex(x[i], 0.0);
+  fft_inplace(data);
+  return data;
+}
+
+}  // namespace msoc::dsp

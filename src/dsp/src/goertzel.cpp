@@ -1,0 +1,38 @@
+#include "msoc/dsp/goertzel.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/math.hpp"
+
+namespace msoc::dsp {
+
+ToneMeasurement goertzel(const Signal& signal, Hertz frequency) {
+  require(!signal.empty(), "goertzel needs a non-empty signal");
+  require(frequency.hz() >= 0.0 &&
+              frequency.hz() <= signal.sample_rate().hz() / 2.0,
+          "goertzel frequency must be within [0, fs/2]");
+  const std::size_t n = signal.size();
+  // Generalized Goertzel: correlate with a complex exponential at the exact
+  // (possibly non-bin) frequency.  O(n) with two state variables.
+  const double w = kTwoPi * frequency.hz() / signal.sample_rate().hz();
+  const double coeff = 2.0 * std::cos(w);
+  double s_prev = 0.0;
+  double s_prev2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double s = signal[i] + coeff * s_prev - s_prev2;
+    s_prev2 = s_prev;
+    s_prev = s;
+  }
+  const std::complex<double> y =
+      s_prev - s_prev2 * std::exp(std::complex<double>(0.0, -w));
+  // Scale: for a pure tone A*sin(w t), |y| ~= A*n/2.
+  const double scale = 2.0 / static_cast<double>(n);
+  ToneMeasurement m;
+  m.amplitude = std::abs(y) * scale;
+  m.phase_rad = std::arg(y);
+  return m;
+}
+
+}  // namespace msoc::dsp

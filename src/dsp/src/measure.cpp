@@ -1,0 +1,108 @@
+#include "msoc/dsp/measure.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/math.hpp"
+#include "msoc/dsp/goertzel.hpp"
+
+namespace msoc::dsp {
+
+double GainPoint::gain_db() const { return to_db(gain); }
+
+std::vector<GainPoint> measure_gains(const Signal& input,
+                                     const Signal& output,
+                                     const std::vector<Hertz>& tones) {
+  require(!tones.empty(), "need at least one tone");
+  std::vector<GainPoint> out;
+  out.reserve(tones.size());
+  for (Hertz f : tones) {
+    const ToneMeasurement in = goertzel(input, f);
+    const ToneMeasurement resp = goertzel(output, f);
+    require(in.amplitude > 0.0, "input has no energy at a requested tone");
+    out.push_back(GainPoint{f, resp.amplitude / in.amplitude});
+  }
+  std::sort(out.begin(), out.end(), [](const GainPoint& a, const GainPoint& b) {
+    return a.frequency < b.frequency;
+  });
+  return out;
+}
+
+Hertz extract_cutoff(const std::vector<GainPoint>& points, double drop_db) {
+  require(points.size() >= 2, "cut-off extraction needs >= 2 gain points");
+  require(drop_db > 0.0, "drop must be positive");
+  // Work on (log10 f, gain_db); assume points sorted by frequency.
+  std::vector<GainPoint> sorted = points;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const GainPoint& a, const GainPoint& b) {
+              return a.frequency < b.frequency;
+            });
+  const double ref_db = sorted.front().gain_db();
+  const double target_db = ref_db - drop_db;
+
+  const auto logf = [](const GainPoint& p) {
+    return std::log10(p.frequency.hz());
+  };
+
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    const double g0 = sorted[i - 1].gain_db();
+    const double g1 = sorted[i].gain_db();
+    if (g1 <= target_db) {
+      // Crossing bracketed between i-1 and i.
+      const double x = lerp_at(g0, logf(sorted[i - 1]), g1, logf(sorted[i]),
+                               target_db);
+      return Hertz(std::pow(10.0, x));
+    }
+  }
+  // No tone below target: extrapolate along the last segment's slope.
+  const GainPoint& p0 = sorted[sorted.size() - 2];
+  const GainPoint& p1 = sorted.back();
+  const double slope =
+      (p1.gain_db() - p0.gain_db()) / (logf(p1) - logf(p0));
+  require(slope < 0.0,
+          "response is not rolling off; cannot extrapolate cut-off");
+  const double x = logf(p1) + (target_db - p1.gain_db()) / slope;
+  return Hertz(std::pow(10.0, x));
+}
+
+double passband_gain_db(const std::vector<GainPoint>& points) {
+  require(!points.empty(), "no gain points");
+  const auto it = std::min_element(
+      points.begin(), points.end(), [](const GainPoint& a, const GainPoint& b) {
+        return a.frequency < b.frequency;
+      });
+  return it->gain_db();
+}
+
+double attenuation_db(const std::vector<GainPoint>& points, Hertz f) {
+  require(!points.empty(), "no gain points");
+  const double ref = passband_gain_db(points);
+  const auto it = std::min_element(
+      points.begin(), points.end(), [f](const GainPoint& a, const GainPoint& b) {
+        return std::fabs(a.frequency.hz() - f.hz()) <
+               std::fabs(b.frequency.hz() - f.hz());
+      });
+  return ref - it->gain_db();
+}
+
+double total_harmonic_distortion(const Signal& signal, Hertz f0,
+                                 int harmonics) {
+  require(f0.hz() > 0.0, "fundamental must be positive");
+  require(harmonics >= 1, "need at least one harmonic");
+  const ToneMeasurement fund = goertzel(signal, f0);
+  require(fund.amplitude > 0.0, "no energy at the fundamental");
+  double power = 0.0;
+  const double nyquist = signal.sample_rate().hz() / 2.0;
+  for (int h = 2; h <= harmonics + 1; ++h) {
+    const Hertz fh(f0.hz() * h);
+    if (fh.hz() >= nyquist) break;
+    const ToneMeasurement m = goertzel(signal, fh);
+    power += m.amplitude * m.amplitude;
+  }
+  return std::sqrt(power) / fund.amplitude;
+}
+
+double dc_offset(const Signal& signal) { return signal.mean(); }
+
+}  // namespace msoc::dsp

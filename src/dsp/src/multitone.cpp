@@ -1,0 +1,46 @@
+#include "msoc/dsp/multitone.hpp"
+
+#include <cmath>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/math.hpp"
+
+namespace msoc::dsp {
+
+Signal generate_multitone(const MultitoneSpec& spec, Hertz sample_rate,
+                          std::size_t n) {
+  require(sample_rate.hz() > 0.0, "sample rate must be positive");
+  for (const Tone& t : spec.tones) {
+    require(t.frequency.hz() >= 0.0, "tone frequency must be non-negative");
+    require(t.frequency.hz() < sample_rate.hz() / 2.0,
+            "tone frequency must respect Nyquist");
+  }
+  std::vector<double> samples(n, spec.dc_offset);
+  const double dt = 1.0 / sample_rate.hz();
+  for (const Tone& t : spec.tones) {
+    const double w = kTwoPi * t.frequency.hz();
+    for (std::size_t i = 0; i < n; ++i) {
+      samples[i] += t.amplitude * std::sin(w * static_cast<double>(i) * dt +
+                                           t.phase_rad);
+    }
+  }
+  return Signal(sample_rate, std::move(samples));
+}
+
+Hertz coherent_frequency(Hertz f, Hertz sample_rate, std::size_t n) {
+  require(n > 0, "record length must be positive");
+  const double bin_width = sample_rate.hz() / static_cast<double>(n);
+  const double bin = std::round(f.hz() / bin_width);
+  return Hertz(bin * bin_width);
+}
+
+MultitoneSpec make_coherent(const MultitoneSpec& spec, Hertz sample_rate,
+                            std::size_t n) {
+  MultitoneSpec out = spec;
+  for (Tone& t : out.tones) {
+    t.frequency = coherent_frequency(t.frequency, sample_rate, n);
+  }
+  return out;
+}
+
+}  // namespace msoc::dsp

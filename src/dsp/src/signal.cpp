@@ -1,0 +1,62 @@
+#include "msoc/dsp/signal.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "msoc/common/error.hpp"
+
+namespace msoc::dsp {
+
+Signal::Signal(Hertz sample_rate, std::vector<double> samples)
+    : sample_rate_(sample_rate), samples_(std::move(samples)) {
+  require(sample_rate.hz() > 0.0, "sample rate must be positive");
+}
+
+Signal Signal::zeros(Hertz sample_rate, std::size_t n) {
+  return Signal(sample_rate, std::vector<double>(n, 0.0));
+}
+
+double Signal::duration_s() const {
+  if (sample_rate_.hz() <= 0.0) return 0.0;
+  return static_cast<double>(samples_.size()) / sample_rate_.hz();
+}
+
+Signal Signal::operator+(const Signal& other) const {
+  require(sample_rate_ == other.sample_rate_,
+          "cannot add signals with different sample rates");
+  require(samples_.size() == other.samples_.size(),
+          "cannot add signals with different lengths");
+  std::vector<double> out(samples_.size());
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    out[i] = samples_[i] + other.samples_[i];
+  }
+  return Signal(sample_rate_, std::move(out));
+}
+
+Signal Signal::scaled(double k) const {
+  std::vector<double> out(samples_.size());
+  for (std::size_t i = 0; i < samples_.size(); ++i) out[i] = k * samples_[i];
+  return Signal(sample_rate_, std::move(out));
+}
+
+double Signal::peak() const {
+  double p = 0.0;
+  for (double s : samples_) p = std::max(p, std::fabs(s));
+  return p;
+}
+
+double Signal::rms() const {
+  if (samples_.empty()) return 0.0;
+  double acc = 0.0;
+  for (double s : samples_) acc += s * s;
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double Signal::mean() const {
+  if (samples_.empty()) return 0.0;
+  const double sum =
+      std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  return sum / static_cast<double>(samples_.size());
+}
+
+}  // namespace msoc::dsp

@@ -1,0 +1,85 @@
+#include "msoc/dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/math.hpp"
+#include "msoc/dsp/fft.hpp"
+
+namespace msoc::dsp {
+
+std::size_t Spectrum::bin_of(Hertz f) const {
+  require(!points.empty(), "empty spectrum");
+  require(bin_width.hz() > 0.0, "spectrum has no bin width");
+  const double idx = f.hz() / bin_width.hz();
+  const auto clamped = std::clamp<double>(
+      std::round(idx), 0.0, static_cast<double>(points.size() - 1));
+  return static_cast<std::size_t>(clamped);
+}
+
+double Spectrum::magnitude_at(Hertz f) const {
+  // Zero-padding places tones between bins of the padded grid; find the
+  // window main lobe's sample maximum around the nearest bin and refine
+  // it with a parabolic fit so tone magnitudes stay calibrated even when
+  // the lobe peak falls between grid points.
+  const std::size_t center = bin_of(f);
+  const std::size_t lo = center >= 5 ? center - 5 : 0;
+  const std::size_t hi = std::min(points.size() - 1, center + 5);
+  std::size_t best = lo;
+  for (std::size_t k = lo; k <= hi; ++k) {
+    if (points[k].magnitude > points[best].magnitude) best = k;
+  }
+  const double y0 = points[best].magnitude;
+  if (best == 0 || best + 1 >= points.size()) return y0;
+  const double ym = points[best - 1].magnitude;
+  const double yp = points[best + 1].magnitude;
+  const double denom = ym - 2.0 * y0 + yp;
+  if (denom >= -1e-300) return y0;  // not a local maximum
+  const double delta = 0.5 * (ym - yp) / denom;
+  return y0 - 0.25 * (ym - yp) * delta;
+}
+
+std::vector<SpectrumPoint> Spectrum::peaks(std::size_t count) const {
+  std::vector<SpectrumPoint> sorted(points.begin(), points.end());
+  if (!sorted.empty()) sorted.erase(sorted.begin());  // drop DC
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const SpectrumPoint& a, const SpectrumPoint& b) {
+                     return a.magnitude > b.magnitude;
+                   });
+  if (sorted.size() > count) sorted.resize(count);
+  return sorted;
+}
+
+Spectrum compute_spectrum(const Signal& signal, WindowKind window) {
+  require(!signal.empty(), "cannot compute spectrum of empty signal");
+  std::vector<double> samples = signal.samples();
+  const std::vector<double> w = make_window(window, samples.size());
+  const double gain = coherent_gain(w);
+  apply_window(samples, w);
+
+  const std::vector<Complex> bins = fft_real(samples);
+  const std::size_t padded = bins.size();
+  const std::size_t half = padded / 2;
+
+  Spectrum out;
+  out.bin_width = Hertz(signal.sample_rate().hz() /
+                        static_cast<double>(padded));
+  out.points.reserve(half + 1);
+  // Amplitude calibration: divide by the actual record length (not the
+  // padded FFT size) and by the window's coherent gain; double everything
+  // except DC/Nyquist for the single-sided fold.
+  const double base_scale =
+      1.0 / (static_cast<double>(signal.size()) * gain);
+  for (std::size_t k = 0; k <= half; ++k) {
+    const double fold = (k == 0 || k == half) ? 1.0 : 2.0;
+    SpectrumPoint p;
+    p.frequency = Hertz(static_cast<double>(k) * out.bin_width.hz());
+    p.magnitude = std::abs(bins[k]) * base_scale * fold;
+    p.magnitude_db = to_db(p.magnitude);
+    out.points.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace msoc::dsp

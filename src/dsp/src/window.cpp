@@ -1,0 +1,53 @@
+#include "msoc/dsp/window.hpp"
+
+#include <cmath>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/math.hpp"
+
+namespace msoc::dsp {
+
+std::vector<double> make_window(WindowKind kind, std::size_t n) {
+  require(n > 0, "window length must be positive");
+  std::vector<double> w(n, 1.0);
+  if (kind == WindowKind::kRectangular || n == 1) return w;
+  const double denom = static_cast<double>(n - 1);
+  switch (kind) {
+    case WindowKind::kHann:
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * static_cast<double>(i) / denom);
+      }
+      break;
+    case WindowKind::kBlackmanHarris: {
+      constexpr double a0 = 0.35875;
+      constexpr double a1 = 0.48829;
+      constexpr double a2 = 0.14128;
+      constexpr double a3 = 0.01168;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = kTwoPi * static_cast<double>(i) / denom;
+        w[i] = a0 - a1 * std::cos(x) + a2 * std::cos(2 * x) -
+               a3 * std::cos(3 * x);
+      }
+      break;
+    }
+    case WindowKind::kRectangular:
+      break;
+  }
+  return w;
+}
+
+double coherent_gain(const std::vector<double>& window) {
+  if (window.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : window) acc += v;
+  return acc / static_cast<double>(window.size());
+}
+
+void apply_window(std::vector<double>& samples,
+                  const std::vector<double>& window) {
+  require(samples.size() == window.size(),
+          "window/sample length mismatch");
+  for (std::size_t i = 0; i < samples.size(); ++i) samples[i] *= window[i];
+}
+
+}  // namespace msoc::dsp

@@ -1,0 +1,97 @@
+#pragma once
+// Analog test wrapper area model and the Eq.(1) area-overhead cost.
+//
+// Wrapper area a_j for core j follows the §5 hardware inventory:
+//   * modular pipelined ADC: comparator count scales with resolution,
+//     plus a speed premium (faster converters need bigger comparators);
+//   * modular DAC: resistor-string cost;
+//   * encoder/decoder: scales with the core's TAM width requirement.
+//
+// A shared wrapper serving group s costs (1 + rho_s) * max_{j in s} a_j:
+// it is sized for the most demanding member, plus routing overhead rho_s
+// that grows with the *cumulative distance* between the m_s cores sharing
+// it — modeled as beta per core pair, i.e. rho_s = beta * C(m_s, 2).
+// Singleton wrappers have no routing overhead.
+//
+// Eq.(1):  C_A = 100 * sum_s (1+rho_s) max_{j in s} a_j / sum_j a_j,
+// clamped to [1, 100].  No sharing => exactly 100; combinations whose raw
+// value exceeds 100 "exceed the overhead of the no-sharing case" (§3) and
+// are flagged.
+
+#include <optional>
+#include <vector>
+
+#include "msoc/mswrap/partition.hpp"
+#include "msoc/mswrap/placement.hpp"
+#include "msoc/soc/core.hpp"
+
+namespace msoc::mswrap {
+
+struct AreaModelParams {
+  /// Area units per comparator (ADC) at DC.
+  double comparator_unit = 1.0;
+  /// Area units per DAC resistor.
+  double resistor_unit = 0.2;
+  /// Area units per TAM wire of encoder/decoder.
+  double encdec_unit = 4.0;
+  /// Speed premium: comparator area multiplier per Hz of sampling rate.
+  double speed_premium_per_hz = 1.0e-8;
+  /// Routing overhead per core pair sharing a wrapper (paper beta=0.25).
+  double beta = 0.25;
+};
+
+class WrapperAreaModel {
+ public:
+  WrapperAreaModel() = default;
+  explicit WrapperAreaModel(AreaModelParams params);
+
+  [[nodiscard]] const AreaModelParams& params() const noexcept {
+    return params_;
+  }
+
+  /// Area a_j of a dedicated wrapper for `core`, in model units.
+  [[nodiscard]] double core_wrapper_area(const soc::AnalogCore& core) const;
+
+  /// Area of one shared wrapper for `group` (sized for the most
+  /// demanding member; no routing term).
+  [[nodiscard]] double shared_wrapper_area(
+      const std::vector<const soc::AnalogCore*>& group) const;
+
+  /// Routing overhead fraction rho for a wrapper shared by `m` cores
+  /// (placement-free model: beta per core pair).
+  [[nodiscard]] double routing_overhead(std::size_t m) const;
+
+  /// Placement-aware refinement (§7 future work): with a floorplan set,
+  /// each pair is charged beta x its distance normalized by the mean
+  /// pair distance, so clustered cores share cheaply and scattered ones
+  /// dearly.  A uniformly-spread floorplan reproduces routing_overhead.
+  void set_floorplan(Floorplan floorplan);
+  void clear_floorplan() { floorplan_.reset(); }
+  [[nodiscard]] bool has_floorplan() const { return floorplan_.has_value(); }
+
+  /// Routing overhead for a concrete group of core indices, using the
+  /// floorplan when present.
+  [[nodiscard]] double routing_overhead_for(
+      const std::vector<std::size_t>& group) const;
+
+  /// Raw Eq.(1) value before clamping (may exceed 100).
+  [[nodiscard]] double area_cost_raw(
+      const std::vector<soc::AnalogCore>& cores,
+      const Partition& partition) const;
+
+  /// C_A in [1, 100].
+  [[nodiscard]] double area_cost(const std::vector<soc::AnalogCore>& cores,
+                                 const Partition& partition) const;
+
+  /// True when the combination's raw cost exceeds the no-sharing case
+  /// (the paper says such combinations should not be considered).
+  [[nodiscard]] bool exceeds_no_sharing(
+      const std::vector<soc::AnalogCore>& cores,
+      const Partition& partition) const;
+
+ private:
+  AreaModelParams params_;
+  std::optional<Floorplan> floorplan_;
+};
+
+}  // namespace msoc::mswrap

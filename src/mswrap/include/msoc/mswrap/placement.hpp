@@ -1,0 +1,59 @@
+#pragma once
+// Placement-aware routing overhead (the paper's §7 future work:
+// "refining the cost measure based on the knowledge of core placement").
+//
+// Eq.(1)'s routing overhead is "proportional to the cumulative distance
+// of the k cores from each other".  Without placement knowledge the
+// model charges beta per core pair (unit distances).  With a floorplan,
+// each pair is charged beta times its normalized Euclidean distance, so
+// sharing a wrapper between distant cores costs more than between
+// neighbours — exactly the refinement the authors anticipated.
+
+#include <cstddef>
+#include <vector>
+
+namespace msoc::mswrap {
+
+/// Position of one analog core on the die, in arbitrary length units.
+struct CorePlacement {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Placement of every analog core (index-aligned with the core list).
+class Floorplan {
+ public:
+  Floorplan() = default;
+  explicit Floorplan(std::vector<CorePlacement> positions);
+
+  [[nodiscard]] std::size_t size() const { return positions_.size(); }
+  [[nodiscard]] const CorePlacement& at(std::size_t i) const;
+
+  /// Euclidean distance between cores i and j.
+  [[nodiscard]] double distance(std::size_t i, std::size_t j) const;
+
+  /// Sum of pairwise distances within `group`.
+  [[nodiscard]] double cumulative_distance(
+      const std::vector<std::size_t>& group) const;
+
+  /// Mean pairwise distance over ALL core pairs; the normalization that
+  /// makes a uniformly-spread floorplan reproduce the placement-free
+  /// beta*C(m,2) overhead.
+  [[nodiscard]] double mean_pair_distance() const;
+
+ private:
+  std::vector<CorePlacement> positions_;
+};
+
+/// A deterministic synthetic floorplan: cores on a circle of the given
+/// radius (uniformly spread — the "no clustering" reference).
+[[nodiscard]] Floorplan ring_floorplan(std::size_t cores,
+                                       double radius = 1.0);
+
+/// A clustered floorplan: the listed cores are packed at the origin,
+/// the rest on a ring of the given radius.
+[[nodiscard]] Floorplan clustered_floorplan(
+    std::size_t cores, const std::vector<std::size_t>& cluster,
+    double radius = 1.0);
+
+}  // namespace msoc::mswrap

@@ -1,0 +1,64 @@
+#pragma once
+// Sharing-combination evaluation: feasibility, area cost and the analog
+// test-time lower bound of paper Table 1.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "msoc/common/units.hpp"
+#include "msoc/mswrap/area_model.hpp"
+#include "msoc/mswrap/partition.hpp"
+#include "msoc/tam/packing.hpp"
+
+namespace msoc::mswrap {
+
+/// Electrical compatibility policy for wrapper sharing (§3: a high-speed
+/// low-resolution core should not share with a high-resolution low-speed
+/// core).  Two cores conflict when their sampling-rate ratio exceeds
+/// `max_fs_ratio` AND their resolution gap reaches `min_resolution_gap`.
+struct SharingPolicy {
+  double max_fs_ratio = 64.0;
+  int min_resolution_gap = 4;
+
+  [[nodiscard]] bool compatible(const soc::AnalogCore& a,
+                                const soc::AnalogCore& b) const;
+
+  /// All pairs in every shared group must be compatible.
+  [[nodiscard]] bool feasible(const std::vector<soc::AnalogCore>& cores,
+                              const Partition& partition) const;
+};
+
+/// Everything Table 1 reports about one combination.
+struct SharingEvaluation {
+  Partition partition;
+  std::string label;          ///< e.g. "{A,B,E} {C,D}".
+  std::size_t wrapper_count = 0;
+  double area_cost = 0.0;     ///< C_A in [1,100].
+  Cycles analog_lb_cycles = 0;     ///< max wrapper usage (LB_A, raw).
+  double analog_lb_normalized = 0.0;  ///< LB_A / max-LB * 100 (paper col).
+  bool feasible = true;
+  bool exceeds_no_sharing = false;
+};
+
+/// Analog lower bound of a partition: busiest wrapper's total usage.
+[[nodiscard]] Cycles analog_time_lower_bound(
+    const std::vector<soc::AnalogCore>& cores, const Partition& partition);
+
+/// Evaluates every combination (Table 1 rows): area cost, LB, and the
+/// normalized LB (normalized to the all-share maximum).
+[[nodiscard]] std::vector<SharingEvaluation> evaluate_combinations(
+    const std::vector<soc::AnalogCore>& cores,
+    const WrapperAreaModel& area_model = WrapperAreaModel{},
+    const SharingPolicy& policy = SharingPolicy{},
+    const EnumerationOptions& enumeration = {});
+
+/// Converts a Partition on `cores` into the TAM layer's name-based form.
+[[nodiscard]] tam::AnalogPartition to_analog_partition(
+    const std::vector<soc::AnalogCore>& cores, const Partition& partition);
+
+/// Core display names, in index order.
+[[nodiscard]] std::vector<std::string> core_names(
+    const std::vector<soc::AnalogCore>& cores);
+
+}  // namespace msoc::mswrap

@@ -1,0 +1,100 @@
+#include "msoc/mswrap/area_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "msoc/common/error.hpp"
+
+namespace msoc::mswrap {
+
+WrapperAreaModel::WrapperAreaModel(AreaModelParams params)
+    : params_(params) {
+  require(params_.comparator_unit > 0.0 && params_.resistor_unit > 0.0 &&
+              params_.encdec_unit >= 0.0,
+          "area units must be positive");
+  require(params_.beta >= 0.0, "beta must be non-negative");
+}
+
+double WrapperAreaModel::core_wrapper_area(
+    const soc::AnalogCore& core) const {
+  const int bits = core.resolution_bits();
+  // Modular pipelined ADC: two flash stages of bits/2 each.
+  const int half = (bits + 1) / 2;
+  const double comparators = 2.0 * (std::pow(2.0, half) - 1.0);
+  // Modular DAC: two resistor strings of 2^(bits/2) each.
+  const double resistors = 2.0 * std::pow(2.0, half);
+  const double speed_factor =
+      1.0 + params_.speed_premium_per_hz * core.max_sampling_frequency().hz();
+  return comparators * params_.comparator_unit * speed_factor +
+         resistors * params_.resistor_unit +
+         static_cast<double>(core.tam_width()) * params_.encdec_unit;
+}
+
+double WrapperAreaModel::shared_wrapper_area(
+    const std::vector<const soc::AnalogCore*>& group) const {
+  require(!group.empty(), "wrapper group must be non-empty");
+  double area = 0.0;
+  for (const soc::AnalogCore* core : group) {
+    area = std::max(area, core_wrapper_area(*core));
+  }
+  return area;
+}
+
+double WrapperAreaModel::routing_overhead(std::size_t m) const {
+  if (m < 2) return 0.0;
+  const double pairs = static_cast<double>(m) *
+                       static_cast<double>(m - 1) / 2.0;
+  return params_.beta * pairs;
+}
+
+void WrapperAreaModel::set_floorplan(Floorplan floorplan) {
+  require(floorplan.mean_pair_distance() > 0.0,
+          "floorplan needs at least two distinct core positions");
+  floorplan_ = std::move(floorplan);
+}
+
+double WrapperAreaModel::routing_overhead_for(
+    const std::vector<std::size_t>& group) const {
+  if (group.size() < 2) return 0.0;
+  if (!floorplan_) return routing_overhead(group.size());
+  return params_.beta * floorplan_->cumulative_distance(group) /
+         floorplan_->mean_pair_distance();
+}
+
+double WrapperAreaModel::area_cost_raw(
+    const std::vector<soc::AnalogCore>& cores,
+    const Partition& partition) const {
+  require(partition.core_count() == cores.size(),
+          "partition does not cover the core set");
+  double total_dedicated = 0.0;
+  for (const soc::AnalogCore& core : cores) {
+    total_dedicated += core_wrapper_area(core);
+  }
+  check_invariant(total_dedicated > 0.0, "zero total wrapper area");
+
+  double shared_total = 0.0;
+  for (const auto& group : partition.groups()) {
+    std::vector<const soc::AnalogCore*> members;
+    members.reserve(group.size());
+    for (std::size_t idx : group) {
+      check_invariant(idx < cores.size(), "core index out of range");
+      members.push_back(&cores[idx]);
+    }
+    shared_total +=
+        (1.0 + routing_overhead_for(group)) * shared_wrapper_area(members);
+  }
+  return 100.0 * shared_total / total_dedicated;
+}
+
+double WrapperAreaModel::area_cost(const std::vector<soc::AnalogCore>& cores,
+                                   const Partition& partition) const {
+  return std::clamp(area_cost_raw(cores, partition), 1.0, 100.0);
+}
+
+bool WrapperAreaModel::exceeds_no_sharing(
+    const std::vector<soc::AnalogCore>& cores,
+    const Partition& partition) const {
+  return area_cost_raw(cores, partition) > 100.0;
+}
+
+}  // namespace msoc::mswrap

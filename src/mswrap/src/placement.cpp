@@ -1,0 +1,76 @@
+#include "msoc/mswrap/placement.hpp"
+
+#include <cmath>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/math.hpp"
+
+namespace msoc::mswrap {
+
+Floorplan::Floorplan(std::vector<CorePlacement> positions)
+    : positions_(std::move(positions)) {}
+
+const CorePlacement& Floorplan::at(std::size_t i) const {
+  check_invariant(i < positions_.size(), "floorplan index out of range");
+  return positions_[i];
+}
+
+double Floorplan::distance(std::size_t i, std::size_t j) const {
+  const CorePlacement& a = at(i);
+  const CorePlacement& b = at(j);
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+double Floorplan::cumulative_distance(
+    const std::vector<std::size_t>& group) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    for (std::size_t j = i + 1; j < group.size(); ++j) {
+      total += distance(group[i], group[j]);
+    }
+  }
+  return total;
+}
+
+double Floorplan::mean_pair_distance() const {
+  const std::size_t n = positions_.size();
+  if (n < 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) total += distance(i, j);
+  }
+  return total / (static_cast<double>(n) * static_cast<double>(n - 1) / 2.0);
+}
+
+Floorplan ring_floorplan(std::size_t cores, double radius) {
+  require(radius > 0.0, "ring radius must be positive");
+  std::vector<CorePlacement> positions;
+  positions.reserve(cores);
+  for (std::size_t i = 0; i < cores; ++i) {
+    const double angle =
+        kTwoPi * static_cast<double>(i) / static_cast<double>(cores);
+    positions.push_back(
+        CorePlacement{radius * std::cos(angle), radius * std::sin(angle)});
+  }
+  return Floorplan(std::move(positions));
+}
+
+Floorplan clustered_floorplan(std::size_t cores,
+                              const std::vector<std::size_t>& cluster,
+                              double radius) {
+  Floorplan ring = ring_floorplan(cores, radius);
+  std::vector<CorePlacement> positions;
+  positions.reserve(cores);
+  for (std::size_t i = 0; i < cores; ++i) positions.push_back(ring.at(i));
+  // Pack the cluster tightly at the origin (tiny offsets keep distances
+  // nonzero but negligible).
+  double offset = 0.0;
+  for (std::size_t idx : cluster) {
+    require(idx < cores, "cluster index out of range");
+    positions[idx] = CorePlacement{offset, 0.0};
+    offset += 0.01 * radius;
+  }
+  return Floorplan(std::move(positions));
+}
+
+}  // namespace msoc::mswrap

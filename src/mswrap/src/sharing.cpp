@@ -1,0 +1,109 @@
+#include "msoc/mswrap/sharing.hpp"
+
+#include <algorithm>
+
+#include "msoc/common/error.hpp"
+
+namespace msoc::mswrap {
+
+bool SharingPolicy::compatible(const soc::AnalogCore& a,
+                               const soc::AnalogCore& b) const {
+  const double fa = a.max_sampling_frequency().hz();
+  const double fb = b.max_sampling_frequency().hz();
+  check_invariant(fa > 0.0 && fb > 0.0, "cores need sampling frequencies");
+  const double ratio = fa > fb ? fa / fb : fb / fa;
+  const int gap = std::abs(a.resolution_bits() - b.resolution_bits());
+  // The conflict of §3 needs both a large speed mismatch and a large
+  // resolution mismatch; either alone is servable by reconfiguration.
+  return !(ratio > max_fs_ratio && gap >= min_resolution_gap);
+}
+
+bool SharingPolicy::feasible(const std::vector<soc::AnalogCore>& cores,
+                             const Partition& partition) const {
+  for (const auto& group : partition.groups()) {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      for (std::size_t j = i + 1; j < group.size(); ++j) {
+        if (!compatible(cores[group[i]], cores[group[j]])) return false;
+      }
+    }
+  }
+  return true;
+}
+
+Cycles analog_time_lower_bound(const std::vector<soc::AnalogCore>& cores,
+                               const Partition& partition) {
+  // The paper's LB_A is the usage of the busiest *shared* wrapper
+  // (Table 1 reports e.g. {A,B} -> T_A+T_B even though singleton C is
+  // individually longer).  When nothing is shared, fall back to the
+  // longest single core.
+  Cycles lb = 0;
+  Cycles longest_single = 0;
+  for (const auto& group : partition.groups()) {
+    Cycles usage = 0;
+    for (std::size_t idx : group) {
+      check_invariant(idx < cores.size(), "core index out of range");
+      usage += cores[idx].total_cycles();
+    }
+    if (group.size() >= 2) lb = std::max(lb, usage);
+    longest_single = std::max(longest_single, usage);
+  }
+  return lb > 0 ? lb : longest_single;
+}
+
+std::vector<SharingEvaluation> evaluate_combinations(
+    const std::vector<soc::AnalogCore>& cores,
+    const WrapperAreaModel& area_model, const SharingPolicy& policy,
+    const EnumerationOptions& enumeration) {
+  const std::vector<Partition> partitions =
+      enumerate_partitions(cores, enumeration);
+  const std::vector<std::string> names = core_names(cores);
+
+  // Normalization reference: total analog time (= LB of all-share, the
+  // maximum possible LB).
+  Cycles total = 0;
+  for (const soc::AnalogCore& c : cores) total += c.total_cycles();
+  check_invariant(total > 0, "cores have zero total test time");
+
+  std::vector<SharingEvaluation> out;
+  out.reserve(partitions.size());
+  for (const Partition& p : partitions) {
+    SharingEvaluation e;
+    e.label = p.to_string(names);
+    e.wrapper_count = p.wrapper_count();
+    e.area_cost = area_model.area_cost(cores, p);
+    e.analog_lb_cycles = analog_time_lower_bound(cores, p);
+    e.analog_lb_normalized = 100.0 *
+                             static_cast<double>(e.analog_lb_cycles) /
+                             static_cast<double>(total);
+    e.feasible = policy.feasible(cores, p);
+    e.exceeds_no_sharing = area_model.exceeds_no_sharing(cores, p);
+    e.partition = p;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+tam::AnalogPartition to_analog_partition(
+    const std::vector<soc::AnalogCore>& cores, const Partition& partition) {
+  tam::AnalogPartition out;
+  for (const auto& group : partition.groups()) {
+    std::vector<std::string> names;
+    names.reserve(group.size());
+    for (std::size_t idx : group) {
+      check_invariant(idx < cores.size(), "core index out of range");
+      names.push_back(cores[idx].name);
+    }
+    out.push_back(std::move(names));
+  }
+  return out;
+}
+
+std::vector<std::string> core_names(
+    const std::vector<soc::AnalogCore>& cores) {
+  std::vector<std::string> names;
+  names.reserve(cores.size());
+  for (const soc::AnalogCore& c : cores) names.push_back(c.name);
+  return names;
+}
+
+}  // namespace msoc::mswrap

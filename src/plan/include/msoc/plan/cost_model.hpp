@@ -1,0 +1,100 @@
+#pragma once
+// The paper's test-cost model (Eq. 2 and Eq. 3).
+//
+//   C = w_T * C_time + w_A * C_A                          (Eq. 2)
+//
+// C_time = 100 * T(W, partition) / T_max(W), where T_max is the SOC test
+// time when ALL analog cores share a single wrapper — the most
+// constrained schedule, used as the normalization baseline.  C_A is the
+// Eq.(1) area-overhead cost from the mswrap layer.
+//
+// The preliminary cost (Eq. 3) replaces the expensive C_time with the
+// free analog lower bound:  Prelim = w_T * LB_norm + w_A * C_A.  It is
+// what the Cost_Optimizer heuristic prunes on.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "msoc/common/units.hpp"
+#include "msoc/mswrap/area_model.hpp"
+#include "msoc/mswrap/partition.hpp"
+#include "msoc/mswrap/sharing.hpp"
+#include "msoc/soc/soc.hpp"
+#include "msoc/tam/packing.hpp"
+
+namespace msoc::plan {
+
+/// Weights of Eq. 2; must be non-negative and sum to 1.
+struct CostWeights {
+  double time = 0.5;
+  double area = 0.5;
+
+  void validate() const;
+};
+
+/// Everything the planner needs to evaluate combinations on one SOC.
+struct PlanningProblem {
+  const soc::Soc* soc = nullptr;
+  int tam_width = 32;
+  CostWeights weights;
+  mswrap::WrapperAreaModel area_model;
+  mswrap::SharingPolicy policy;
+  mswrap::EnumerationOptions enumeration;
+  tam::PackingOptions packing;
+
+  void validate() const;
+};
+
+/// Full evaluation of one sharing combination.
+struct CombinationCost {
+  mswrap::Partition partition;
+  std::string label;
+  Cycles test_time = 0;    ///< Schedule makespan from the TAM optimizer.
+  double c_time = 0.0;     ///< 100 * T / T_max.
+  double c_area = 0.0;     ///< Eq.(1).
+  double total = 0.0;      ///< Eq.(2).
+};
+
+/// Evaluates combinations against one PlanningProblem, memoizing the
+/// expensive TAM-optimizer runs and the T_max baseline.
+class CostModel {
+ public:
+  explicit CostModel(const PlanningProblem& problem);
+
+  /// SOC test time with all analog cores on one wrapper (computed once).
+  [[nodiscard]] Cycles t_max();
+
+  /// Eq. 3 preliminary cost from statically-known quantities.
+  [[nodiscard]] double preliminary_cost(
+      const mswrap::SharingEvaluation& evaluation) const;
+
+  /// Full Eq. 2 evaluation (runs the TAM optimizer; memoized).
+  [[nodiscard]] CombinationCost evaluate(const mswrap::Partition& partition);
+
+  /// Number of distinct TAM-optimizer invocations so far.  The all-share
+  /// baseline is excluded: its schedule is the normalization constant the
+  /// model needs anyway (this matches the paper's evaluation counting).
+  [[nodiscard]] int tam_runs() const noexcept { return tam_runs_; }
+
+  [[nodiscard]] const std::vector<soc::AnalogCore>& cores() const {
+    return problem_.soc->analog_cores();
+  }
+  [[nodiscard]] const PlanningProblem& problem() const { return problem_; }
+
+  /// The schedule behind an already-evaluated combination.
+  [[nodiscard]] tam::Schedule schedule_for(
+      const mswrap::Partition& partition) const;
+
+ private:
+  [[nodiscard]] Cycles run_tam(const mswrap::Partition& partition);
+
+  PlanningProblem problem_;
+  std::vector<std::string> names_;
+  Cycles t_max_ = 0;
+  bool t_max_ready_ = false;
+  int tam_runs_ = 0;
+  std::map<mswrap::Partition, Cycles> time_cache_;
+};
+
+}  // namespace msoc::plan

@@ -1,0 +1,65 @@
+#pragma once
+// Test-cost optimizers: exhaustive baseline and the Cost_Optimizer
+// heuristic (paper Fig. 3).
+//
+// Exhaustive: run the TAM optimizer for every sharing combination and
+// take the minimum of Eq. 2 — optimal but exponential in core count.
+//
+// Cost_Optimizer:
+//   1. Group combinations by degree of sharing (partition shape).
+//   2. Compute the Eq. 3 preliminary cost of every combination from the
+//      statically-known area cost and analog-time lower bound.
+//   3. Evaluate only the best preliminary element of each group with the
+//      TAM optimizer.
+//   4. Keep the group with the cheapest evaluated representative;
+//      eliminate every group whose representative costs more than the
+//      winner by more than epsilon.
+//   5. Fully evaluate surviving groups; return the overall minimum.
+//
+// Evaluation counting matches the paper: the all-share combination is
+// free (it is the C_time normalization baseline), so N is the number of
+// *additional* TAM-optimizer runs.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "msoc/plan/cost_model.hpp"
+
+namespace msoc::plan {
+
+/// Result common to both optimizers.
+struct OptimizationResult {
+  CombinationCost best;
+  int evaluations = 0;      ///< TAM-optimizer runs (paper's N).
+  int total_combinations = 0;  ///< Paper's N_tot.
+
+  /// Reduction in evaluations vs exhaustive: (N_tot - N)/N_tot * 100.
+  [[nodiscard]] double evaluation_reduction_percent() const;
+};
+
+/// Extra diagnostics from the heuristic.
+struct HeuristicDiagnostics {
+  std::vector<std::string> group_shapes;      ///< e.g. "3+2".
+  std::vector<double> representative_costs;   ///< Eq.2 of each group rep.
+  std::vector<bool> eliminated;               ///< Group pruned?
+};
+
+struct HeuristicResult : OptimizationResult {
+  HeuristicDiagnostics diagnostics;
+};
+
+/// Evaluates every combination; optimal under the cost model.
+[[nodiscard]] OptimizationResult optimize_exhaustive(CostModel& model);
+
+struct HeuristicOptions {
+  /// Elimination slack epsilon of Fig. 3 (cost units).  0 = aggressive
+  /// pruning (the paper's Table-4 setting).
+  double epsilon = 0.0;
+};
+
+/// The Fig. 3 Cost_Optimizer heuristic.
+[[nodiscard]] HeuristicResult optimize_cost_heuristic(
+    CostModel& model, const HeuristicOptions& options = {});
+
+}  // namespace msoc::plan

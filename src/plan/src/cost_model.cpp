@@ -1,0 +1,87 @@
+#include "msoc/plan/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "msoc/common/error.hpp"
+
+namespace msoc::plan {
+
+void CostWeights::validate() const {
+  require(time >= 0.0 && area >= 0.0, "cost weights must be non-negative");
+  require(std::fabs(time + area - 1.0) < 1e-9,
+          "cost weights must sum to 1");
+}
+
+void PlanningProblem::validate() const {
+  require(soc != nullptr, "planning problem needs an SOC");
+  require(tam_width >= 1, "TAM width must be >= 1");
+  require(soc->analog_count() >= 1,
+          "mixed-signal planning needs at least one analog core");
+  weights.validate();
+}
+
+CostModel::CostModel(const PlanningProblem& problem) : problem_(problem) {
+  problem_.validate();
+  names_ = mswrap::core_names(problem_.soc->analog_cores());
+}
+
+Cycles CostModel::t_max() {
+  if (!t_max_ready_) {
+    // All-share partition over core indices.
+    std::vector<std::size_t> all(cores().size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    const mswrap::Partition all_share(
+        std::vector<std::vector<std::size_t>>{all});
+    const tam::Schedule schedule = schedule_for(all_share);
+    t_max_ = schedule.makespan();
+    time_cache_[all_share] = t_max_;
+    t_max_ready_ = true;
+    check_invariant(t_max_ > 0, "T_max must be positive");
+  }
+  return t_max_;
+}
+
+double CostModel::preliminary_cost(
+    const mswrap::SharingEvaluation& evaluation) const {
+  return problem_.weights.time * evaluation.analog_lb_normalized +
+         problem_.weights.area * evaluation.area_cost;
+}
+
+tam::Schedule CostModel::schedule_for(
+    const mswrap::Partition& partition) const {
+  return tam::schedule_soc(
+      *problem_.soc, problem_.tam_width,
+      mswrap::to_analog_partition(cores(), partition), problem_.packing);
+}
+
+Cycles CostModel::run_tam(const mswrap::Partition& partition) {
+  const auto it = time_cache_.find(partition);
+  if (it != time_cache_.end()) return it->second;
+  const tam::Schedule schedule = schedule_for(partition);
+  tam::require_valid(schedule);
+  const Cycles time = schedule.makespan();
+  time_cache_.emplace(partition, time);
+  ++tam_runs_;
+  return time;
+}
+
+CombinationCost CostModel::evaluate(const mswrap::Partition& partition) {
+  const Cycles baseline = t_max();  // ensure normalization exists first
+  CombinationCost cost;
+  cost.partition = partition;
+  cost.label = partition.to_string(names_);
+  cost.test_time = run_tam(partition);
+  // Any all-share schedule is feasible for every partition (it satisfies
+  // a superset of the serialization constraints), so a partition's true
+  // optimum never exceeds T_max; cap the heuristic's occasional noise.
+  cost.test_time = std::min(cost.test_time, baseline);
+  cost.c_time = 100.0 * static_cast<double>(cost.test_time) /
+                static_cast<double>(baseline);
+  cost.c_area = problem_.area_model.area_cost(cores(), partition);
+  cost.total = problem_.weights.time * cost.c_time +
+               problem_.weights.area * cost.c_area;
+  return cost;
+}
+
+}  // namespace msoc::plan

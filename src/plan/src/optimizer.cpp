@@ -1,0 +1,153 @@
+#include "msoc/plan/optimizer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/logging.hpp"
+
+namespace msoc::plan {
+
+namespace {
+
+std::string shape_label(const mswrap::Partition& p) {
+  std::ostringstream os;
+  const std::vector<std::size_t> shape = p.shape();
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << '+';
+    os << shape[i];
+  }
+  return os.str();
+}
+
+std::vector<mswrap::SharingEvaluation> feasible_combinations(
+    CostModel& model) {
+  const PlanningProblem& problem = model.problem();
+  std::vector<mswrap::SharingEvaluation> all = mswrap::evaluate_combinations(
+      model.cores(), problem.area_model, problem.policy,
+      problem.enumeration);
+  std::vector<mswrap::SharingEvaluation> feasible;
+  feasible.reserve(all.size());
+  for (mswrap::SharingEvaluation& e : all) {
+    if (!e.feasible) {
+      log_debug("combination ", e.label, " dropped: sharing policy");
+      continue;
+    }
+    feasible.push_back(std::move(e));
+  }
+  require(!feasible.empty(), "no feasible sharing combination");
+  return feasible;
+}
+
+}  // namespace
+
+double OptimizationResult::evaluation_reduction_percent() const {
+  if (total_combinations == 0) return 0.0;
+  return 100.0 * static_cast<double>(total_combinations - evaluations) /
+         static_cast<double>(total_combinations);
+}
+
+OptimizationResult optimize_exhaustive(CostModel& model) {
+  const std::vector<mswrap::SharingEvaluation> combos =
+      feasible_combinations(model);
+
+  OptimizationResult result;
+  result.total_combinations = static_cast<int>(combos.size());
+  bool have_best = false;
+  for (const mswrap::SharingEvaluation& e : combos) {
+    const CombinationCost cost = model.evaluate(e.partition);
+    if (!have_best || cost.total < result.best.total) {
+      result.best = cost;
+      have_best = true;
+    }
+  }
+  result.evaluations = model.tam_runs();
+  return result;
+}
+
+HeuristicResult optimize_cost_heuristic(CostModel& model,
+                                        const HeuristicOptions& options) {
+  require(options.epsilon >= 0.0, "epsilon must be non-negative");
+  const std::vector<mswrap::SharingEvaluation> combos =
+      feasible_combinations(model);
+
+  // --- Line 1: group by degree of sharing (partition shape). ---
+  std::map<std::vector<std::size_t>,
+           std::vector<const mswrap::SharingEvaluation*>>
+      groups;
+  for (const mswrap::SharingEvaluation& e : combos) {
+    groups[e.partition.shape()].push_back(&e);
+  }
+
+  HeuristicResult result;
+  result.total_combinations = static_cast<int>(combos.size());
+
+  // --- Lines 2-8: best preliminary-cost element per group. ---
+  struct GroupState {
+    const mswrap::SharingEvaluation* representative = nullptr;
+    std::vector<const mswrap::SharingEvaluation*> members;
+    CombinationCost rep_cost;
+    bool eliminated = false;
+  };
+  std::vector<GroupState> states;
+  for (auto& [shape, members] : groups) {
+    GroupState state;
+    state.members = members;
+    double best_prelim = std::numeric_limits<double>::infinity();
+    for (const mswrap::SharingEvaluation* e : members) {
+      const double prelim = model.preliminary_cost(*e);
+      if (prelim < best_prelim) {
+        best_prelim = prelim;
+        state.representative = e;
+      }
+    }
+    check_invariant(state.representative != nullptr, "empty shape group");
+    states.push_back(std::move(state));
+  }
+
+  // --- Lines 9-13: evaluate representatives with the TAM optimizer. ---
+  double min_rep_cost = std::numeric_limits<double>::infinity();
+  for (GroupState& state : states) {
+    state.rep_cost = model.evaluate(state.representative->partition);
+    min_rep_cost = std::min(min_rep_cost, state.rep_cost.total);
+  }
+
+  // --- Lines 14-17: eliminate groups beyond epsilon of the winner. ---
+  for (GroupState& state : states) {
+    state.eliminated = state.rep_cost.total > min_rep_cost + options.epsilon;
+    result.diagnostics.group_shapes.push_back(
+        shape_label(state.representative->partition));
+    result.diagnostics.representative_costs.push_back(state.rep_cost.total);
+    result.diagnostics.eliminated.push_back(state.eliminated);
+    log_debug("group ", shape_label(state.representative->partition),
+              " rep cost ", state.rep_cost.total,
+              state.eliminated ? " (eliminated)" : " (survives)");
+  }
+
+  // --- Lines 18-19: fully evaluate surviving groups, return the best. ---
+  bool have_best = false;
+  for (const GroupState& state : states) {
+    if (state.eliminated) {
+      if (!have_best || state.rep_cost.total < result.best.total) {
+        // An eliminated group's representative still competes; it was
+        // evaluated and may beat surviving groups' members.
+        result.best = state.rep_cost;
+        have_best = true;
+      }
+      continue;
+    }
+    for (const mswrap::SharingEvaluation* e : state.members) {
+      const CombinationCost cost = model.evaluate(e->partition);
+      if (!have_best || cost.total < result.best.total) {
+        result.best = cost;
+        have_best = true;
+      }
+    }
+  }
+  result.evaluations = model.tam_runs();
+  return result;
+}
+
+}  // namespace msoc::plan

@@ -1,0 +1,55 @@
+#pragma once
+// Embedded benchmark SOCs.
+//
+// * table2_analog_cores(): the five analog cores of the paper with the
+//   exact Table-2 test parameters (bands, sampling frequencies, cycle
+//   counts, TAM widths).
+// * make_d695(): the small ITC'02 SOC built from ISCAS circuits, with the
+//   per-core data published in the wrapper/TAM co-optimization literature.
+// * make_p93791(): a reconstruction of the large Philips ITC'02 SOC.  The
+//   original file is not redistributable here; this generator produces 32
+//   modules whose size distribution matches the published aggregate
+//   statistics (see DESIGN.md).  Deterministic: same SOC every call.
+// * make_p93791m(): p93791 plus the five analog cores — the paper's
+//   mixed-signal evaluation vehicle.
+// * make_synthetic_soc(): seeded generator for scaling studies.
+
+#include <cstdint>
+#include <vector>
+
+#include "msoc/soc/soc.hpp"
+
+namespace msoc::soc {
+
+/// The five analog cores A..E of paper Table 2.
+[[nodiscard]] std::vector<AnalogCore> table2_analog_cores();
+
+/// Total analog test time of the Table-2 cores (636,113 TAM cycles).
+[[nodiscard]] Cycles table2_total_cycles();
+
+/// Small digital ITC'02 benchmark (10 ISCAS cores).
+[[nodiscard]] Soc make_d695();
+
+/// Reconstructed large digital ITC'02 benchmark (32 modules).
+[[nodiscard]] Soc make_p93791();
+
+/// The paper's mixed-signal SOC: p93791 + analog cores A..E.
+[[nodiscard]] Soc make_p93791m();
+
+/// Parameters for the synthetic SOC generator.
+struct SyntheticSocParams {
+  int digital_cores = 16;
+  int analog_cores = 0;
+  std::uint64_t seed = 1;
+  int min_scan_chains = 0;
+  int max_scan_chains = 32;
+  int min_chain_length = 20;
+  int max_chain_length = 500;
+  long long min_patterns = 10;
+  long long max_patterns = 600;
+};
+
+/// Generates a random-but-reproducible SOC for scaling experiments.
+[[nodiscard]] Soc make_synthetic_soc(const SyntheticSocParams& params);
+
+}  // namespace msoc::soc

@@ -1,0 +1,55 @@
+#pragma once
+// A mixed-signal system-on-chip: digital cores plus wrapped analog cores.
+
+#include <string>
+#include <vector>
+
+#include "msoc/soc/core.hpp"
+
+namespace msoc::soc {
+
+class Soc {
+ public:
+  Soc() = default;
+  explicit Soc(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Adds a digital core (validated); returns its index.
+  std::size_t add_digital(DigitalCore core);
+
+  /// Adds an analog core (validated); returns its index.
+  std::size_t add_analog(AnalogCore core);
+
+  [[nodiscard]] const std::vector<DigitalCore>& digital_cores() const {
+    return digital_;
+  }
+  [[nodiscard]] const std::vector<AnalogCore>& analog_cores() const {
+    return analog_;
+  }
+
+  [[nodiscard]] std::size_t digital_count() const { return digital_.size(); }
+  [[nodiscard]] std::size_t analog_count() const { return analog_.size(); }
+  [[nodiscard]] bool is_mixed_signal() const { return !analog_.empty(); }
+
+  /// Looks up an analog core by name; throws InfeasibleError if absent.
+  [[nodiscard]] const AnalogCore& analog_by_name(
+      const std::string& name) const;
+
+  /// Sum of all analog core test times (the serial-schedule worst case).
+  [[nodiscard]] Cycles total_analog_cycles() const;
+
+  /// Total scan flip-flops across digital cores (reporting).
+  [[nodiscard]] long long total_scan_cells() const;
+
+  /// Total scan test patterns across digital cores (reporting).
+  [[nodiscard]] long long total_patterns() const;
+
+ private:
+  std::string name_;
+  std::vector<DigitalCore> digital_;
+  std::vector<AnalogCore> analog_;
+};
+
+}  // namespace msoc::soc

@@ -1,0 +1,48 @@
+#include "msoc/soc/soc.hpp"
+
+#include "msoc/common/error.hpp"
+
+namespace msoc::soc {
+
+std::size_t Soc::add_digital(DigitalCore core) {
+  core.validate();
+  digital_.push_back(std::move(core));
+  return digital_.size() - 1;
+}
+
+std::size_t Soc::add_analog(AnalogCore core) {
+  core.validate();
+  for (const AnalogCore& existing : analog_) {
+    require(existing.name != core.name,
+            "duplicate analog core name: " + core.name);
+  }
+  analog_.push_back(std::move(core));
+  return analog_.size() - 1;
+}
+
+const AnalogCore& Soc::analog_by_name(const std::string& name) const {
+  for (const AnalogCore& c : analog_) {
+    if (c.name == name) return c;
+  }
+  throw InfeasibleError("no analog core named " + name + " in SOC " + name_);
+}
+
+Cycles Soc::total_analog_cycles() const {
+  Cycles total = 0;
+  for (const AnalogCore& c : analog_) total += c.total_cycles();
+  return total;
+}
+
+long long Soc::total_scan_cells() const {
+  long long total = 0;
+  for (const DigitalCore& c : digital_) total += c.total_scan_cells();
+  return total;
+}
+
+long long Soc::total_patterns() const {
+  long long total = 0;
+  for (const DigitalCore& c : digital_) total += c.patterns;
+  return total;
+}
+
+}  // namespace msoc::soc

@@ -1,0 +1,43 @@
+#pragma once
+// Exact (branch-and-bound) TAM scheduling for small instances.
+//
+// The rectangle-packing heuristic has no optimality guarantee; this
+// module provides ground truth for small problems so tests and ablations
+// can certify the heuristic's gap.  It enumerates serial
+// schedule-generation orderings (every permutation) and width choices
+// with earliest-start placement — a scheme whose reachable set contains
+// an optimal schedule for regular objectives — pruned by the area lower
+// bound and the incumbent.
+//
+// Exponential by nature: guarded to small item counts and a node budget.
+
+#include <vector>
+
+#include "msoc/common/units.hpp"
+#include "msoc/soc/soc.hpp"
+
+namespace msoc::tam {
+
+/// One schedulable item: any of its (width, duration) alternatives.
+struct FlexibleItem {
+  std::vector<std::pair<int, Cycles>> options;
+};
+
+struct OptimalResult {
+  Cycles makespan = 0;
+  bool proven_optimal = false;  ///< False if the node budget ran out.
+  long long nodes_explored = 0;
+};
+
+/// Exact minimum makespan for `items` on `tam_width` wires.
+/// Throws InfeasibleError for more than `max_items` items (default 8).
+[[nodiscard]] OptimalResult optimal_makespan(
+    const std::vector<FlexibleItem>& items, int tam_width,
+    long long node_budget = 20'000'000, std::size_t max_items = 8);
+
+/// Builds flexible items from a digital-only SOC (each core's Pareto
+/// set at `tam_width`), for head-to-head comparison with schedule_soc.
+[[nodiscard]] std::vector<FlexibleItem> flexible_items_from_soc(
+    const soc::Soc& soc, int tam_width);
+
+}  // namespace msoc::tam

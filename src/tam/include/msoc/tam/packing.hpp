@@ -1,0 +1,84 @@
+#pragma once
+// Flexible-width TAM optimization via rectangle packing (after Iyengar,
+// Chakrabarty & Marinissen, VTS 2002), extended for wrapped analog cores.
+//
+// Digital cores are flexible rectangles: any Pareto-optimal (width, time)
+// point of their wrapper-design staircase.  Analog cores are rigid
+// rectangles: fixed width (their wrapper's TAM interface) and fixed time.
+// Analog cores sharing one wrapper must be tested serially — the packer
+// keeps their rectangles disjoint in time while still allowing digital
+// tests to run in the gaps.
+//
+// The packer is a deterministic greedy: items are placed in descending
+// area order; each item picks the (width, start) pair minimizing its
+// completion time over the current wire-usage profile.
+
+#include <string>
+#include <vector>
+
+#include "msoc/soc/soc.hpp"
+#include "msoc/tam/schedule.hpp"
+
+namespace msoc::tam {
+
+/// A wrapper-sharing arrangement: one inner vector per analog wrapper,
+/// listing the analog core names that share it.  Every analog core of the
+/// SOC must appear exactly once.
+using AnalogPartition = std::vector<std::vector<std::string>>;
+
+/// Puts every analog core in its own wrapper.
+[[nodiscard]] AnalogPartition singleton_partition(const soc::Soc& soc);
+
+/// Puts all analog cores in one shared wrapper (the T_max scenario that
+/// normalizes the paper's C_time).
+[[nodiscard]] AnalogPartition all_share_partition(const soc::Soc& soc);
+
+/// Placement orders the packer can race against each other.
+enum class PlacementOrder {
+  kAreaDescending,   ///< Digital and analog interleaved by area.
+  kDigitalFirst,     ///< All digital cores, then analog groups.
+  kAnalogFirst,      ///< All analog groups, then digital cores.
+  kDeclaration,      ///< SOC declaration order (ablation baseline).
+};
+
+struct PackingOptions {
+  /// Assign concrete wire ids by interval coloring (costs a sort).
+  bool assign_wires = true;
+  /// Race all placement orders and keep the shortest schedule (default).
+  /// When false, only `order` is used.
+  bool race_orders = true;
+  PlacementOrder order = PlacementOrder::kAreaDescending;
+  /// Consider every Pareto width (true) or only the widest feasible one
+  /// (false; ablation baseline approximating fixed-width TAM buses).
+  bool flexible_width = true;
+  /// Iterative-repair rounds after packing: the makespan-critical test is
+  /// ripped out and re-placed until no round improves.  0 disables
+  /// (ablation baseline).
+  int improvement_rounds = 64;
+  /// Schedule each analog specification test as its own rectangle at the
+  /// test's TAM width (true) instead of one rectangle per core at the
+  /// core's width (false, the paper's Table-2 granularity).
+  bool analog_per_test = false;
+};
+
+/// Schedules all tests of `soc` on a `tam_width`-wire TAM.
+/// `partition` groups the analog cores into shared wrappers.
+[[nodiscard]] Schedule schedule_soc(const soc::Soc& soc, int tam_width,
+                                    const AnalogPartition& partition,
+                                    const PackingOptions& options = {});
+
+/// Lower bound on digital test time at `tam_width`: every core at its
+/// fastest feasible width, perfectly packed (area bound) — and no core
+/// can beat its own single-test minimum.
+[[nodiscard]] Cycles digital_lower_bound(const soc::Soc& soc, int tam_width);
+
+/// Lower bound on analog test time under `partition`: the busiest shared
+/// wrapper (tests on one wrapper are serial).
+[[nodiscard]] Cycles analog_lower_bound(const soc::Soc& soc,
+                                        const AnalogPartition& partition);
+
+/// max(digital, analog) — no schedule under `partition` can beat this.
+[[nodiscard]] Cycles schedule_lower_bound(const soc::Soc& soc, int tam_width,
+                                          const AnalogPartition& partition);
+
+}  // namespace msoc::tam

@@ -1,0 +1,69 @@
+#pragma once
+// Test schedules on a flexible-width TAM.
+//
+// A schedule assigns every core test a start time, a duration and a TAM
+// wire allocation.  The flexible-width architecture treats the W wires as
+// a pool: a test needs `width` wires for its whole duration; validation
+// checks the instantaneous usage never exceeds W and that tests of cores
+// sharing one analog wrapper never overlap (the paper's serialization
+// constraint).
+
+#include <string>
+#include <vector>
+
+#include "msoc/common/units.hpp"
+
+namespace msoc::tam {
+
+enum class TestKind { kDigital, kAnalog };
+
+struct ScheduledTest {
+  TestKind kind = TestKind::kDigital;
+  std::string core_name;
+  std::string test_name;   ///< Analog spec test (e.g. "f_c"); empty for
+                           ///< a digital core's whole pattern set.
+  int wrapper_group = -1;  ///< Analog wrapper id; -1 for digital cores.
+  Cycles start = 0;
+  Cycles duration = 0;
+  int width = 0;
+  std::vector<int> wires;  ///< Assigned wire ids (size == width).
+
+  [[nodiscard]] Cycles end() const { return start + duration; }
+};
+
+struct Schedule {
+  int tam_width = 0;
+  std::vector<ScheduledTest> tests;
+
+  /// Completion time of the last test.
+  [[nodiscard]] Cycles makespan() const;
+
+  /// Idle wire-cycles: W * makespan - used wire-cycles.
+  [[nodiscard]] Cycles idle_area() const;
+
+  /// Fraction of the W x makespan rectangle carrying test data, in [0,1].
+  [[nodiscard]] double utilization() const;
+};
+
+/// Violation report from schedule validation.
+struct ScheduleViolation {
+  std::string message;
+};
+
+/// Checks capacity, wire-assignment consistency and analog wrapper
+/// serialization.  Returns all violations (empty == valid).
+[[nodiscard]] std::vector<ScheduleViolation> validate_schedule(
+    const Schedule& schedule);
+
+/// Throws LogicError when the schedule is invalid.
+void require_valid(const Schedule& schedule);
+
+/// Renders an ASCII Gantt chart (one row per test, time buckets scaled to
+/// `columns` characters) for reports and examples.
+[[nodiscard]] std::string render_gantt(const Schedule& schedule,
+                                       int columns = 72);
+
+/// Exports the schedule as CSV rows (core,kind,group,start,end,width).
+[[nodiscard]] std::string schedule_to_csv(const Schedule& schedule);
+
+}  // namespace msoc::tam

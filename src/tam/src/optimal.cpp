@@ -1,0 +1,189 @@
+#include "msoc/tam/optimal.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "msoc/common/error.hpp"
+#include "msoc/wrapper/wrapper_design.hpp"
+
+namespace msoc::tam {
+
+namespace {
+
+/// Small usage profile for the exact search (same semantics as the
+/// heuristic's, kept simple for clarity over speed).
+class Profile {
+ public:
+  explicit Profile(int capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] Cycles earliest_start(int width, Cycles duration) const {
+    Cycles candidate = 0;
+    while (true) {
+      const Cycles retry = first_conflict(candidate, width, duration);
+      if (retry == candidate) return candidate;
+      candidate = retry;
+    }
+  }
+
+  void add(Cycles start, Cycles duration, int width) {
+    delta_[start] += width;
+    delta_[start + duration] -= width;
+  }
+
+  void remove(Cycles start, Cycles duration, int width) {
+    if ((delta_[start] -= width) == 0) delta_.erase(start);
+    if ((delta_[start + duration] += width) == 0) {
+      delta_.erase(start + duration);
+    }
+  }
+
+ private:
+  /// Returns `start` when the window fits, else the next try point.
+  [[nodiscard]] Cycles first_conflict(Cycles start, int width,
+                                      Cycles duration) const {
+    long long usage = 0;
+    auto it = delta_.begin();
+    for (; it != delta_.end() && it->first <= start; ++it) {
+      usage += it->second;
+    }
+    auto advance_to_fit = [&](std::map<Cycles, long long>::const_iterator jt,
+                              long long u) {
+      for (; jt != delta_.end(); ++jt) {
+        u += jt->second;
+        if (u + width <= capacity_) return jt->first;
+      }
+      check_invariant(false, "usage never drops");
+      return Cycles{0};
+    };
+    if (usage + width > capacity_) return advance_to_fit(it, usage);
+    for (; it != delta_.end() && it->first < start + duration; ++it) {
+      usage += it->second;
+      if (usage + width > capacity_) {
+        return advance_to_fit(std::next(it), usage);
+      }
+    }
+    return start;
+  }
+
+  int capacity_;
+  std::map<Cycles, long long> delta_;
+};
+
+struct SearchState {
+  const std::vector<FlexibleItem>* items = nullptr;
+  int tam_width = 0;
+  long long node_budget = 0;
+  long long nodes = 0;
+  bool budget_exhausted = false;
+  Cycles best = 0;
+  Profile profile{1};
+  std::vector<bool> placed;
+  /// Min wire-area per item (for the remaining-area bound).
+  std::vector<Cycles> min_area;
+};
+
+void search(SearchState& state, std::size_t placed_count, Cycles makespan,
+            Cycles remaining_area) {
+  if (++state.nodes > state.node_budget) {
+    state.budget_exhausted = true;
+    return;
+  }
+  if (placed_count == state.items->size()) {
+    state.best = std::min(state.best, makespan);
+    return;
+  }
+  // Area bound: even perfect packing of the remaining items cannot beat
+  // remaining_area / W from time 0.
+  const Cycles area_bound =
+      (remaining_area + static_cast<Cycles>(state.tam_width) - 1) /
+      static_cast<Cycles>(state.tam_width);
+  if (std::max(makespan, area_bound) >= state.best) return;
+
+  for (std::size_t i = 0; i < state.items->size(); ++i) {
+    if (state.placed[i]) continue;
+    state.placed[i] = true;
+    for (const auto& [width, duration] : (*state.items)[i].options) {
+      const Cycles start = state.profile.earliest_start(width, duration);
+      const Cycles finish = start + duration;
+      if (std::max(makespan, finish) < state.best) {
+        state.profile.add(start, duration, width);
+        search(state, placed_count + 1, std::max(makespan, finish),
+               remaining_area - state.min_area[i]);
+        state.profile.remove(start, duration, width);
+      }
+      if (state.budget_exhausted) {
+        state.placed[i] = false;
+        return;
+      }
+    }
+    state.placed[i] = false;
+  }
+}
+
+}  // namespace
+
+OptimalResult optimal_makespan(const std::vector<FlexibleItem>& items,
+                               int tam_width, long long node_budget,
+                               std::size_t max_items) {
+  require(tam_width >= 1, "TAM width must be >= 1");
+  require(items.size() <= max_items,
+          "exact search limited to " + std::to_string(max_items) +
+              " items");
+  require(node_budget > 0, "node budget must be positive");
+
+  SearchState state;
+  state.items = &items;
+  state.tam_width = tam_width;
+  state.node_budget = node_budget;
+  state.profile = Profile(tam_width);
+  state.placed.assign(items.size(), false);
+
+  // Trivial incumbent: everything sequential at its fastest option.
+  Cycles sequential = 0;
+  Cycles total_area = 0;
+  state.min_area.reserve(items.size());
+  for (const FlexibleItem& item : items) {
+    require(!item.options.empty(), "item without width options");
+    Cycles fastest = 0;
+    Cycles min_area = 0;
+    for (const auto& [width, duration] : item.options) {
+      require(width >= 1 && width <= tam_width,
+              "item width outside [1, W]");
+      require(duration > 0, "item duration must be positive");
+      if (fastest == 0 || duration < fastest) fastest = duration;
+      const Cycles area = static_cast<Cycles>(width) * duration;
+      if (min_area == 0 || area < min_area) min_area = area;
+    }
+    sequential += fastest;
+    total_area += min_area;
+    state.min_area.push_back(min_area);
+  }
+  state.best = sequential + 1;
+
+  search(state, 0, 0, total_area);
+
+  OptimalResult result;
+  result.makespan = std::min(state.best, sequential);
+  result.proven_optimal = !state.budget_exhausted;
+  result.nodes_explored = state.nodes;
+  return result;
+}
+
+std::vector<FlexibleItem> flexible_items_from_soc(const soc::Soc& soc,
+                                                  int tam_width) {
+  require(soc.analog_count() == 0,
+          "exact comparison supports digital-only SOCs");
+  std::vector<FlexibleItem> items;
+  items.reserve(soc.digital_count());
+  for (const soc::DigitalCore& core : soc.digital_cores()) {
+    FlexibleItem item;
+    for (const wrapper::ParetoPoint& p :
+         wrapper::pareto_widths(core, tam_width)) {
+      item.options.emplace_back(p.width, p.time);
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+}  // namespace msoc::tam

@@ -1,0 +1,606 @@
+#include "msoc/tam/packing.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "msoc/common/error.hpp"
+#include "msoc/wrapper/wrapper_design.hpp"
+
+namespace msoc::tam {
+
+namespace {
+
+using Interval = std::pair<Cycles, Cycles>;
+
+/// Wire-usage profile over time: piecewise-constant usage, maintained as
+/// a sorted map from time to usage delta.
+class UsageProfile {
+ public:
+  explicit UsageProfile(int capacity) : capacity_(capacity) {}
+
+  /// True when usage stays <= capacity - width over [start, start+d) and
+  /// the window avoids all `blocked` intervals.  On failure *retry_at is
+  /// the earliest later time worth trying.
+  [[nodiscard]] bool window_free(Cycles start, int width, Cycles duration,
+                                 const std::vector<Interval>& blocked,
+                                 Cycles* retry_at) const {
+    for (const auto& [b, e] : blocked) {
+      if (start < e && b < start + duration) {
+        *retry_at = e;
+        return false;
+      }
+    }
+    long long usage = 0;
+    auto it = delta_.begin();
+    for (; it != delta_.end() && it->first <= start; ++it) {
+      usage += it->second;
+    }
+    if (usage + width > capacity_) {
+      *retry_at = next_drop(it, usage, width);
+      return false;
+    }
+    for (; it != delta_.end() && it->first < start + duration; ++it) {
+      usage += it->second;
+      if (usage + width > capacity_) {
+        auto jt = std::next(it);
+        long long u = usage;
+        *retry_at = next_drop(jt, u, width, it->first);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Earliest start >= `not_before` where the window is free.
+  [[nodiscard]] Cycles earliest_start(
+      int width, Cycles duration, Cycles not_before,
+      const std::vector<Interval>& blocked) const {
+    Cycles candidate = not_before;
+    while (true) {
+      Cycles retry = 0;
+      if (window_free(candidate, width, duration, blocked, &retry)) {
+        return candidate;
+      }
+      check_invariant(retry > candidate, "packer failed to advance");
+      candidate = retry;
+    }
+  }
+
+  void reserve(Cycles start, Cycles duration, int width) {
+    delta_[start] += width;
+    delta_[start + duration] -= width;
+  }
+
+ private:
+  /// First event at/after `it` where usage drops enough for `width`.
+  Cycles next_drop(std::map<Cycles, long long>::const_iterator it,
+                   long long usage, int width,
+                   Cycles fallback = 0) const {
+    Cycles last = fallback;
+    for (; it != delta_.end(); ++it) {
+      usage += it->second;
+      last = it->first;
+      if (usage + width <= capacity_) return it->first;
+    }
+    check_invariant(false, "TAM usage never drops below capacity");
+    return last;
+  }
+
+  int capacity_;
+  std::map<Cycles, long long> delta_;
+};
+
+struct DigitalItem {
+  const soc::DigitalCore* core = nullptr;
+  std::vector<wrapper::ParetoPoint> pareto;  ///< widths <= W, ascending.
+  Cycles area = 0;  ///< width*time at the widest feasible point.
+};
+
+/// One rigid analog rectangle: a whole core's test suite (per-core
+/// granularity, the default) or a single specification test (per-test
+/// granularity, an ablation mode).
+struct AnalogRect {
+  const soc::AnalogCore* core = nullptr;
+  std::string test_name;  ///< Empty at per-core granularity.
+  int width = 0;
+  Cycles duration = 0;
+};
+
+struct AnalogGroupItem {
+  int group_id = 0;
+  int width = 0;  ///< Wrapper hardware width: max over member rects.
+  std::vector<AnalogRect> rects;
+  Cycles total_cycles = 0;
+};
+
+/// One placement decision: chosen (start, width) for a rectangle.
+struct Placement {
+  Cycles start = 0;
+  int width = 0;
+  Cycles duration = 0;
+};
+
+/// Secondary placement criterion when the makespan increase ties.
+enum class WidthPreference { kNarrow, kWide };
+
+/// Picks the (start, width) pair minimizing (makespan increase, wire
+/// area, start); `widths` pairs each width with its duration.  For a
+/// fixed width the earliest feasible start is optimal under this cost,
+/// so only one candidate start per width needs to be examined.
+Placement choose_placement(const UsageProfile& profile,
+                           const std::vector<std::pair<int, Cycles>>& widths,
+                           const std::vector<Interval>& blocked,
+                           Cycles current_makespan,
+                           WidthPreference pref = WidthPreference::kNarrow) {
+  Placement best;
+  Cycles best_makespan = std::numeric_limits<Cycles>::max();
+
+  for (const auto& [width, duration] : widths) {
+    {
+      const Cycles s = profile.earliest_start(width, duration, 0, blocked);
+      const Cycles makespan =
+          std::max(current_makespan, s + duration);
+      const Cycles area = static_cast<Cycles>(width) * duration;
+      const Cycles best_area =
+          static_cast<Cycles>(best.width) * best.duration;
+      bool better = false;
+      if (best.width == 0 || makespan < best_makespan) {
+        better = true;
+      } else if (makespan == best_makespan) {
+        if (area != best_area) {
+          better = area < best_area;  // cheapest wire usage
+        } else if (s != best.start) {
+          better = s < best.start;
+        } else if (width != best.width) {
+          better = pref == WidthPreference::kNarrow ? width < best.width
+                                                    : width > best.width;
+        }
+      }
+      if (better) {
+        best = Placement{s, width, duration};
+        best_makespan = makespan;
+      }
+    }
+  }
+  check_invariant(best.width > 0, "no feasible placement found");
+  return best;
+}
+
+void assign_wires(Schedule& schedule) {
+  std::vector<ScheduledTest*> order;
+  order.reserve(schedule.tests.size());
+  for (ScheduledTest& t : schedule.tests) order.push_back(&t);
+  std::sort(order.begin(), order.end(),
+            [](const ScheduledTest* a, const ScheduledTest* b) {
+              if (a->start != b->start) return a->start < b->start;
+              return a->core_name < b->core_name;
+            });
+
+  // Min-heap of free wire ids; releases happen lazily via an end-time
+  // queue.  Capacity validity guarantees enough free wires at each start.
+  std::priority_queue<int, std::vector<int>, std::greater<>> free_wires;
+  for (int w = 0; w < schedule.tam_width; ++w) free_wires.push(w);
+  using Release = std::pair<Cycles, const ScheduledTest*>;
+  std::priority_queue<Release, std::vector<Release>, std::greater<>> active;
+
+  for (ScheduledTest* t : order) {
+    while (!active.empty() && active.top().first <= t->start) {
+      for (int w : active.top().second->wires) free_wires.push(w);
+      active.pop();
+    }
+    check_invariant(static_cast<int>(free_wires.size()) >= t->width,
+                    "interval coloring ran out of wires");
+    t->wires.clear();
+    for (int i = 0; i < t->width; ++i) {
+      t->wires.push_back(free_wires.top());
+      free_wires.pop();
+    }
+    active.emplace(t->end(), t);
+  }
+}
+
+struct PlacementRef {
+  bool is_analog = false;
+  std::size_t index = 0;
+  Cycles area = 0;
+};
+
+std::vector<PlacementRef> make_order(const std::vector<DigitalItem>& digital,
+                                     const std::vector<AnalogGroupItem>& groups,
+                                     PlacementOrder order) {
+  std::vector<PlacementRef> digital_refs;
+  for (std::size_t i = 0; i < digital.size(); ++i) {
+    digital_refs.push_back({false, i, digital[i].area});
+  }
+  std::vector<PlacementRef> analog_refs;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    // Rank analog chains by the timeline they occupy (serial length x
+    // TAM width): long skinny chains must start early or they stick out.
+    analog_refs.push_back(
+        {true, i,
+         static_cast<Cycles>(groups[i].width) * groups[i].total_cycles});
+  }
+  const auto by_area = [](const PlacementRef& a, const PlacementRef& b) {
+    return a.area > b.area;
+  };
+
+  std::vector<PlacementRef> out;
+  switch (order) {
+    case PlacementOrder::kAreaDescending:
+      out = digital_refs;
+      out.insert(out.end(), analog_refs.begin(), analog_refs.end());
+      std::stable_sort(out.begin(), out.end(), by_area);
+      break;
+    case PlacementOrder::kDigitalFirst:
+      std::stable_sort(digital_refs.begin(), digital_refs.end(), by_area);
+      std::stable_sort(analog_refs.begin(), analog_refs.end(), by_area);
+      out = digital_refs;
+      out.insert(out.end(), analog_refs.begin(), analog_refs.end());
+      break;
+    case PlacementOrder::kAnalogFirst:
+      std::stable_sort(digital_refs.begin(), digital_refs.end(), by_area);
+      std::stable_sort(analog_refs.begin(), analog_refs.end(), by_area);
+      out = analog_refs;
+      out.insert(out.end(), digital_refs.begin(), digital_refs.end());
+      break;
+    case PlacementOrder::kDeclaration:
+      out = digital_refs;
+      out.insert(out.end(), analog_refs.begin(), analog_refs.end());
+      break;
+  }
+  return out;
+}
+
+/// Iterative repair: rip out the K tests finishing last and re-place
+/// them (largest first, all widths, gap fill).  K escalates 1,2,4,8 when
+/// a round fails to improve; repair stops when even K=8 cannot help.
+void improve_schedule(Schedule& schedule,
+                      const std::vector<DigitalItem>& digital,
+                      int max_rounds) {
+  std::map<std::string, const DigitalItem*> digital_by_name;
+  for (const DigitalItem& d : digital) digital_by_name[d.core->name] = &d;
+
+  int victims = 1;
+  for (int round = 0; round < max_rounds; ++round) {
+    const Cycles makespan = schedule.makespan();
+
+    // Victims: the `victims` tests with the latest end times.
+    std::vector<std::size_t> order(schedule.tests.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&schedule](std::size_t a, std::size_t b) {
+                return schedule.tests[a].end() > schedule.tests[b].end();
+              });
+    const std::size_t k =
+        std::min<std::size_t>(static_cast<std::size_t>(victims),
+                              schedule.tests.size());
+    std::set<std::size_t> removed(order.begin(),
+                                  order.begin() + static_cast<long>(k));
+
+    // Profile of the surviving tests.
+    UsageProfile profile(schedule.tam_width);
+    Cycles rest_makespan = 0;
+    for (std::size_t i = 0; i < schedule.tests.size(); ++i) {
+      if (removed.count(i)) continue;
+      const ScheduledTest& t = schedule.tests[i];
+      profile.reserve(t.start, t.duration, t.width);
+      rest_makespan = std::max(rest_makespan, t.end());
+    }
+
+    // Re-place victims, largest wire-area first.
+    std::vector<std::size_t> victims_order(removed.begin(), removed.end());
+    std::sort(victims_order.begin(), victims_order.end(),
+              [&schedule](std::size_t a, std::size_t b) {
+                const ScheduledTest& ta = schedule.tests[a];
+                const ScheduledTest& tb = schedule.tests[b];
+                return static_cast<Cycles>(ta.width) * ta.duration >
+                       static_cast<Cycles>(tb.width) * tb.duration;
+              });
+
+    std::vector<ScheduledTest> replaced;
+    Cycles new_makespan = rest_makespan;
+    for (std::size_t idx : victims_order) {
+      const ScheduledTest& victim = schedule.tests[idx];
+      std::vector<std::pair<int, Cycles>> widths;
+      if (victim.kind == TestKind::kDigital) {
+        for (const wrapper::ParetoPoint& p :
+             digital_by_name.at(victim.core_name)->pareto) {
+          widths.emplace_back(p.width, p.time);
+        }
+      } else {
+        widths.emplace_back(victim.width, victim.duration);
+      }
+      // Serialization: block against the same wrapper group, including
+      // victims already re-placed in this round.
+      std::vector<Interval> group_busy;
+      if (victim.kind == TestKind::kAnalog) {
+        for (std::size_t i = 0; i < schedule.tests.size(); ++i) {
+          if (removed.count(i)) continue;
+          const ScheduledTest& t = schedule.tests[i];
+          if (t.kind == TestKind::kAnalog &&
+              t.wrapper_group == victim.wrapper_group) {
+            group_busy.emplace_back(t.start, t.end());
+          }
+        }
+        for (const ScheduledTest& t : replaced) {
+          if (t.kind == TestKind::kAnalog &&
+              t.wrapper_group == victim.wrapper_group) {
+            group_busy.emplace_back(t.start, t.end());
+          }
+        }
+      }
+      const Placement p =
+        choose_placement(profile, widths, group_busy, new_makespan);
+      profile.reserve(p.start, p.duration, p.width);
+      new_makespan = std::max(new_makespan, p.start + p.duration);
+      ScheduledTest t = victim;
+      t.start = p.start;
+      t.duration = p.duration;
+      t.width = p.width;
+      t.wires.clear();
+      replaced.push_back(std::move(t));
+    }
+
+    if (new_makespan < makespan) {
+      std::size_t r = 0;
+      for (std::size_t idx : victims_order) {
+        schedule.tests[idx] = replaced[r++];
+      }
+      victims = 1;  // restart gentle
+    } else {
+      if (victims >= 16) return;
+      victims *= 2;
+    }
+  }
+}
+
+/// Area/serialization lower bound used as the packing target: below this
+/// makespan every placement is "free", which steers the greedy toward
+/// wire-efficient widths instead of myopically minimizing each finish.
+Cycles packing_target(const std::vector<DigitalItem>& digital,
+                      const std::vector<AnalogGroupItem>& groups,
+                      int tam_width) {
+  Cycles area = 0;
+  Cycles longest = 0;
+  for (const DigitalItem& d : digital) {
+    Cycles best_area = 0;
+    for (const wrapper::ParetoPoint& p : d.pareto) {
+      const Cycles a = static_cast<Cycles>(p.width) * p.time;
+      if (best_area == 0 || a < best_area) best_area = a;
+    }
+    area += best_area;
+    longest = std::max(longest, d.pareto.back().time);
+  }
+  for (const AnalogGroupItem& g : groups) {
+    for (const AnalogRect& r : g.rects) {
+      area += static_cast<Cycles>(r.width) * r.duration;
+    }
+    longest = std::max(longest, g.total_cycles);  // serial chain
+  }
+  const Cycles area_bound =
+      (area + static_cast<Cycles>(tam_width) - 1) /
+      static_cast<Cycles>(tam_width);
+  return std::max(area_bound, longest);
+}
+
+Schedule pack_once(const std::vector<DigitalItem>& digital,
+                   const std::vector<AnalogGroupItem>& groups, int tam_width,
+                   PlacementOrder order, WidthPreference pref) {
+  UsageProfile profile(tam_width);
+  Schedule schedule;
+  schedule.tam_width = tam_width;
+  const Cycles target = packing_target(digital, groups, tam_width);
+  Cycles makespan = target;
+
+  for (const PlacementRef& ref : make_order(digital, groups, order)) {
+    if (!ref.is_analog) {
+      const DigitalItem& item = digital[ref.index];
+      std::vector<std::pair<int, Cycles>> widths;
+      widths.reserve(item.pareto.size());
+      for (const wrapper::ParetoPoint& p : item.pareto) {
+        widths.emplace_back(p.width, p.time);
+      }
+      const Placement p =
+          choose_placement(profile, widths, {}, makespan, pref);
+      profile.reserve(p.start, p.duration, p.width);
+      makespan = std::max(makespan, p.start + p.duration);
+      ScheduledTest t;
+      t.kind = TestKind::kDigital;
+      t.core_name = item.core->name;
+      t.start = p.start;
+      t.duration = p.duration;
+      t.width = p.width;
+      schedule.tests.push_back(std::move(t));
+    } else {
+      const AnalogGroupItem& item = groups[ref.index];
+      // Rectangles are placed one by one; `busy` enforces the paper's
+      // serialization constraint (one test at a time per wrapper) while
+      // letting digital tests and other wrappers use the gaps.
+      std::vector<Interval> busy;
+      for (const AnalogRect& rect : item.rects) {
+        const Placement p = choose_placement(
+            profile, {{rect.width, rect.duration}}, busy, makespan, pref);
+        profile.reserve(p.start, p.duration, p.width);
+        makespan = std::max(makespan, p.start + p.duration);
+        busy.emplace_back(p.start, p.start + p.duration);
+        ScheduledTest t;
+        t.kind = TestKind::kAnalog;
+        t.core_name = rect.core->name;
+        t.test_name = rect.test_name;
+        t.wrapper_group = item.group_id;
+        t.start = p.start;
+        t.duration = rect.duration;
+        t.width = rect.width;
+        schedule.tests.push_back(std::move(t));
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace
+
+AnalogPartition singleton_partition(const soc::Soc& soc) {
+  AnalogPartition p;
+  for (const soc::AnalogCore& c : soc.analog_cores()) {
+    p.push_back({c.name});
+  }
+  return p;
+}
+
+AnalogPartition all_share_partition(const soc::Soc& soc) {
+  AnalogPartition p;
+  if (soc.analog_count() == 0) return p;
+  p.emplace_back();
+  for (const soc::AnalogCore& c : soc.analog_cores()) {
+    p.front().push_back(c.name);
+  }
+  return p;
+}
+
+Schedule schedule_soc(const soc::Soc& soc, int tam_width,
+                      const AnalogPartition& partition,
+                      const PackingOptions& options) {
+  require(tam_width >= 1, "TAM width must be >= 1");
+
+  // --- Validate the partition covers each analog core exactly once. ---
+  std::set<std::string> seen;
+  for (const auto& group : partition) {
+    require(!group.empty(), "empty wrapper group in partition");
+    for (const std::string& name : group) {
+      (void)soc.analog_by_name(name);  // throws if unknown
+      require(seen.insert(name).second,
+              "analog core appears twice in partition: " + name);
+    }
+  }
+  require(seen.size() == soc.analog_count(),
+          "partition must cover every analog core exactly once");
+
+  // --- Build items. ---
+  std::vector<DigitalItem> digital;
+  for (const soc::DigitalCore& core : soc.digital_cores()) {
+    DigitalItem item;
+    item.core = &core;
+    item.pareto = wrapper::pareto_widths(core, tam_width);
+    if (!options.flexible_width) {
+      // Ablation: only the widest Pareto point is allowed.
+      item.pareto = {item.pareto.back()};
+    }
+    const wrapper::ParetoPoint& widest = item.pareto.back();
+    item.area = static_cast<Cycles>(widest.width) * widest.time;
+    digital.push_back(std::move(item));
+  }
+
+  std::vector<AnalogGroupItem> groups;
+  int group_id = 0;
+  for (const auto& group : partition) {
+    AnalogGroupItem item;
+    item.group_id = group_id++;
+    for (const std::string& name : group) {
+      const soc::AnalogCore& core = soc.analog_by_name(name);
+      if (options.analog_per_test) {
+        for (const soc::AnalogTestSpec& test : core.tests) {
+          item.rects.push_back(
+              AnalogRect{&core, test.name, test.tam_width, test.cycles});
+          item.total_cycles += test.cycles;
+        }
+      } else {
+        item.rects.push_back(
+            AnalogRect{&core, "", core.tam_width(), core.total_cycles()});
+        item.total_cycles += core.total_cycles();
+      }
+      item.width = std::max(item.width, core.tam_width());
+    }
+    require(item.width <= tam_width,
+            "analog wrapper needs more TAM wires than the SOC has");
+    // Longest rectangle first: the serial chain's spine is laid down
+    // before the short fillers.
+    std::sort(item.rects.begin(), item.rects.end(),
+              [](const AnalogRect& a, const AnalogRect& b) {
+                if (a.duration != b.duration) return a.duration > b.duration;
+                if (a.core->name != b.core->name) {
+                  return a.core->name < b.core->name;
+                }
+                return a.test_name < b.test_name;
+              });
+    groups.push_back(std::move(item));
+  }
+
+  // --- Pack (racing placement orders unless disabled). ---
+  std::vector<PlacementOrder> orders;
+  if (options.race_orders) {
+    orders = {PlacementOrder::kAreaDescending, PlacementOrder::kDigitalFirst,
+              PlacementOrder::kAnalogFirst};
+  } else {
+    orders = {options.order};
+  }
+
+  Schedule best;
+  bool have_best = false;
+  for (PlacementOrder order : orders) {
+    for (WidthPreference pref :
+         {WidthPreference::kNarrow, WidthPreference::kWide}) {
+      Schedule candidate =
+          pack_once(digital, groups, tam_width, order, pref);
+      if (options.improvement_rounds > 0) {
+        improve_schedule(candidate, digital, options.improvement_rounds);
+      }
+      if (!have_best || candidate.makespan() < best.makespan()) {
+        best = std::move(candidate);
+        have_best = true;
+      }
+      if (!options.race_orders) break;
+    }
+  }
+
+  if (options.assign_wires) assign_wires(best);
+  return best;
+}
+
+Cycles digital_lower_bound(const soc::Soc& soc, int tam_width) {
+  require(tam_width >= 1, "TAM width must be >= 1");
+  Cycles area = 0;
+  Cycles longest_single = 0;
+  for (const soc::DigitalCore& core : soc.digital_cores()) {
+    const std::vector<wrapper::ParetoPoint> pareto =
+        wrapper::pareto_widths(core, tam_width);
+    const wrapper::ParetoPoint& widest = pareto.back();
+    // Area bound uses the most wire-efficient point (smallest w*t).
+    Cycles best_area = 0;
+    for (const wrapper::ParetoPoint& p : pareto) {
+      const Cycles a = static_cast<Cycles>(p.width) * p.time;
+      if (best_area == 0 || a < best_area) best_area = a;
+    }
+    area += best_area;
+    longest_single = std::max(longest_single, widest.time);
+  }
+  const Cycles area_bound =
+      (area + static_cast<Cycles>(tam_width) - 1) /
+      static_cast<Cycles>(tam_width);
+  return std::max(area_bound, longest_single);
+}
+
+Cycles analog_lower_bound(const soc::Soc& soc,
+                          const AnalogPartition& partition) {
+  Cycles lb = 0;
+  for (const auto& group : partition) {
+    Cycles wrapper_usage = 0;
+    for (const std::string& name : group) {
+      wrapper_usage += soc.analog_by_name(name).total_cycles();
+    }
+    lb = std::max(lb, wrapper_usage);
+  }
+  return lb;
+}
+
+Cycles schedule_lower_bound(const soc::Soc& soc, int tam_width,
+                            const AnalogPartition& partition) {
+  return std::max(digital_lower_bound(soc, tam_width),
+                  analog_lower_bound(soc, partition));
+}
+
+}  // namespace msoc::tam

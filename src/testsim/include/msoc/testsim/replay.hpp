@@ -1,0 +1,47 @@
+#pragma once
+// Independent schedule replay.
+//
+// The packer and the analytic test-time formulas are cross-checked by a
+// simulator that re-derives every duration from first principles and
+// replays the schedule on a wire-occupancy model:
+//
+//  * digital tests: a pattern-by-pattern walk of the wrapper-chain
+//    pipeline (first shift-in, capture, overlapped shift-out/shift-in,
+//    final shift-out) — an independent derivation of
+//    T = (1 + max(si,so)) p + min(si,so);
+//  * analog tests: the wrapper timing model (framing x samples) and the
+//    Table-2 cycle counts;
+//  * wires: per-wire interval occupancy rebuilt from scratch.
+//
+// replay() returns a report; any mismatch against the schedule is an
+// error entry, so tests can assert report.clean().
+
+#include <string>
+#include <vector>
+
+#include "msoc/soc/soc.hpp"
+#include "msoc/tam/schedule.hpp"
+
+namespace msoc::testsim {
+
+struct ReplayReport {
+  std::vector<std::string> errors;
+  Cycles simulated_makespan = 0;
+  Cycles total_wire_cycles = 0;   ///< Sum of width x duration replayed.
+  int digital_tests = 0;
+  int analog_tests = 0;
+
+  [[nodiscard]] bool clean() const { return errors.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Pattern-by-pattern wrapper-chain pipeline walk (independent of the
+/// closed-form used by the wrapper library).
+[[nodiscard]] Cycles simulate_scan_test(long long scan_in, long long scan_out,
+                                        long long patterns);
+
+/// Replays `schedule` against `soc` and reports every inconsistency.
+[[nodiscard]] ReplayReport replay(const soc::Soc& soc,
+                                  const tam::Schedule& schedule);
+
+}  // namespace msoc::testsim

@@ -1,0 +1,83 @@
+#pragma once
+// Bit-accurate test-application simulation through a digital core's
+// wrapper chains.
+//
+// The replay layer cross-checks *cycle counts*; this simulator checks the
+// *data path*: patterns are shifted bit-by-bit through the wrapper-chain
+// structure produced by design_wrapper (input cells -> internal scan
+// chains -> output cells), a capture cycle latches the core's response,
+// and responses are shifted out overlapped with the next pattern — the
+// exact pipeline behind T = (1 + max(si,so)) p + min(si,so).
+//
+// The core's combinational behaviour is injectable (CaptureModel) so
+// tests can use a transparent function and verify end-to-end bit
+// transport: what goes in at the TAM must come out where the wrapper
+// chain structure says it must.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "msoc/common/units.hpp"
+#include "msoc/soc/core.hpp"
+#include "msoc/wrapper/wrapper_design.hpp"
+
+namespace msoc::testsim {
+
+/// Bit state of a core under test, as the capture step sees it.
+struct CaptureView {
+  std::vector<bool> inputs;      ///< Functional inputs (wrapper in-cells).
+  std::vector<bool> scan_state;  ///< All internal scan cells, chain order.
+};
+
+/// Response produced by the core in one capture cycle.
+struct CaptureResult {
+  std::vector<bool> outputs;     ///< Functional outputs (out-cells).
+  std::vector<bool> scan_state;  ///< New scan cell contents.
+};
+
+/// Combinational core behaviour for simulation purposes.
+using CaptureModel = std::function<CaptureResult(const CaptureView&)>;
+
+/// A capture model that copies inputs to outputs (zero-padded/truncated)
+/// and leaves scan state unchanged — transparent transport, the identity
+/// check used by the data-path tests.
+[[nodiscard]] CaptureModel transparent_capture();
+
+/// A capture model that XORs each scan cell with its left neighbour and
+/// drives outputs from the first scan cells: a cheap, deterministic
+/// stand-in for real combinational logic.
+[[nodiscard]] CaptureModel xor_network_capture();
+
+/// One test pattern as applied through the TAM: per wrapper chain, the
+/// scan-in bit stream (length = that chain's scan-in length).
+struct WrapperPattern {
+  std::vector<std::vector<bool>> per_chain_stimulus;
+};
+
+/// Response read back: per wrapper chain, the scan-out stream.
+struct WrapperResponse {
+  std::vector<std::vector<bool>> per_chain_response;
+};
+
+/// Generates `count` deterministic pseudo-random patterns shaped for
+/// `design` (seeded; reproducible).
+[[nodiscard]] std::vector<WrapperPattern> random_patterns(
+    const wrapper::WrapperDesign& design, int count, std::uint64_t seed);
+
+/// Result of a full test application.
+struct ScanSimResult {
+  std::vector<WrapperResponse> responses;  ///< One per applied pattern.
+  Cycles cycles_used = 0;                  ///< Total TAM clock cycles.
+};
+
+/// Simulates applying `patterns` to `core` through `design`, using
+/// `model` as the combinational behaviour.  Shift-out of pattern k
+/// overlaps shift-in of pattern k+1 (per-chain, with the longer of the
+/// two lengths governing), matching the analytic timing model, which is
+/// asserted internally.
+[[nodiscard]] ScanSimResult apply_patterns(
+    const soc::DigitalCore& core, const wrapper::WrapperDesign& design,
+    const std::vector<WrapperPattern>& patterns, const CaptureModel& model);
+
+}  // namespace msoc::testsim

@@ -1,0 +1,193 @@
+#include "msoc/testsim/replay.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "msoc/wrapper/wrapper_design.hpp"
+
+namespace msoc::testsim {
+
+std::string ReplayReport::summary() const {
+  std::ostringstream os;
+  os << "replay: " << digital_tests << " digital + " << analog_tests
+     << " analog tests, makespan " << simulated_makespan << " cycles, "
+     << total_wire_cycles << " wire-cycles, "
+     << (clean() ? "no violations" : std::to_string(errors.size()) +
+                                         " violation(s)");
+  return os.str();
+}
+
+Cycles simulate_scan_test(long long scan_in, long long scan_out,
+                          long long patterns) {
+  if (patterns <= 0) return 0;
+  Cycles t = 0;
+  // First pattern shifts into empty wrapper chains.
+  t += static_cast<Cycles>(scan_in);
+  for (long long p = 0; p < patterns; ++p) {
+    t += 1;  // capture cycle
+    if (p + 1 < patterns) {
+      // Next pattern shifts in while this response shifts out.
+      t += static_cast<Cycles>(std::max(scan_in, scan_out));
+    } else {
+      // Last response drains alone.
+      t += static_cast<Cycles>(scan_out);
+    }
+  }
+  return t;
+}
+
+ReplayReport replay(const soc::Soc& soc, const tam::Schedule& schedule) {
+  ReplayReport report;
+  const auto fail = [&report](const std::string& message) {
+    report.errors.push_back(message);
+  };
+
+  // Index cores by name.
+  std::map<std::string, const soc::DigitalCore*> digital;
+  for (const soc::DigitalCore& c : soc.digital_cores()) digital[c.name] = &c;
+  std::map<std::string, const soc::AnalogCore*> analog;
+  for (const soc::AnalogCore& c : soc.analog_cores()) analog[c.name] = &c;
+
+  // Every digital core and every analog specification test must be
+  // scheduled exactly once.
+  std::map<std::string, int> seen;
+  for (const tam::ScheduledTest& t : schedule.tests) {
+    seen[t.core_name + (t.test_name.empty() ? "" : "." + t.test_name)]++;
+  }
+  for (const auto& [name, core] : digital) {
+    (void)core;
+    if (seen[name] != 1) fail("digital core scheduled " +
+                              std::to_string(seen[name]) + "x: " + name);
+  }
+  for (const auto& [name, core] : analog) {
+    // Per-core granularity: one entry with an empty test name covers the
+    // whole suite.  Per-test granularity: one entry per Table-2 test.
+    if (seen.count(name) != 0) {
+      if (seen[name] != 1) {
+        fail("analog core scheduled " + std::to_string(seen[name]) + "x: " +
+             name);
+      }
+      for (const soc::AnalogTestSpec& test : core->tests) {
+        if (seen.count(name + "." + test.name) != 0) {
+          fail("analog core " + name +
+               " scheduled both whole-suite and per-test");
+        }
+      }
+      continue;
+    }
+    for (const soc::AnalogTestSpec& test : core->tests) {
+      const std::string key = name + "." + test.name;
+      if (seen[key] != 1) fail("analog test scheduled " +
+                               std::to_string(seen[key]) + "x: " + key);
+    }
+  }
+
+  // Per-wire occupancy rebuilt from scratch.
+  std::map<int, std::vector<std::pair<Cycles, Cycles>>> wire_busy;
+
+  // Analog wrapper groups for serialization re-check.
+  std::map<int, std::vector<std::pair<Cycles, Cycles>>> group_busy;
+
+  for (const tam::ScheduledTest& t : schedule.tests) {
+    report.simulated_makespan =
+        std::max(report.simulated_makespan, t.end());
+    report.total_wire_cycles +=
+        static_cast<Cycles>(t.width) * t.duration;
+
+    if (t.kind == tam::TestKind::kDigital) {
+      ++report.digital_tests;
+      const auto it = digital.find(t.core_name);
+      if (it == digital.end()) {
+        fail("schedule references unknown digital core " + t.core_name);
+        continue;
+      }
+      // Independent duration derivation.
+      const wrapper::WrapperDesign design =
+          wrapper::design_wrapper(*it->second, t.width);
+      const Cycles expected = simulate_scan_test(
+          design.scan_in, design.scan_out, it->second->patterns);
+      if (expected != t.duration) {
+        std::ostringstream os;
+        os << "digital duration mismatch for " << t.core_name << " at w="
+           << t.width << ": schedule says " << t.duration
+           << ", pipeline replay says " << expected;
+        fail(os.str());
+      }
+    } else {
+      ++report.analog_tests;
+      const auto it = analog.find(t.core_name);
+      if (it == analog.end()) {
+        fail("schedule references unknown analog core " + t.core_name);
+        continue;
+      }
+      Cycles expected = 0;
+      int required_width = 0;
+      if (t.test_name.empty()) {
+        // Whole-suite rectangle at the core's TAM width.
+        expected = it->second->total_cycles();
+        required_width = it->second->tam_width();
+      } else {
+        const soc::AnalogTestSpec* spec = nullptr;
+        for (const soc::AnalogTestSpec& test : it->second->tests) {
+          if (test.name == t.test_name) {
+            spec = &test;
+            break;
+          }
+        }
+        if (spec == nullptr) {
+          fail("schedule references unknown analog test " + t.core_name +
+               "." + t.test_name);
+          continue;
+        }
+        expected = spec->cycles;
+        required_width = spec->tam_width;
+      }
+      if (expected != t.duration) {
+        std::ostringstream os;
+        os << "analog duration mismatch for " << t.core_name
+           << (t.test_name.empty() ? "" : "." + t.test_name)
+           << ": schedule says " << t.duration << ", Table-2 says "
+           << expected;
+        fail(os.str());
+      }
+      if (t.width < required_width) {
+        fail("analog test narrower than its Table-2 requirement: " +
+             t.core_name +
+             (t.test_name.empty() ? "" : "." + t.test_name));
+      }
+      if (t.wrapper_group >= 0) {
+        group_busy[t.wrapper_group].emplace_back(t.start, t.end());
+      }
+    }
+
+    for (int wire : t.wires) {
+      wire_busy[wire].emplace_back(t.start, t.end());
+    }
+    if (t.wires.empty() && t.width > 0) {
+      fail("test has no wire assignment: " + t.core_name);
+    }
+  }
+
+  const auto check_intervals =
+      [&fail](std::map<int, std::vector<std::pair<Cycles, Cycles>>>& m,
+              const std::string& what) {
+        for (auto& [key, intervals] : m) {
+          std::sort(intervals.begin(), intervals.end());
+          for (std::size_t i = 1; i < intervals.size(); ++i) {
+            if (intervals[i].first < intervals[i - 1].second) {
+              std::ostringstream os;
+              os << what << ' ' << key << " double-booked at cycle "
+                 << intervals[i].first;
+              fail(os.str());
+            }
+          }
+        }
+      };
+  check_intervals(wire_busy, "wire");
+  check_intervals(group_busy, "analog wrapper");
+
+  return report;
+}
+
+}  // namespace msoc::testsim

@@ -1,0 +1,241 @@
+#include "msoc/testsim/scan_sim.hpp"
+
+#include <algorithm>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/rng.hpp"
+#include "msoc/testsim/replay.hpp"
+
+namespace msoc::testsim {
+
+namespace {
+
+/// One wrapper chain as a serial shift register:
+/// TAM-in -> [input cells][internal scan cells][output cells] -> TAM-out.
+struct ChainRegister {
+  int input_cells = 0;
+  int scan_cells = 0;
+  int output_cells = 0;
+  std::vector<bool> bits;  ///< Position 0 = nearest TAM-in.
+
+  [[nodiscard]] int length() const {
+    return input_cells + scan_cells + output_cells;
+  }
+  [[nodiscard]] long long scan_in_length() const {
+    return input_cells + scan_cells;
+  }
+  [[nodiscard]] long long scan_out_length() const {
+    return scan_cells + output_cells;
+  }
+
+  /// One shift cycle; returns the bit that left at TAM-out.
+  bool shift(bool in_bit) {
+    const bool out = bits.empty() ? false : bits.back();
+    for (std::size_t i = bits.size(); i-- > 1;) bits[i] = bits[i - 1];
+    if (!bits.empty()) bits[0] = in_bit;
+    return out;
+  }
+};
+
+std::vector<ChainRegister> build_chains(
+    const soc::DigitalCore& core, const wrapper::WrapperDesign& design) {
+  std::vector<ChainRegister> chains;
+  chains.reserve(design.chains.size());
+  for (const wrapper::WrapperChain& wc : design.chains) {
+    ChainRegister reg;
+    reg.input_cells = wc.input_cells;
+    reg.output_cells = wc.output_cells;
+    long long scan = 0;
+    for (int id : wc.scan_chain_ids) {
+      scan += core.scan_chain_lengths[static_cast<std::size_t>(id)];
+    }
+    reg.scan_cells = static_cast<int>(scan);
+    reg.bits.assign(static_cast<std::size_t>(reg.length()), false);
+    chains.push_back(std::move(reg));
+  }
+  return chains;
+}
+
+CaptureView collect_view(const std::vector<ChainRegister>& chains) {
+  CaptureView view;
+  for (const ChainRegister& c : chains) {
+    for (int i = 0; i < c.input_cells; ++i) {
+      view.inputs.push_back(c.bits[static_cast<std::size_t>(i)]);
+    }
+  }
+  for (const ChainRegister& c : chains) {
+    for (int i = 0; i < c.scan_cells; ++i) {
+      view.scan_state.push_back(
+          c.bits[static_cast<std::size_t>(c.input_cells + i)]);
+    }
+  }
+  return view;
+}
+
+void apply_capture(std::vector<ChainRegister>& chains,
+                   const CaptureResult& result) {
+  std::size_t out_idx = 0;
+  std::size_t scan_idx = 0;
+  for (ChainRegister& c : chains) {
+    for (int i = 0; i < c.scan_cells; ++i) {
+      const bool bit = scan_idx < result.scan_state.size()
+                           ? result.scan_state[scan_idx]
+                           : false;
+      c.bits[static_cast<std::size_t>(c.input_cells + i)] = bit;
+      ++scan_idx;
+    }
+    for (int i = 0; i < c.output_cells; ++i) {
+      const bool bit =
+          out_idx < result.outputs.size() ? result.outputs[out_idx] : false;
+      c.bits[static_cast<std::size_t>(c.input_cells + c.scan_cells + i)] =
+          bit;
+      ++out_idx;
+    }
+  }
+}
+
+}  // namespace
+
+CaptureModel transparent_capture() {
+  return [](const CaptureView& view) {
+    CaptureResult result;
+    result.outputs = view.inputs;
+    result.scan_state = view.scan_state;
+    return result;
+  };
+}
+
+CaptureModel xor_network_capture() {
+  return [](const CaptureView& view) {
+    CaptureResult result;
+    result.scan_state.reserve(view.scan_state.size());
+    bool prev = !view.inputs.empty() && view.inputs.front();
+    for (bool bit : view.scan_state) {
+      result.scan_state.push_back(bit ^ prev);
+      prev = bit;
+    }
+    // Outputs fold inputs and the first scan cells together.
+    const std::size_t n = view.inputs.size();
+    result.outputs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool scan_bit =
+          i < view.scan_state.size() && view.scan_state[i];
+      result.outputs.push_back(view.inputs[i] ^ scan_bit);
+    }
+    return result;
+  };
+}
+
+std::vector<WrapperPattern> random_patterns(
+    const wrapper::WrapperDesign& design, int count, std::uint64_t seed) {
+  require(count >= 0, "pattern count must be non-negative");
+  Rng rng(seed);
+  std::vector<WrapperPattern> patterns;
+  patterns.reserve(static_cast<std::size_t>(count));
+  for (int p = 0; p < count; ++p) {
+    WrapperPattern pattern;
+    for (const wrapper::WrapperChain& chain : design.chains) {
+      std::vector<bool> stimulus;
+      stimulus.reserve(static_cast<std::size_t>(chain.scan_in_length()));
+      for (long long i = 0; i < chain.scan_in_length(); ++i) {
+        stimulus.push_back(rng.uniform01() < 0.5);
+      }
+      pattern.per_chain_stimulus.push_back(std::move(stimulus));
+    }
+    patterns.push_back(std::move(pattern));
+  }
+  return patterns;
+}
+
+ScanSimResult apply_patterns(const soc::DigitalCore& core,
+                             const wrapper::WrapperDesign& design,
+                             const std::vector<WrapperPattern>& patterns,
+                             const CaptureModel& model) {
+  require(static_cast<bool>(model), "capture model must be callable");
+  std::vector<ChainRegister> chains = build_chains(core, design);
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    check_invariant(chains[c].scan_in_length() ==
+                        design.chains[c].scan_in_length(),
+                    "chain structure mismatch vs wrapper design");
+  }
+
+  const long long si = design.scan_in;
+  const long long so = design.scan_out;
+
+  ScanSimResult result;
+
+  // Shift phase helper: shifts `cycles` TAM clocks; per chain, stimulus
+  // bits are front-padded so the last stimulus bit lands exactly at the
+  // chain head on the final cycle; emitted bits are recorded.
+  const auto shift_phase =
+      [&](long long cycles, const WrapperPattern* stimulus,
+          std::vector<std::vector<bool>>* emitted) {
+        for (std::size_t c = 0; c < chains.size(); ++c) {
+          ChainRegister& chain = chains[c];
+          const long long pad =
+              cycles - (stimulus != nullptr
+                            ? static_cast<long long>(
+                                  stimulus->per_chain_stimulus[c].size())
+                            : 0);
+          check_invariant(pad >= 0, "phase shorter than stimulus");
+          for (long long cycle = 0; cycle < cycles; ++cycle) {
+            bool in_bit = false;
+            if (stimulus != nullptr && cycle >= pad) {
+              // Stimulus is listed deepest-cell-first; the deepest bit
+              // must enter first.
+              in_bit = stimulus->per_chain_stimulus[c]
+                           [static_cast<std::size_t>(cycle - pad)];
+            }
+            const bool out_bit = chain.shift(in_bit);
+            if (emitted != nullptr &&
+                cycle < chain.scan_out_length()) {
+              (*emitted)[c].push_back(out_bit);
+            }
+          }
+        }
+        result.cycles_used += static_cast<Cycles>(cycles);
+      };
+
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    const WrapperPattern& pattern = patterns[p];
+    require(pattern.per_chain_stimulus.size() == chains.size(),
+            "pattern chain count mismatch");
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+      require(static_cast<long long>(
+                  pattern.per_chain_stimulus[c].size()) ==
+                  chains[c].scan_in_length(),
+              "stimulus length mismatch on a wrapper chain");
+    }
+
+    if (p == 0) {
+      // First pattern loads into empty chains: si cycles, nothing to read.
+      shift_phase(si, &pattern, nullptr);
+    }
+
+    // Capture.
+    const CaptureView view = collect_view(chains);
+    const CaptureResult captured = model(view);
+    apply_capture(chains, captured);
+    result.cycles_used += 1;
+
+    // Drain this response; overlap with the next pattern's load if any.
+    WrapperResponse response;
+    response.per_chain_response.assign(chains.size(), {});
+    if (p + 1 < patterns.size()) {
+      shift_phase(std::max(si, so), &patterns[p + 1],
+                  &response.per_chain_response);
+    } else {
+      shift_phase(so, nullptr, &response.per_chain_response);
+    }
+    result.responses.push_back(std::move(response));
+  }
+
+  // Cross-check against the analytic/pipeline timing model.
+  const Cycles expected = simulate_scan_test(
+      si, so, static_cast<long long>(patterns.size()));
+  check_invariant(result.cycles_used == expected,
+                  "bit-level simulation disagrees with the timing model");
+  return result;
+}
+
+}  // namespace msoc::testsim

@@ -1,0 +1,64 @@
+#pragma once
+// Digital core test-wrapper design (the Design_wrapper algorithm of
+// Iyengar, Chakrabarty & Marinissen, JETTA 2002).
+//
+// Given a core and a TAM width w, the algorithm partitions the core's
+// scan chains and functional I/O wrapper cells into w wrapper chains,
+// minimizing the longer of the scan-in/scan-out paths.  Scan chains are
+// assigned Best-Fit-Decreasing; input cells then pad the shortest
+// scan-in chains and output cells the shortest scan-out chains.
+//
+// Test application time for p patterns follows the standard model:
+//   T(w) = (1 + max(si, so)) * p + min(si, so).
+
+#include <vector>
+
+#include "msoc/common/units.hpp"
+#include "msoc/soc/core.hpp"
+
+namespace msoc::wrapper {
+
+/// One wrapper chain: the scan chains concatenated into it plus the
+/// functional cells padded onto its ends.
+struct WrapperChain {
+  std::vector<int> scan_chain_ids;  ///< Indices into the core's chain list.
+  long long scan_length = 0;        ///< Total internal scan cells.
+  int input_cells = 0;
+  int output_cells = 0;
+
+  [[nodiscard]] long long scan_in_length() const {
+    return scan_length + input_cells;
+  }
+  [[nodiscard]] long long scan_out_length() const {
+    return scan_length + output_cells;
+  }
+};
+
+/// Result of wrapper design at one TAM width.
+struct WrapperDesign {
+  int width = 0;               ///< TAM wires used (= wrapper chain count).
+  std::vector<WrapperChain> chains;
+  long long scan_in = 0;       ///< max over chains of scan-in length.
+  long long scan_out = 0;      ///< max over chains of scan-out length.
+
+  /// Test application time in TAM clock cycles for `patterns` patterns.
+  [[nodiscard]] Cycles test_time(long long patterns) const;
+};
+
+/// Designs the wrapper for `core` at TAM width `width` (>= 1).
+[[nodiscard]] WrapperDesign design_wrapper(const soc::DigitalCore& core,
+                                           int width);
+
+/// A Pareto-optimal (width, test time) point of a core's staircase.
+struct ParetoPoint {
+  int width = 0;
+  Cycles time = 0;
+};
+
+/// Computes the Pareto-optimal widths in [1, max_width]: widths where the
+/// test time strictly decreases relative to every smaller width.  The
+/// returned list is ascending in width, strictly descending in time.
+[[nodiscard]] std::vector<ParetoPoint> pareto_widths(
+    const soc::DigitalCore& core, int max_width);
+
+}  // namespace msoc::wrapper

@@ -1,0 +1,92 @@
+#include "msoc/wrapper/wrapper_design.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "msoc/common/error.hpp"
+
+namespace msoc::wrapper {
+
+Cycles WrapperDesign::test_time(long long patterns) const {
+  if (patterns <= 0) return 0;
+  const long long longer = std::max(scan_in, scan_out);
+  const long long shorter = std::min(scan_in, scan_out);
+  // Standard wrapper-chain timing: each pattern shifts in while the
+  // previous response shifts out (pipelined), plus one capture cycle per
+  // pattern and a final response shift-out.
+  return static_cast<Cycles>((1 + longer) * patterns + shorter);
+}
+
+WrapperDesign design_wrapper(const soc::DigitalCore& core, int width) {
+  require(width >= 1, "wrapper width must be >= 1");
+  core.validate();
+
+  WrapperDesign design;
+  design.width = width;
+  design.chains.assign(static_cast<std::size_t>(width), WrapperChain{});
+
+  // --- Step 1: scan chains, Best Fit Decreasing on chain length. ---
+  std::vector<int> order(core.scan_chain_lengths.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&core](int a, int b) {
+    const int la = core.scan_chain_lengths[static_cast<std::size_t>(a)];
+    const int lb = core.scan_chain_lengths[static_cast<std::size_t>(b)];
+    if (la != lb) return la > lb;
+    return a < b;  // deterministic tie-break
+  });
+  for (int id : order) {
+    auto shortest = std::min_element(
+        design.chains.begin(), design.chains.end(),
+        [](const WrapperChain& a, const WrapperChain& b) {
+          return a.scan_length < b.scan_length;
+        });
+    shortest->scan_chain_ids.push_back(id);
+    shortest->scan_length +=
+        core.scan_chain_lengths[static_cast<std::size_t>(id)];
+  }
+
+  // --- Step 2: functional cells pad the shortest chains. ---
+  // Bidirectional terminals contribute a cell to both directions.
+  const int total_inputs = core.inputs + core.bidirs;
+  const int total_outputs = core.outputs + core.bidirs;
+  for (int i = 0; i < total_inputs; ++i) {
+    auto shortest = std::min_element(
+        design.chains.begin(), design.chains.end(),
+        [](const WrapperChain& a, const WrapperChain& b) {
+          return a.scan_in_length() < b.scan_in_length();
+        });
+    ++shortest->input_cells;
+  }
+  for (int i = 0; i < total_outputs; ++i) {
+    auto shortest = std::min_element(
+        design.chains.begin(), design.chains.end(),
+        [](const WrapperChain& a, const WrapperChain& b) {
+          return a.scan_out_length() < b.scan_out_length();
+        });
+    ++shortest->output_cells;
+  }
+
+  for (const WrapperChain& c : design.chains) {
+    design.scan_in = std::max(design.scan_in, c.scan_in_length());
+    design.scan_out = std::max(design.scan_out, c.scan_out_length());
+  }
+  return design;
+}
+
+std::vector<ParetoPoint> pareto_widths(const soc::DigitalCore& core,
+                                       int max_width) {
+  require(max_width >= 1, "max width must be >= 1");
+  std::vector<ParetoPoint> points;
+  Cycles best = 0;
+  for (int w = 1; w <= max_width; ++w) {
+    const WrapperDesign d = design_wrapper(core, w);
+    const Cycles t = d.test_time(core.patterns);
+    if (points.empty() || t < best) {
+      points.push_back(ParetoPoint{w, t});
+      best = t;
+    }
+  }
+  return points;
+}
+
+}  // namespace msoc::wrapper

@@ -1,0 +1,153 @@
+#include "msoc/analog/analog_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msoc/common/error.hpp"
+#include "msoc/dsp/goertzel.hpp"
+#include "msoc/dsp/multitone.hpp"
+
+namespace msoc::analog {
+namespace {
+
+dsp::Signal tone(double freq, double amplitude, double fs,
+                 std::size_t n = 8192) {
+  dsp::MultitoneSpec spec;
+  spec.tones = {dsp::Tone{Hertz(freq), amplitude, 0.0}};
+  return dsp::generate_multitone(spec, Hertz(fs), n);
+}
+
+TEST(FilterCore, PassbandAndStopband) {
+  FilterCore::Params p;
+  p.order = 2;
+  p.cutoff = Hertz(61e3);
+  FilterCore core(p);
+  const double fs = 13.6e6;
+  const dsp::Signal low = core.process(tone(5e3, 1.0, fs));
+  const dsp::Signal high = core.process(tone(610e3, 1.0, fs));
+  EXPECT_NEAR(dsp::goertzel(low, Hertz(5e3)).amplitude, 1.0, 0.02);
+  EXPECT_LT(dsp::goertzel(high, Hertz(610e3)).amplitude, 0.02);
+}
+
+TEST(FilterCore, GainApplied) {
+  FilterCore::Params p;
+  p.cutoff = Hertz(61e3);
+  p.passband_gain = 2.0;
+  FilterCore core(p);
+  const dsp::Signal y = core.process(tone(5e3, 0.4, 13.6e6));
+  EXPECT_NEAR(dsp::goertzel(y, Hertz(5e3)).amplitude, 0.8, 0.02);
+}
+
+TEST(FilterCore, DcOffsetVisible) {
+  FilterCore::Params p;
+  p.cutoff = Hertz(61e3);
+  p.dc_offset_v = 0.25;
+  FilterCore core(p);
+  const dsp::Signal y = core.process(tone(5e3, 0.4, 13.6e6));
+  EXPECT_NEAR(y.mean(), 0.25, 0.01);
+}
+
+TEST(FilterCore, CubicNonlinearityMakesDistortion) {
+  FilterCore::Params p;
+  p.cutoff = Hertz(200e3);
+  p.cubic_coefficient = 0.2;
+  FilterCore core(p);
+  const dsp::Signal y = core.process(tone(5e3, 1.0, 13.6e6));
+  // Third harmonic of a cubic: (c/4)*A^3 at 3f.
+  EXPECT_GT(dsp::goertzel(y, Hertz(15e3)).amplitude, 0.02);
+}
+
+TEST(FilterCore, RejectsUnderSampledStimulus) {
+  FilterCore::Params p;
+  p.cutoff = Hertz(61e3);
+  FilterCore core(p);
+  EXPECT_THROW(core.process(tone(5e3, 1.0, 100e3)), InfeasibleError);
+}
+
+TEST(FilterCore, ValidatesParams) {
+  FilterCore::Params p;
+  p.order = 0;
+  p.cutoff = Hertz(1e3);
+  EXPECT_THROW(FilterCore{p}, InfeasibleError);
+  p.order = 2;
+  p.cutoff = Hertz(0.0);
+  EXPECT_THROW(FilterCore{p}, InfeasibleError);
+}
+
+TEST(AmplifierCore, LinearGainForSlowSignals) {
+  AmplifierCore::Params p;
+  p.gain = 2.0;
+  p.slew_rate_v_per_us = 1000.0;  // effectively unlimited
+  p.rail_v = 10.0;
+  AmplifierCore amp(p);
+  const dsp::Signal y = amp.process(tone(1e3, 0.5, 1e6));
+  EXPECT_NEAR(dsp::goertzel(y, Hertz(1e3)).amplitude, 1.0, 0.01);
+}
+
+TEST(AmplifierCore, ClipsAtRails) {
+  AmplifierCore::Params p;
+  p.gain = 10.0;
+  p.slew_rate_v_per_us = 1e6;
+  p.rail_v = 1.0;
+  AmplifierCore amp(p);
+  const dsp::Signal y = amp.process(tone(1e3, 1.0, 1e6));
+  EXPECT_LE(y.peak(), 1.0 + 1e-9);
+}
+
+TEST(AmplifierCore, SlewRateLimitsFastEdges) {
+  AmplifierCore::Params p;
+  p.gain = 1.0;
+  p.slew_rate_v_per_us = 1.0;  // 1 V/us
+  p.rail_v = 10.0;
+  AmplifierCore amp(p);
+  // A step input: output must ramp at <= 1 V/us = 1e-6 V/sample at 1 MHz.
+  dsp::Signal step(Hertz(1e6), std::vector<double>(100, 5.0));
+  const dsp::Signal y = amp.process(step);
+  EXPECT_NEAR(y[0], 1.0, 1e-9);   // first sample: one slew step
+  EXPECT_NEAR(y[4], 5.0, 1e-9);   // reached after 5 us
+  for (std::size_t i = 1; i < y.size(); ++i) {
+    EXPECT_LE(y[i] - y[i - 1], 1.0 + 1e-9);
+  }
+}
+
+TEST(AmplifierCore, SlewLimitAttenuatesHighFrequencyTone) {
+  AmplifierCore::Params p;
+  p.gain = 1.0;
+  p.slew_rate_v_per_us = 1.0;
+  p.rail_v = 10.0;
+  AmplifierCore amp(p);
+  // 1 V at 1 MHz needs 2*pi V/us slew; limited to 1 -> distorted smaller.
+  const dsp::Signal y = amp.process(tone(1e6, 1.0, 64e6));
+  EXPECT_LT(dsp::goertzel(y, Hertz(1e6)).amplitude, 0.5);
+}
+
+TEST(DownConverterCore, ShiftsFrequencyDown) {
+  DownConverterCore::Params p;
+  p.lo_frequency = Hertz(26e6);
+  p.output_cutoff = Hertz(2e6);
+  DownConverterCore mixer(p);
+  // 26.5 MHz in -> 0.5 MHz out.
+  const dsp::Signal y = mixer.process(tone(26.5e6, 0.8, 208e6, 16384));
+  EXPECT_NEAR(dsp::goertzel(y, Hertz(0.5e6)).amplitude, 0.8, 0.05);
+  EXPECT_LT(dsp::goertzel(y, Hertz(26.5e6)).amplitude, 0.05);
+}
+
+TEST(DownConverterCore, ConversionGain) {
+  DownConverterCore::Params p;
+  p.lo_frequency = Hertz(26e6);
+  p.output_cutoff = Hertz(2e6);
+  p.conversion_gain = 2.0;
+  DownConverterCore mixer(p);
+  const dsp::Signal y = mixer.process(tone(26.5e6, 0.4, 208e6, 16384));
+  EXPECT_NEAR(dsp::goertzel(y, Hertz(0.5e6)).amplitude, 0.8, 0.05);
+}
+
+TEST(CoreAFactory, Is61kHzLowpass) {
+  auto core = make_core_a_filter();
+  EXPECT_NE(core->name().find("core-A"), std::string::npos);
+  const double fs = 13.6e6;
+  const dsp::Signal at_fc = core->process(tone(61e3, 1.0, fs));
+  EXPECT_NEAR(dsp::goertzel(at_fc, Hertz(61e3)).amplitude, 0.707, 0.02);
+}
+
+}  // namespace
+}  // namespace msoc::analog

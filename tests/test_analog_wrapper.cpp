@@ -1,0 +1,145 @@
+#include "msoc/analog/test_wrapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msoc/common/error.hpp"
+#include "msoc/dsp/goertzel.hpp"
+#include "msoc/dsp/multitone.hpp"
+
+namespace msoc::analog {
+namespace {
+
+WrapperConfig ideal_config(int width = 4) {
+  WrapperConfig c;
+  c.tam_width = width;
+  c.nonideality = ConverterNonideality::ideal();
+  c.buffer_bandwidth = Hertz(0.0);  // disable the systematic path error
+  return c;
+}
+
+TEST(WrapperConfigValidation, RejectsBadConfigs) {
+  WrapperConfig c = ideal_config();
+  c.tam_width = 0;
+  EXPECT_THROW(AnalogTestWrapper{c}, InfeasibleError);
+  c = ideal_config();
+  c.resolution_bits = 12;
+  EXPECT_THROW(AnalogTestWrapper{c}, InfeasibleError);
+  c = ideal_config();
+  c.vref = 0.0;
+  EXPECT_THROW(AnalogTestWrapper{c}, InfeasibleError);
+}
+
+TEST(WrapperTimingModel, DivideRatioAndFraming) {
+  const AnalogTestWrapper w(ideal_config(4));
+  TestConfiguration t;
+  t.sampling_frequency = Hertz(1.7e6);
+  t.sample_count = 4551;
+  const WrapperTiming timing = w.timing(t);
+  EXPECT_EQ(timing.frames_per_sample, 2);      // ceil(8/4)
+  EXPECT_EQ(timing.divide_ratio, 29);          // floor(50M/1.7M)
+  EXPECT_TRUE(timing.io_rate_feasible);
+  EXPECT_EQ(timing.tam_cycles, (4551ULL + 1ULL) * 2ULL);
+}
+
+TEST(WrapperTimingModel, InfeasibleWhenWiresTooSlow) {
+  // 1 wire, 8 bits/sample = 8 TAM cycles per sample; at fs = 10 MHz the
+  // divide ratio is 5 < 8: the register cannot keep up.
+  const AnalogTestWrapper w(ideal_config(1));
+  TestConfiguration t;
+  t.sampling_frequency = Hertz(10e6);
+  t.sample_count = 100;
+  EXPECT_FALSE(w.timing(t).io_rate_feasible);
+}
+
+TEST(WrapperTimingModel, RejectsSamplingAboveClock) {
+  const AnalogTestWrapper w(ideal_config(4));
+  TestConfiguration t;
+  t.sampling_frequency = Hertz(60e6);  // > 50 MHz TAM clock
+  t.sample_count = 10;
+  EXPECT_THROW(w.timing(t), InfeasibleError);
+}
+
+TEST(DigitizeReconstruct, RoundTripWithinOneLsb) {
+  const AnalogTestWrapper w(ideal_config());
+  dsp::MultitoneSpec spec;
+  spec.tones = {dsp::Tone{Hertz(10e3), 1.2, 0.0}};
+  const dsp::Signal x = dsp::generate_multitone(spec, Hertz(1e6), 1000);
+  const auto codes = w.digitize(x);
+  const dsp::Signal back = w.reconstruct(codes, Hertz(1e6));
+  const double lsb = 4.0 / 256.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i], x[i], lsb) << "sample " << i;
+  }
+}
+
+TEST(SelfTest, IdealLoopbackIsIdentity) {
+  const AnalogTestWrapper w(ideal_config());
+  std::vector<std::uint16_t> codes;
+  for (int c = 0; c < 256; ++c) codes.push_back(static_cast<std::uint16_t>(c));
+  const auto out = w.run_self_test(codes, Hertz(1e6));
+  EXPECT_EQ(out, codes);
+}
+
+TEST(SelfTest, MismatchedLoopbackStaysClose) {
+  WrapperConfig cfg = ideal_config();
+  cfg.nonideality = ConverterNonideality::typical_05um();
+  const AnalogTestWrapper w(cfg);
+  std::vector<std::uint16_t> codes;
+  for (int c = 8; c < 248; ++c) codes.push_back(static_cast<std::uint16_t>(c));
+  const auto out = w.run_self_test(codes, Hertz(1e6));
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    EXPECT_NEAR(out[i], codes[i], 8.0);
+  }
+}
+
+TEST(CoreTest, WrappedToneSurvivesTheChain) {
+  const AnalogTestWrapper w(ideal_config());
+  auto core = make_core_a_filter();
+  dsp::MultitoneSpec spec;
+  spec.tones = {dsp::Tone{Hertz(10e3), 0.5, 0.0}};  // deep pass band
+  TestConfiguration t;
+  t.sampling_frequency = Hertz(1.7e6);
+  t.sample_count = 2048;
+  const WrappedTestResult r = w.run_core_test(*core, spec, t);
+  EXPECT_EQ(r.stimulus.size(), 2048u);
+  EXPECT_EQ(r.direct_response.size(), 2048u);
+  EXPECT_EQ(r.wrapped_response.size(), 2048u);
+  const double direct =
+      dsp::goertzel(r.direct_response, Hertz(10e3)).amplitude;
+  const double wrapped =
+      dsp::goertzel(r.wrapped_response, Hertz(10e3)).amplitude;
+  EXPECT_NEAR(direct, 0.5, 0.02);
+  EXPECT_NEAR(wrapped, direct, 0.05);
+}
+
+TEST(CoreTest, RequiresCoreTestMode) {
+  const AnalogTestWrapper w(ideal_config());
+  auto core = make_core_a_filter();
+  dsp::MultitoneSpec spec;
+  spec.tones = {dsp::Tone{Hertz(10e3), 0.5, 0.0}};
+  TestConfiguration t;
+  t.sampling_frequency = Hertz(1.7e6);
+  t.sample_count = 256;
+  t.mode = WrapperMode::kSelfTest;
+  EXPECT_THROW(w.run_core_test(*core, spec, t), InfeasibleError);
+}
+
+class WrapperWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WrapperWidthSweep, TimingScalesWithWidth) {
+  const int width = GetParam();
+  const AnalogTestWrapper w(ideal_config(width));
+  TestConfiguration t;
+  t.sampling_frequency = Hertz(100e3);
+  t.sample_count = 1000;
+  const WrapperTiming timing = w.timing(t);
+  EXPECT_EQ(timing.frames_per_sample, (8 + width - 1) / width);
+  EXPECT_EQ(timing.tam_cycles,
+            1001ULL * static_cast<Cycles>(timing.frames_per_sample));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WrapperWidthSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 10));
+
+}  // namespace
+}  // namespace msoc::analog

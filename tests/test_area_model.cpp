@@ -1,0 +1,146 @@
+#include "msoc/mswrap/area_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "msoc/common/error.hpp"
+#include "msoc/soc/benchmarks.hpp"
+
+namespace msoc::mswrap {
+namespace {
+
+std::vector<soc::AnalogCore> cores() { return soc::table2_analog_cores(); }
+
+Partition no_sharing() {
+  return Partition({{0}, {1}, {2}, {3}, {4}});
+}
+
+TEST(AreaModel, NoSharingIsExactly100) {
+  const WrapperAreaModel model;
+  EXPECT_NEAR(model.area_cost_raw(cores(), no_sharing()), 100.0, 1e-9);
+  EXPECT_NEAR(model.area_cost(cores(), no_sharing()), 100.0, 1e-9);
+}
+
+TEST(AreaModel, SharingReducesCost) {
+  const WrapperAreaModel model;
+  const Partition pair({{0, 1}, {2}, {3}, {4}});
+  EXPECT_LT(model.area_cost(cores(), pair), 100.0);
+}
+
+TEST(AreaModel, SharingBiggerCoresSavesMore) {
+  const WrapperAreaModel model;
+  // Sharing the two I-Q cores (identical, mid-size) saves a whole
+  // wrapper; sharing small C into E's wrapper saves only C's area.
+  const Partition ab({{0, 1}, {2}, {3}, {4}});
+  const Partition ce({{2, 4}, {0}, {1}, {3}});
+  EXPECT_LT(model.area_cost(cores(), ab), model.area_cost(cores(), ce));
+}
+
+TEST(AreaModel, InteriorOptimumExists) {
+  // The routing overhead grows with group size, so moderate sharing
+  // beats both extremes — the trade-off the paper's optimizer explores.
+  const WrapperAreaModel model;
+  const double all_share =
+      model.area_cost(cores(), Partition({{0, 1, 2, 3, 4}}));
+  const double moderate =
+      model.area_cost(cores(), Partition({{0, 1, 2}, {3, 4}}));
+  const double none = model.area_cost(cores(), no_sharing());
+  EXPECT_LT(moderate, none);
+  EXPECT_LT(moderate, all_share);
+}
+
+TEST(AreaModel, ClampedTo100) {
+  const WrapperAreaModel model;
+  for (const Partition& p :
+       {Partition({{0, 1, 2, 3, 4}}), no_sharing()}) {
+    const double c = model.area_cost(cores(), p);
+    EXPECT_GE(c, 1.0);
+    EXPECT_LE(c, 100.0);
+  }
+}
+
+TEST(AreaModel, RoutingOverheadGrowsWithGroupSize) {
+  const WrapperAreaModel model;
+  EXPECT_DOUBLE_EQ(model.routing_overhead(1), 0.0);
+  double prev = 0.0;
+  for (std::size_t m = 2; m <= 5; ++m) {
+    const double r = model.routing_overhead(m);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(AreaModel, RoutingBetaScalesPairwise) {
+  AreaModelParams params;
+  params.beta = 0.25;
+  const WrapperAreaModel model(params);
+  EXPECT_NEAR(model.routing_overhead(2), 0.25, 1e-12);        // 1 pair
+  EXPECT_NEAR(model.routing_overhead(3), 0.75, 1e-12);        // 3 pairs
+  EXPECT_NEAR(model.routing_overhead(5), 2.5, 1e-12);         // 10 pairs
+}
+
+TEST(AreaModel, CoreAreasReflectRequirements) {
+  const WrapperAreaModel model;
+  const auto cs = cores();
+  // D (78 MHz sampling, width 10) needs the biggest wrapper; C (audio
+  // rates, width 1) the smallest.
+  const double a = model.core_wrapper_area(cs[0]);
+  const double c = model.core_wrapper_area(cs[2]);
+  const double d = model.core_wrapper_area(cs[3]);
+  EXPECT_GT(d, a);
+  EXPECT_GT(a, c);
+}
+
+TEST(AreaModel, IdenticalCoresIdenticalAreas) {
+  const WrapperAreaModel model;
+  const auto cs = cores();
+  EXPECT_DOUBLE_EQ(model.core_wrapper_area(cs[0]),
+                   model.core_wrapper_area(cs[1]));
+}
+
+TEST(AreaModel, SharedWrapperSizedForLargestMember) {
+  const WrapperAreaModel model;
+  const auto cs = cores();
+  const std::vector<const soc::AnalogCore*> group = {&cs[2], &cs[3]};
+  EXPECT_DOUBLE_EQ(model.shared_wrapper_area(group),
+                   std::max(model.core_wrapper_area(cs[2]),
+                            model.core_wrapper_area(cs[3])));
+}
+
+TEST(AreaModel, HigherBetaRaisesSharedCost) {
+  AreaModelParams cheap;
+  cheap.beta = 0.05;
+  AreaModelParams pricey;
+  pricey.beta = 1.0;
+  const Partition p({{0, 1, 2}, {3, 4}});
+  EXPECT_LT(WrapperAreaModel(cheap).area_cost(cores(), p),
+            WrapperAreaModel(pricey).area_cost(cores(), p));
+}
+
+TEST(AreaModel, ExceedsNoSharingDetection) {
+  AreaModelParams params;
+  params.beta = 5.0;  // absurd routing: sharing costs more than separate
+  const WrapperAreaModel model(params);
+  EXPECT_TRUE(
+      model.exceeds_no_sharing(cores(), Partition({{0, 1, 2, 3, 4}})));
+  EXPECT_FALSE(model.exceeds_no_sharing(cores(), no_sharing()));
+}
+
+TEST(AreaModel, ValidatesParams) {
+  AreaModelParams params;
+  params.beta = -1.0;
+  EXPECT_THROW(WrapperAreaModel{params}, InfeasibleError);
+  params = AreaModelParams{};
+  params.comparator_unit = 0.0;
+  EXPECT_THROW(WrapperAreaModel{params}, InfeasibleError);
+}
+
+TEST(AreaModel, PartitionMustCoverCoreSet) {
+  const WrapperAreaModel model;
+  EXPECT_THROW(model.area_cost(cores(), Partition({{0, 1}})),
+               InfeasibleError);
+}
+
+}  // namespace
+}  // namespace msoc::mswrap

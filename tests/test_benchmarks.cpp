@@ -1,0 +1,153 @@
+#include "msoc/soc/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msoc/common/error.hpp"
+
+namespace msoc::soc {
+namespace {
+
+TEST(Table2Cores, FiveCoresWithPaperNames) {
+  const auto cores = table2_analog_cores();
+  ASSERT_EQ(cores.size(), 5u);
+  EXPECT_EQ(cores[0].name, "A");
+  EXPECT_EQ(cores[1].name, "B");
+  EXPECT_EQ(cores[2].name, "C");
+  EXPECT_EQ(cores[3].name, "D");
+  EXPECT_EQ(cores[4].name, "E");
+}
+
+TEST(Table2Cores, PerCoreTestTimesMatchThePaper) {
+  // Derived from Table 2 and verified against Table 1's normalized
+  // lower-bound column (see DESIGN.md).
+  const auto cores = table2_analog_cores();
+  EXPECT_EQ(cores[0].total_cycles(), 135969u);  // A
+  EXPECT_EQ(cores[1].total_cycles(), 135969u);  // B
+  EXPECT_EQ(cores[2].total_cycles(), 299785u);  // C
+  EXPECT_EQ(cores[3].total_cycles(), 56490u);   // D
+  EXPECT_EQ(cores[4].total_cycles(), 7900u);    // E
+  EXPECT_EQ(table2_total_cycles(), 636113u);
+}
+
+TEST(Table2Cores, TamWidthsMatchThePaper) {
+  const auto cores = table2_analog_cores();
+  EXPECT_EQ(cores[0].tam_width(), 4);   // A: widest test is f_c / phase
+  EXPECT_EQ(cores[1].tam_width(), 4);   // B
+  EXPECT_EQ(cores[2].tam_width(), 1);   // C: all audio tests are 1 wide
+  EXPECT_EQ(cores[3].tam_width(), 10);  // D: IIP3 at 10
+  EXPECT_EQ(cores[4].tam_width(), 5);   // E: SR at 5
+}
+
+TEST(Table2Cores, AAndBAreTheIdenticalPair) {
+  const auto cores = table2_analog_cores();
+  EXPECT_TRUE(cores[0].tests_equivalent(cores[1]));
+  EXPECT_FALSE(cores[0].tests_equivalent(cores[2]));
+  EXPECT_FALSE(cores[3].tests_equivalent(cores[4]));
+}
+
+TEST(Table2Cores, TestCountsPerCore) {
+  const auto cores = table2_analog_cores();
+  EXPECT_EQ(cores[0].tests.size(), 6u);  // I-Q: 6 specification tests
+  EXPECT_EQ(cores[2].tests.size(), 3u);  // CODEC
+  EXPECT_EQ(cores[3].tests.size(), 3u);  // down converter
+  EXPECT_EQ(cores[4].tests.size(), 2u);  // amplifier
+}
+
+TEST(Table2Cores, AllValid) {
+  for (const AnalogCore& c : table2_analog_cores()) {
+    EXPECT_NO_THROW(c.validate());
+  }
+}
+
+TEST(D695, TenIscasCores) {
+  const Soc soc = make_d695();
+  EXPECT_EQ(soc.name(), "d695");
+  EXPECT_EQ(soc.digital_count(), 10u);
+  EXPECT_EQ(soc.analog_count(), 0u);
+  // First two are combinational (no scan).
+  EXPECT_TRUE(soc.digital_cores()[0].scan_chain_lengths.empty());
+  EXPECT_TRUE(soc.digital_cores()[1].scan_chain_lengths.empty());
+  EXPECT_FALSE(soc.digital_cores()[4].scan_chain_lengths.empty());
+}
+
+TEST(P93791, ThirtyTwoModulesDeterministic) {
+  const Soc a = make_p93791();
+  const Soc b = make_p93791();
+  EXPECT_EQ(a.digital_count(), 32u);
+  EXPECT_EQ(a.total_scan_cells(), b.total_scan_cells());
+  EXPECT_EQ(a.total_patterns(), b.total_patterns());
+  for (std::size_t i = 0; i < a.digital_count(); ++i) {
+    EXPECT_EQ(a.digital_cores()[i].scan_chain_lengths,
+              b.digital_cores()[i].scan_chain_lengths);
+  }
+}
+
+TEST(P93791, SizeDistributionHasDominantCores) {
+  const Soc soc = make_p93791();
+  int large = 0;
+  for (const DigitalCore& c : soc.digital_cores()) {
+    if (c.total_scan_cells() >= 4000) ++large;
+  }
+  EXPECT_EQ(large, 6);
+  // Aggregate magnitude matches the published benchmark's scale.
+  EXPECT_GT(soc.total_scan_cells(), 50000);
+  EXPECT_LT(soc.total_scan_cells(), 120000);
+}
+
+TEST(P93791m, AddsTheFiveAnalogCores) {
+  const Soc soc = make_p93791m();
+  EXPECT_EQ(soc.name(), "p93791m");
+  EXPECT_EQ(soc.digital_count(), 32u);
+  EXPECT_EQ(soc.analog_count(), 5u);
+  EXPECT_EQ(soc.total_analog_cycles(), 636113u);
+}
+
+TEST(Synthetic, Deterministic) {
+  SyntheticSocParams params;
+  params.digital_cores = 8;
+  params.analog_cores = 3;
+  params.seed = 77;
+  const Soc a = make_synthetic_soc(params);
+  const Soc b = make_synthetic_soc(params);
+  EXPECT_EQ(a.digital_count(), 8u);
+  EXPECT_EQ(a.analog_count(), 3u);
+  EXPECT_EQ(a.total_scan_cells(), b.total_scan_cells());
+  EXPECT_EQ(a.total_analog_cycles(), b.total_analog_cycles());
+}
+
+TEST(Synthetic, SeedChangesContent) {
+  SyntheticSocParams params;
+  params.digital_cores = 8;
+  params.seed = 1;
+  const Soc a = make_synthetic_soc(params);
+  params.seed = 2;
+  const Soc b = make_synthetic_soc(params);
+  EXPECT_NE(a.total_scan_cells(), b.total_scan_cells());
+}
+
+TEST(Synthetic, ValidatesRanges) {
+  SyntheticSocParams params;
+  params.min_chain_length = 50;
+  params.max_chain_length = 10;
+  EXPECT_THROW(make_synthetic_soc(params), InfeasibleError);
+  params = SyntheticSocParams{};
+  params.digital_cores = -1;
+  EXPECT_THROW(make_synthetic_soc(params), InfeasibleError);
+}
+
+TEST(Synthetic, AllCoresValid) {
+  SyntheticSocParams params;
+  params.digital_cores = 20;
+  params.analog_cores = 4;
+  params.seed = 5;
+  const Soc soc = make_synthetic_soc(params);
+  for (const DigitalCore& c : soc.digital_cores()) {
+    EXPECT_NO_THROW(c.validate());
+  }
+  for (const AnalogCore& c : soc.analog_cores()) {
+    EXPECT_NO_THROW(c.validate());
+  }
+}
+
+}  // namespace
+}  // namespace msoc::soc

@@ -1,0 +1,105 @@
+#include "msoc/dsp/biquad.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "msoc/dsp/multitone.hpp"
+
+namespace msoc::dsp {
+namespace {
+
+TEST(Biquad, IdentityCoefficientsPassThrough) {
+  Biquad b;  // default b0=1, rest 0
+  for (double x : {1.0, -0.5, 3.25}) {
+    EXPECT_DOUBLE_EQ(b.step(x), x);
+  }
+}
+
+TEST(Biquad, PureGain) {
+  BiquadCoefficients c;
+  c.b0 = 2.5;
+  Biquad b(c);
+  EXPECT_DOUBLE_EQ(b.step(2.0), 5.0);
+}
+
+TEST(Biquad, OnePoleImpulseResponse) {
+  // y[n] = x[n] + 0.5 y[n-1]  ->  a1 = -0.5.
+  BiquadCoefficients c;
+  c.b0 = 1.0;
+  c.a1 = -0.5;
+  Biquad b(c);
+  EXPECT_DOUBLE_EQ(b.step(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(b.step(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(b.step(0.0), 0.25);
+}
+
+TEST(Biquad, ResetClearsState) {
+  BiquadCoefficients c;
+  c.b0 = 1.0;
+  c.a1 = -0.9;
+  Biquad b(c);
+  b.step(1.0);
+  b.reset();
+  EXPECT_DOUBLE_EQ(b.step(0.0), 0.0);
+}
+
+TEST(BiquadCascade, EmptyCascadeIsIdentity) {
+  BiquadCascade cascade;
+  EXPECT_DOUBLE_EQ(cascade.step(7.0), 7.0);
+  EXPECT_EQ(cascade.section_count(), 0u);
+}
+
+TEST(BiquadCascade, ProcessResetsBetweenCalls) {
+  BiquadCoefficients c;
+  c.b0 = 1.0;
+  c.a1 = -0.5;
+  BiquadCascade cascade({c});
+  Signal impulse(Hertz(100.0), {1.0, 0.0, 0.0});
+  const Signal y1 = cascade.process(impulse);
+  const Signal y2 = cascade.process(impulse);
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+  }
+}
+
+TEST(BiquadCascade, MagnitudeOfIdentityIsOne) {
+  BiquadCascade cascade({BiquadCoefficients{}});
+  EXPECT_NEAR(cascade.magnitude_at(Hertz(100.0), Hertz(1000.0)), 1.0, 1e-12);
+  EXPECT_NEAR(cascade.magnitude_at(Hertz(499.0), Hertz(1000.0)), 1.0, 1e-12);
+}
+
+TEST(BiquadCascade, MagnitudeMatchesMeasuredGain) {
+  // One-pole low-pass; compare magnitude_at with a measured tone gain.
+  BiquadCoefficients c;
+  c.b0 = 0.2;
+  c.b1 = 0.2;
+  c.a1 = -0.6;
+  BiquadCascade cascade({c});
+
+  const Hertz fs(10000.0);
+  const Hertz tone(1000.0);
+  MultitoneSpec spec;
+  spec.tones = {Tone{tone, 1.0, 0.0}};
+  const Signal x = generate_multitone(spec, fs, 20000);
+  Signal y = cascade.process(x);
+
+  // Skip the transient, then compare RMS ratio to |H|.
+  double rms = 0.0;
+  const std::size_t skip = 1000;
+  for (std::size_t i = skip; i < y.size(); ++i) rms += y[i] * y[i];
+  rms = std::sqrt(rms / static_cast<double>(y.size() - skip));
+  const double expected = cascade.magnitude_at(tone, fs) / std::sqrt(2.0);
+  EXPECT_NEAR(rms, expected, 0.01);
+}
+
+TEST(BiquadCascade, SectionsCompose) {
+  BiquadCoefficients half;
+  half.b0 = 0.5;
+  BiquadCascade two({half, half});
+  EXPECT_DOUBLE_EQ(two.step(8.0), 2.0);
+  EXPECT_NEAR(two.magnitude_at(Hertz(10.0), Hertz(100.0)), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace msoc::dsp

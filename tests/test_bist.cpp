@@ -1,0 +1,120 @@
+#include "msoc/analog/bist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msoc/common/error.hpp"
+#include "msoc/soc/core.hpp"
+
+namespace msoc::analog {
+namespace {
+
+TEST(AdcBist, IdealConverterIsClean) {
+  const PipelinedAdc8 adc(4.0);
+  const LinearityResult r = adc_ramp_histogram_bist(adc, 32);
+  EXPECT_EQ(r.missing_codes, 0);
+  EXPECT_LT(r.max_abs_dnl(), 0.05);
+  EXPECT_LT(r.max_abs_inl(), 0.1);
+  EXPECT_TRUE(r.passes());
+}
+
+TEST(AdcBist, MismatchShowsUpAsDnl) {
+  const PipelinedAdc8 ideal(4.0);
+  const PipelinedAdc8 real(4.0, ConverterNonideality::typical_05um());
+  const LinearityResult clean = adc_ramp_histogram_bist(ideal, 32);
+  const LinearityResult dirty = adc_ramp_histogram_bist(real, 32);
+  EXPECT_GT(dirty.max_abs_dnl(), clean.max_abs_dnl());
+  EXPECT_GT(dirty.max_abs_inl(), clean.max_abs_inl());
+}
+
+TEST(AdcBist, GrossMismatchFails) {
+  ConverterNonideality bad;
+  bad.comparator_offset_sigma_lsb = 1.5;
+  bad.interstage_gain_error = 0.2;
+  const PipelinedAdc8 adc(4.0, bad);
+  const LinearityResult r = adc_ramp_histogram_bist(adc, 32);
+  EXPECT_FALSE(r.passes());
+}
+
+TEST(AdcBist, ResultVectorsSized) {
+  const PipelinedAdc8 adc(4.0);
+  const LinearityResult r = adc_ramp_histogram_bist(adc, 8);
+  EXPECT_EQ(r.dnl.size(), 254u);
+  EXPECT_EQ(r.inl.size(), 254u);
+}
+
+TEST(AdcBist, RejectsTooFewSamples) {
+  const PipelinedAdc8 adc(4.0);
+  EXPECT_THROW(adc_ramp_histogram_bist(adc, 2), InfeasibleError);
+}
+
+TEST(DacBist, IdealConverterIsClean) {
+  const ModularDac8 dac(4.0);
+  const LinearityResult r = dac_level_sweep_bist(dac);
+  EXPECT_LT(r.max_abs_dnl(), 1e-9);
+  EXPECT_LT(r.max_abs_inl(), 1e-9);
+  EXPECT_TRUE(r.passes());
+}
+
+TEST(DacBist, MismatchShowsUp) {
+  const ModularDac8 dac(4.0, ConverterNonideality::typical_05um());
+  const LinearityResult r = dac_level_sweep_bist(dac);
+  EXPECT_GT(r.max_abs_dnl(), 0.01);
+}
+
+TEST(LoopbackBist, IdealWrapperPasses) {
+  WrapperConfig config;
+  config.tam_width = 4;
+  config.nonideality = ConverterNonideality::ideal();
+  const AnalogTestWrapper wrapper(config);
+  const LinearityResult r = wrapper_loopback_bist(wrapper, 8);
+  EXPECT_EQ(r.missing_codes, 0);
+  EXPECT_TRUE(r.passes());
+}
+
+TEST(LoopbackBist, CombinedPairWorseThanAdcAlone) {
+  WrapperConfig config;
+  config.tam_width = 4;
+  config.nonideality = ConverterNonideality::typical_05um();
+  const AnalogTestWrapper wrapper(config);
+  const LinearityResult pair = wrapper_loopback_bist(wrapper, 8);
+  const PipelinedAdc8 adc(4.0, config.nonideality);
+  const LinearityResult adc_only = adc_ramp_histogram_bist(adc, 32);
+  // A loopback histogram sees both converters' errors.
+  EXPECT_GE(pair.max_abs_dnl() + 0.2, adc_only.max_abs_dnl());
+}
+
+TEST(BistCycles, ScalesWithResolutionAndWidth) {
+  // 256 codes x s samples x 2 directions x ceil(8/w) frames.
+  EXPECT_EQ(bist_cycles(8, 16, 4), 256ULL * 16 * 2 * 2);
+  EXPECT_EQ(bist_cycles(8, 16, 8), 256ULL * 16 * 2 * 1);
+  EXPECT_EQ(bist_cycles(8, 16, 1), 256ULL * 16 * 2 * 8);
+  EXPECT_EQ(bist_cycles(4, 8, 4), 16ULL * 8 * 2 * 1);
+}
+
+TEST(BistCycles, ComparableToTable2Tests) {
+  // The paper excludes self-test time from Table 2; the model shows it
+  // would be small next to the functional tests (A's suite: 135,969).
+  EXPECT_LT(bist_cycles(8, 16, 4), 20000u);
+}
+
+TEST(BistAsPlannedTest, CanBeAppendedToACore) {
+  // The data model supports accounting for the self-test directly.
+  msoc::soc::AnalogCore core;
+  core.name = "X";
+  msoc::soc::AnalogTestSpec functional;
+  functional.name = "G";
+  functional.f_sample = Hertz(1e6);
+  functional.cycles = 10000;
+  functional.tam_width = 2;
+  msoc::soc::AnalogTestSpec self_test;
+  self_test.name = "self_test";
+  self_test.f_sample = Hertz(1e6);
+  self_test.cycles = bist_cycles(8, 16, 2);
+  self_test.tam_width = 2;
+  core.tests = {functional, self_test};
+  EXPECT_NO_THROW(core.validate());
+  EXPECT_EQ(core.total_cycles(), 10000u + bist_cycles(8, 16, 2));
+}
+
+}  // namespace
+}  // namespace msoc::analog

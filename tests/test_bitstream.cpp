@@ -1,0 +1,91 @@
+#include "msoc/analog/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/rng.hpp"
+
+namespace msoc::analog {
+namespace {
+
+TEST(FramesPerSample, MatchesCeilDiv) {
+  EXPECT_EQ(frames_per_sample(8, 1), 8);
+  EXPECT_EQ(frames_per_sample(8, 2), 4);
+  EXPECT_EQ(frames_per_sample(8, 3), 3);
+  EXPECT_EQ(frames_per_sample(8, 8), 1);
+  EXPECT_EQ(frames_per_sample(8, 16), 1);
+  EXPECT_EQ(frames_per_sample(12, 5), 3);
+}
+
+TEST(FramesPerSample, RejectsBadArguments) {
+  EXPECT_THROW((void)frames_per_sample(0, 4), InfeasibleError);
+  EXPECT_THROW((void)frames_per_sample(17, 4), InfeasibleError);
+  EXPECT_THROW((void)frames_per_sample(8, 0), InfeasibleError);
+}
+
+TEST(Serialize, FrameCountAndWidth) {
+  const std::vector<std::uint16_t> codes = {0xAB, 0x01, 0xFF};
+  const auto frames = serialize_codes(codes, 8, 3);
+  EXPECT_EQ(frames.size(), 3u * 3u);  // ceil(8/3)=3 frames per sample
+  for (const TamFrame& f : frames) EXPECT_EQ(f.size(), 3u);
+}
+
+TEST(Serialize, BitExactLsbFirst) {
+  const auto frames = serialize_codes({0b10110101}, 8, 4);
+  ASSERT_EQ(frames.size(), 2u);
+  // LSB-first on wires 0..3: first frame carries bits 0-3 = 0101.
+  EXPECT_TRUE(frames[0][0]);
+  EXPECT_FALSE(frames[0][1]);
+  EXPECT_TRUE(frames[0][2]);
+  EXPECT_FALSE(frames[0][3]);
+  // Second frame carries bits 4-7 = 1011.
+  EXPECT_TRUE(frames[1][0]);
+  EXPECT_TRUE(frames[1][1]);
+  EXPECT_FALSE(frames[1][2]);
+  EXPECT_TRUE(frames[1][3]);
+}
+
+class BitstreamRoundTrip
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BitstreamRoundTrip, SerializeDeserializeIdentity) {
+  const auto [bits, width] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(bits) * 100 +
+          static_cast<std::uint64_t>(width));
+  std::vector<std::uint16_t> codes;
+  const auto mask =
+      static_cast<std::uint16_t>((1U << static_cast<unsigned>(bits)) - 1U);
+  for (int i = 0; i < 200; ++i) {
+    codes.push_back(static_cast<std::uint16_t>(rng.next_u64() & mask));
+  }
+  const auto frames = serialize_codes(codes, bits, width);
+  EXPECT_EQ(frames.size(),
+            codes.size() * static_cast<std::size_t>(
+                               frames_per_sample(bits, width)));
+  const auto back = deserialize_codes(frames, bits, width, codes.size());
+  EXPECT_EQ(back, codes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndResolutions, BitstreamRoundTrip,
+    ::testing::Values(std::pair{8, 1}, std::pair{8, 2}, std::pair{8, 3},
+                      std::pair{8, 4}, std::pair{8, 5}, std::pair{8, 8},
+                      std::pair{8, 10}, std::pair{12, 4}, std::pair{10, 1},
+                      std::pair{16, 16}, std::pair{1, 1}, std::pair{6, 7}));
+
+TEST(Deserialize, RejectsWrongFrameCount) {
+  const auto frames = serialize_codes({1, 2}, 8, 4);
+  EXPECT_THROW(deserialize_codes(frames, 8, 4, 3), InfeasibleError);
+}
+
+TEST(Serialize, PadsUnusedWiresWithZero) {
+  // 8 bits over 5 wires: second frame uses 3 wires, pads 2.
+  const auto frames = serialize_codes({0xFF}, 8, 5);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_TRUE(frames[1][2]);   // bit 7
+  EXPECT_FALSE(frames[1][3]);  // pad
+  EXPECT_FALSE(frames[1][4]);  // pad
+}
+
+}  // namespace
+}  // namespace msoc::analog

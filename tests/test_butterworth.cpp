@@ -1,0 +1,100 @@
+#include "msoc/dsp/butterworth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/math.hpp"
+
+namespace msoc::dsp {
+namespace {
+
+class ButterworthOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(ButterworthOrder, LowpassMinus3dbAtCutoff) {
+  const int order = GetParam();
+  const Hertz fc(61e3);
+  const Hertz fs(13.6e6);
+  BiquadCascade f(butterworth_lowpass(order, fc, fs));
+  const double mag = f.magnitude_at(fc, fs);
+  EXPECT_NEAR(to_db(mag), -3.0103, 0.05) << "order " << order;
+}
+
+TEST_P(ButterworthOrder, LowpassUnityAtDc) {
+  const int order = GetParam();
+  BiquadCascade f(butterworth_lowpass(order, Hertz(1000.0), Hertz(100e3)));
+  EXPECT_NEAR(f.magnitude_at(Hertz(1.0), Hertz(100e3)), 1.0, 1e-3);
+}
+
+TEST_P(ButterworthOrder, LowpassRolloffSlope) {
+  const int order = GetParam();
+  const Hertz fc(1000.0);
+  const Hertz fs(1e6);
+  BiquadCascade f(butterworth_lowpass(order, fc, fs));
+  // One decade above cutoff the attenuation approaches 20*order dB.
+  const double db10 = to_db(f.magnitude_at(Hertz(10e3), fs));
+  EXPECT_NEAR(db10, -20.0 * order, 0.5 + order);
+}
+
+TEST_P(ButterworthOrder, MonotoneMagnitude) {
+  const int order = GetParam();
+  const Hertz fs(1e6);
+  BiquadCascade f(butterworth_lowpass(order, Hertz(10e3), fs));
+  double prev = 2.0;
+  for (double freq = 100.0; freq < 4e5; freq *= 1.3) {
+    const double mag = f.magnitude_at(Hertz(freq), fs);
+    EXPECT_LT(mag, prev + 1e-9) << "at " << freq;
+    prev = mag;
+  }
+}
+
+TEST_P(ButterworthOrder, HighpassMirrorsLowpass) {
+  const int order = GetParam();
+  const Hertz fc(5000.0);
+  const Hertz fs(200e3);
+  BiquadCascade hp(butterworth_highpass(order, fc, fs));
+  EXPECT_NEAR(to_db(hp.magnitude_at(fc, fs)), -3.0103, 0.05);
+  EXPECT_NEAR(hp.magnitude_at(Hertz(90e3), fs), 1.0, 0.01);
+  // First-order roll-off at fc/50 is ~0.02; higher orders fall faster.
+  EXPECT_LT(hp.magnitude_at(Hertz(100.0), fs), 0.025 * order);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ButterworthOrder,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(Butterworth, SectionCounts) {
+  EXPECT_EQ(butterworth_lowpass(1, Hertz(1e3), Hertz(1e5)).size(), 1u);
+  EXPECT_EQ(butterworth_lowpass(2, Hertz(1e3), Hertz(1e5)).size(), 1u);
+  EXPECT_EQ(butterworth_lowpass(3, Hertz(1e3), Hertz(1e5)).size(), 2u);
+  EXPECT_EQ(butterworth_lowpass(8, Hertz(1e3), Hertz(1e5)).size(), 4u);
+}
+
+TEST(Butterworth, RejectsBadArguments) {
+  EXPECT_THROW(butterworth_lowpass(0, Hertz(1e3), Hertz(1e5)),
+               InfeasibleError);
+  EXPECT_THROW(butterworth_lowpass(13, Hertz(1e3), Hertz(1e5)),
+               InfeasibleError);
+  EXPECT_THROW(butterworth_lowpass(2, Hertz(0.0), Hertz(1e5)),
+               InfeasibleError);
+  EXPECT_THROW(butterworth_lowpass(2, Hertz(6e4), Hertz(1e5)),
+               InfeasibleError);  // cutoff >= fs/2
+}
+
+TEST(Butterworth, MakeLowpassAppliesGain) {
+  BiquadCascade f = make_lowpass(2, Hertz(1000.0), Hertz(100e3), 4.0);
+  EXPECT_NEAR(f.magnitude_at(Hertz(1.0), Hertz(100e3)), 4.0, 0.01);
+}
+
+TEST(Butterworth, CoreAFilterCutoff) {
+  // The paper's core A: 61 kHz low-pass; verify the -3 dB point lands on
+  // 61 kHz at the Fig. 5 oversampled simulation rate.
+  const Hertz fs(13.6e6);
+  BiquadCascade f(butterworth_lowpass(2, Hertz(61e3), fs));
+  EXPECT_NEAR(to_db(f.magnitude_at(Hertz(61e3), fs)), -3.01, 0.05);
+  EXPECT_GT(to_db(f.magnitude_at(Hertz(30e3), fs)), -0.6);
+  EXPECT_NEAR(to_db(f.magnitude_at(Hertz(122e3), fs)), -12.3, 0.4);
+}
+
+}  // namespace
+}  // namespace msoc::dsp

@@ -1,0 +1,139 @@
+#include "msoc/analog/converter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace msoc::analog {
+namespace {
+
+constexpr double kVref = 4.0;
+
+TEST(PipelinedAdc, IdealMatchesFlat8BitQuantizer) {
+  const PipelinedAdc8 adc(kVref);
+  // Ideal pipelined (two 4-bit stages + residue x16) == ideal 8-bit flash.
+  for (int step = 0; step < 4096; ++step) {
+    const double v = kVref * (static_cast<double>(step) + 0.5) / 4096.0;
+    const auto expected =
+        static_cast<std::uint8_t>(std::min(255.0, std::floor(v / kVref * 256.0)));
+    EXPECT_EQ(adc.convert(v), expected) << "at v=" << v;
+  }
+}
+
+TEST(PipelinedAdc, ClampsOutOfRange) {
+  const PipelinedAdc8 adc(kVref);
+  EXPECT_EQ(adc.convert(-1.0), 0);
+  EXPECT_EQ(adc.convert(kVref + 5.0), 255);
+}
+
+TEST(PipelinedAdc, MonotoneEvenWithMismatch) {
+  const PipelinedAdc8 adc(kVref, ConverterNonideality::typical_05um());
+  int prev = -1;
+  for (int step = 0; step <= 4000; ++step) {
+    const double v = kVref * static_cast<double>(step) / 4000.0;
+    const int code = adc.convert(std::min(v, std::nextafter(kVref, 0.0)));
+    // A pipelined ADC with bounded stage errors can have small local
+    // non-monotonicities; allow at most 1 code of droop.
+    EXPECT_GE(code, prev - 1) << "at v=" << v;
+    prev = std::max(prev, code);
+  }
+}
+
+TEST(PipelinedAdc, ComparatorCountIsModular) {
+  // The §5 area argument: 30 comparators instead of 255.
+  EXPECT_EQ(PipelinedAdc8::comparator_count(), 30);
+  EXPECT_LT(PipelinedAdc8::comparator_count(), 255 / 8);
+}
+
+TEST(ModularDac, IdealLevels) {
+  const ModularDac8 dac(kVref);
+  for (int code = 0; code < 256; ++code) {
+    const double expected = kVref * static_cast<double>(code) / 256.0;
+    EXPECT_NEAR(dac.convert(static_cast<std::uint8_t>(code)), expected,
+                1e-12);
+  }
+}
+
+TEST(ModularDac, MonotoneIdeal) {
+  const ModularDac8 dac(kVref);
+  double prev = -1.0;
+  for (int code = 0; code < 256; ++code) {
+    const double v = dac.convert(static_cast<std::uint8_t>(code));
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(ModularDac, ResistorCountIsModular) {
+  // The §5 area argument: 32 resistors, a factor-8 reduction vs 256.
+  EXPECT_EQ(ModularDac8::resistor_count(), 32);
+  EXPECT_EQ(256 / ModularDac8::resistor_count(), 8);
+}
+
+TEST(RoundTrip, IdealDacThenAdcIsIdentity) {
+  const ModularDac8 dac(kVref);
+  const PipelinedAdc8 adc(kVref);
+  for (int code = 0; code < 256; ++code) {
+    const double v = dac.convert(static_cast<std::uint8_t>(code));
+    EXPECT_EQ(adc.convert(v), code);
+  }
+}
+
+TEST(RoundTrip, MismatchedPairErrorEnvelope) {
+  // Comparator offsets of 0.1 LSB of the 4-bit stage are 1.6 LSB at the
+  // 8-bit output; around MSB-stage boundaries the stage errors can add.
+  // Require a tight envelope for most codes and a hard worst case.
+  const ConverterNonideality cfg = ConverterNonideality::typical_05um();
+  const ModularDac8 dac(kVref, cfg);
+  const PipelinedAdc8 adc(kVref, cfg);
+  int beyond_four = 0;
+  for (int code = 2; code < 254; ++code) {
+    const double v = dac.convert(static_cast<std::uint8_t>(code));
+    const int back = adc.convert(v);
+    EXPECT_NEAR(back, code, 8.0) << "code " << code;
+    if (std::abs(back - code) > 4) ++beyond_four;
+  }
+  EXPECT_LE(beyond_four, 12);  // <5 % of codes near stage boundaries
+}
+
+TEST(Nonideality, DeterministicForSameSeed) {
+  ConverterNonideality cfg = ConverterNonideality::typical_05um();
+  const PipelinedAdc8 a(kVref, cfg);
+  const PipelinedAdc8 b(kVref, cfg);
+  for (int step = 0; step < 1000; ++step) {
+    const double v = kVref * static_cast<double>(step) / 1000.0;
+    EXPECT_EQ(a.convert(v), b.convert(v));
+  }
+}
+
+TEST(Nonideality, DifferentSeedsDiffer) {
+  ConverterNonideality c1 = ConverterNonideality::typical_05um();
+  ConverterNonideality c2 = c1;
+  c2.seed = c1.seed + 99;
+  const PipelinedAdc8 a(kVref, c1);
+  const PipelinedAdc8 b(kVref, c2);
+  int diffs = 0;
+  for (int step = 0; step < 1000; ++step) {
+    const double v = kVref * static_cast<double>(step) / 1000.0;
+    if (a.convert(v) != b.convert(v)) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+class FlashResolutionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FlashResolutionSweep, FlashThresholdsCoverRange) {
+  const double vref = GetParam();
+  Rng rng(1);
+  const FlashAdc4 flash(vref, ConverterNonideality::ideal(), rng);
+  EXPECT_EQ(flash.thresholds().size(), 15u);
+  EXPECT_EQ(flash.convert(0.0), 0);
+  EXPECT_EQ(flash.convert(std::nextafter(vref, 0.0)), 15);
+  EXPECT_EQ(flash.convert(vref / 2.0), 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Vrefs, FlashResolutionSweep,
+                         ::testing::Values(1.0, 2.5, 4.0, 5.0));
+
+}  // namespace
+}  // namespace msoc::analog

@@ -1,0 +1,55 @@
+#include "msoc/common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "msoc/common/error.hpp"
+
+namespace msoc {
+namespace {
+
+TEST(Csv, WritesHeaderImmediately) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  EXPECT_EQ(out.str(), "a,b\n");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"core", "time"});
+  csv.write_row({"A", "135969"});
+  csv.write_row({"C", "299785"});
+  EXPECT_EQ(out.str(), "core,time\nA,135969\nC,299785\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, EscapesCommas) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(Csv, EscapesQuotes) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, EscapesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, PlainFieldsUntouched) {
+  EXPECT_EQ(CsvWriter::escape("plain_field-1.5"), "plain_field-1.5");
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  EXPECT_THROW(csv.write_row({"too", "many", "cells"}), InfeasibleError);
+}
+
+TEST(Csv, EmptyColumnsThrow) {
+  std::ostringstream out;
+  EXPECT_THROW(CsvWriter(out, {}), InfeasibleError);
+}
+
+}  // namespace
+}  // namespace msoc

@@ -1,0 +1,74 @@
+#include "msoc/common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msoc/common/format.hpp"
+
+namespace msoc {
+namespace {
+
+TEST(Require, PassesOnTrue) {
+  EXPECT_NO_THROW(require(true, "unused"));
+}
+
+TEST(Require, ThrowsInfeasibleWithMessage) {
+  try {
+    require(false, "the message");
+    FAIL() << "expected InfeasibleError";
+  } catch (const InfeasibleError& e) {
+    EXPECT_STREQ(e.what(), "the message");
+  }
+}
+
+TEST(CheckInvariant, CarriesSourceLocation) {
+  try {
+    check_invariant(false, "broken");
+    FAIL() << "expected LogicError";
+  } catch (const LogicError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("broken"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(ParseErrorType, FormatsFileAndLine) {
+  const ParseError e("input.soc", 12, "bad token");
+  const std::string what = e.what();
+  EXPECT_NE(what.find("input.soc:12:"), std::string::npos);
+  EXPECT_NE(what.find("bad token"), std::string::npos);
+  EXPECT_EQ(e.file(), "input.soc");
+  EXPECT_EQ(e.line(), 12);
+}
+
+TEST(ParseErrorType, LineZeroOmitted) {
+  const ParseError e("f", 0, "cannot open");
+  EXPECT_EQ(std::string(e.what()), "f: cannot open");
+}
+
+TEST(ErrorHierarchy, AllDeriveFromError) {
+  EXPECT_THROW(throw InfeasibleError("x"), Error);
+  EXPECT_THROW(throw LogicError("x"), Error);
+  EXPECT_THROW(throw ParseError("f", 1, "x"), Error);
+}
+
+TEST(Format, WithThousands) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(636113), "636,113");
+  EXPECT_EQ(with_thousands(1234567890), "1,234,567,890");
+}
+
+TEST(Format, Braces) {
+  EXPECT_EQ(braces({"A", "C"}), "{A,C}");
+  EXPECT_EQ(braces({"A"}), "{A}");
+  EXPECT_EQ(braces({}), "{}");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(percent(61.53), "61.5");
+  EXPECT_EQ(percent(100.0), "100.0");
+}
+
+}  // namespace
+}  // namespace msoc

@@ -1,0 +1,118 @@
+#include "msoc/dsp/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/math.hpp"
+#include "msoc/common/rng.hpp"
+
+namespace msoc::dsp {
+namespace {
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> data(3, Complex(1.0, 0.0));
+  EXPECT_THROW(fft_inplace(data), InfeasibleError);
+}
+
+TEST(Fft, DcInput) {
+  std::vector<Complex> data(8, Complex(1.0, 0.0));
+  fft_inplace(data);
+  EXPECT_NEAR(std::abs(data[0]), 8.0, 1e-12);
+  for (std::size_t k = 1; k < 8; ++k) {
+    EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsOnBin) {
+  const std::size_t n = 64;
+  std::vector<Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = Complex(
+        std::cos(kTwoPi * 5.0 * static_cast<double>(i) / n), 0.0);
+  }
+  fft_inplace(data);
+  EXPECT_NEAR(std::abs(data[5]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - 5]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[3]), 0.0, 1e-9);
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseRecoversInput) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<Complex> data(n);
+  std::vector<Complex> original(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = Complex(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    original[i] = data[i];
+  }
+  fft_inplace(data);
+  ifft_inplace(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(1, 2, 4, 8, 64, 256, 4096));
+
+class FftParseval : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftParseval, EnergyConserved) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 7 + 1);
+  std::vector<Complex> data(n);
+  double time_energy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = Complex(rng.uniform(-1.0, 1.0), 0.0);
+    time_energy += std::norm(data[i]);
+  }
+  fft_inplace(data);
+  double freq_energy = 0.0;
+  for (const Complex& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-8 * time_energy + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftParseval,
+                         ::testing::Values(2, 16, 128, 1024, 8192));
+
+TEST(FftReal, ZeroPadsToPowerOfTwo) {
+  std::vector<double> x(4551, 0.0);
+  x[0] = 1.0;
+  const std::vector<Complex> bins = fft_real(x);
+  EXPECT_EQ(bins.size(), 8192u);
+  // Impulse -> flat spectrum.
+  for (std::size_t k = 0; k < bins.size(); k += 512) {
+    EXPECT_NEAR(std::abs(bins[k]), 1.0, 1e-9);
+  }
+}
+
+TEST(FftReal, RejectsEmpty) {
+  EXPECT_THROW(fft_real({}), InfeasibleError);
+}
+
+TEST(Fft, LinearityProperty) {
+  const std::size_t n = 128;
+  Rng rng(5);
+  std::vector<Complex> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = Complex(rng.uniform(-1.0, 1.0), 0.0);
+    b[i] = Complex(rng.uniform(-1.0, 1.0), 0.0);
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  fft_inplace(a);
+  fft_inplace(b);
+  fft_inplace(sum);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Complex expect = a[k] + 2.0 * b[k];
+    EXPECT_NEAR(std::abs(sum[k] - expect), 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace msoc::dsp

@@ -1,0 +1,65 @@
+#include "msoc/dsp/goertzel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msoc/common/error.hpp"
+#include "msoc/dsp/multitone.hpp"
+
+namespace msoc::dsp {
+namespace {
+
+TEST(Goertzel, MeasuresSingleToneAmplitude) {
+  MultitoneSpec spec;
+  spec.tones = {Tone{Hertz(1000.0), 0.75, 0.0}};
+  const Signal s = generate_multitone(spec, Hertz(48000.0), 4800);
+  const ToneMeasurement m = goertzel(s, Hertz(1000.0));
+  EXPECT_NEAR(m.amplitude, 0.75, 1e-3);
+}
+
+TEST(Goertzel, NonBinFrequency) {
+  // 1234.5 Hz over 4000 samples at 48 kHz is not an FFT bin.
+  MultitoneSpec spec;
+  spec.tones = {Tone{Hertz(1234.5), 0.5, 0.3}};
+  const Signal s = generate_multitone(spec, Hertz(48000.0), 4000);
+  const ToneMeasurement m = goertzel(s, Hertz(1234.5));
+  EXPECT_NEAR(m.amplitude, 0.5, 0.01);
+}
+
+TEST(Goertzel, RejectsAboveNyquist) {
+  const Signal s = Signal::zeros(Hertz(1000.0), 16);
+  EXPECT_THROW((void)goertzel(s, Hertz(600.0)), InfeasibleError);
+}
+
+TEST(Goertzel, RejectsEmptySignal) {
+  Signal empty;
+  EXPECT_THROW((void)goertzel(empty, Hertz(10.0)), InfeasibleError);
+}
+
+TEST(Goertzel, SeparatesMultipleTones) {
+  MultitoneSpec spec;
+  spec.tones = {Tone{Hertz(1000.0), 1.0, 0.0}, Tone{Hertz(3000.0), 0.25, 0.0},
+                Tone{Hertz(5000.0), 0.1, 0.0}};
+  const Signal s = generate_multitone(make_coherent(spec, Hertz(48000.0), 4800),
+                                      Hertz(48000.0), 4800);
+  EXPECT_NEAR(goertzel(s, Hertz(1000.0)).amplitude, 1.0, 5e-3);
+  EXPECT_NEAR(goertzel(s, Hertz(3000.0)).amplitude, 0.25, 5e-3);
+  EXPECT_NEAR(goertzel(s, Hertz(5000.0)).amplitude, 0.1, 5e-3);
+  EXPECT_NEAR(goertzel(s, Hertz(7000.0)).amplitude, 0.0, 5e-3);
+}
+
+class GoertzelAmplitudeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GoertzelAmplitudeSweep, AmplitudeRecovered) {
+  const double amplitude = GetParam();
+  MultitoneSpec spec;
+  spec.tones = {Tone{Hertz(2500.0), amplitude, 1.1}};
+  const Signal s = generate_multitone(spec, Hertz(50000.0), 5000);
+  EXPECT_NEAR(goertzel(s, Hertz(2500.0)).amplitude, amplitude,
+              amplitude * 0.01 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Amplitudes, GoertzelAmplitudeSweep,
+                         ::testing::Values(0.001, 0.1, 0.5, 1.0, 2.0, 10.0));
+
+}  // namespace
+}  // namespace msoc::dsp

@@ -1,0 +1,141 @@
+#include "msoc/soc/itc02.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msoc/common/error.hpp"
+#include "msoc/soc/benchmarks.hpp"
+
+namespace msoc::soc {
+namespace {
+
+constexpr const char* kSample = R"(
+# a mixed-signal SOC
+SocName demo
+Module 1 cpu
+  Inputs 10
+  Outputs 8
+  Bidirs 2
+  ScanChains 100 90 80
+  Patterns 42
+
+Module 2 glue
+  Inputs 5
+  Outputs 5
+  Patterns 7
+
+AnalogModule A "I-Q transmit"
+  Test f_c FLow 45e3 FHigh 55e3 FSample 1.5e6 Cycles 13653 Width 4 Resolution 8
+  Test G_pb FLow 50e3 FHigh 50e3 FSample 1.5e6 Cycles 50000 Width 1 Resolution 8
+)";
+
+TEST(Itc02Parse, ParsesDigitalModules) {
+  const Soc soc = parse_soc_string(kSample);
+  EXPECT_EQ(soc.name(), "demo");
+  ASSERT_EQ(soc.digital_count(), 2u);
+  const DigitalCore& cpu = soc.digital_cores()[0];
+  EXPECT_EQ(cpu.id, 1);
+  EXPECT_EQ(cpu.name, "cpu");
+  EXPECT_EQ(cpu.inputs, 10);
+  EXPECT_EQ(cpu.bidirs, 2);
+  ASSERT_EQ(cpu.scan_chain_lengths.size(), 3u);
+  EXPECT_EQ(cpu.scan_chain_lengths[1], 90);
+  EXPECT_EQ(cpu.patterns, 42);
+}
+
+TEST(Itc02Parse, ParsesAnalogModules) {
+  const Soc soc = parse_soc_string(kSample);
+  ASSERT_EQ(soc.analog_count(), 1u);
+  const AnalogCore& a = soc.analog_cores()[0];
+  EXPECT_EQ(a.name, "A");
+  EXPECT_EQ(a.description, "I-Q transmit");
+  ASSERT_EQ(a.tests.size(), 2u);
+  EXPECT_EQ(a.tests[0].name, "f_c");
+  EXPECT_EQ(a.tests[0].cycles, 13653u);
+  EXPECT_EQ(a.tests[0].tam_width, 4);
+  EXPECT_DOUBLE_EQ(a.tests[0].f_sample.hz(), 1.5e6);
+}
+
+TEST(Itc02Parse, CommentsAndBlankLinesIgnored) {
+  const Soc soc = parse_soc_string(
+      "# comment only\n\nSocName x # trailing comment\n");
+  EXPECT_EQ(soc.name(), "x");
+}
+
+TEST(Itc02Parse, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_soc_string("SocName x\nbogus 1\n", "test.soc");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.file(), "test.soc");
+  }
+}
+
+TEST(Itc02Parse, RejectsFieldOutsideModule) {
+  EXPECT_THROW(parse_soc_string("Inputs 3\n"), ParseError);
+  EXPECT_THROW(parse_soc_string("Test t Cycles 5\n"), ParseError);
+}
+
+TEST(Itc02Parse, RejectsNonNumericValues) {
+  EXPECT_THROW(parse_soc_string("Module 1 m\nInputs many\n"), ParseError);
+  EXPECT_THROW(
+      parse_soc_string("AnalogModule A\nTest t Cycles fast Width 1\n"),
+      ParseError);
+}
+
+TEST(Itc02Parse, RejectsUnknownTestAttribute) {
+  EXPECT_THROW(
+      parse_soc_string("AnalogModule A\nTest t Volts 5 Cycles 10\n"),
+      ParseError);
+}
+
+TEST(Itc02Parse, RejectsInvalidCoreData) {
+  // Validation errors surface as ParseError with the offending line.
+  EXPECT_THROW(parse_soc_string("Module 1 m\nInputs -2\nPatterns 1\n"),
+               ParseError);
+}
+
+TEST(Itc02RoundTrip, WriteThenParseIsIdentity) {
+  const Soc original = parse_soc_string(kSample);
+  const std::string text = write_soc_string(original);
+  const Soc back = parse_soc_string(text);
+
+  EXPECT_EQ(back.name(), original.name());
+  ASSERT_EQ(back.digital_count(), original.digital_count());
+  for (std::size_t i = 0; i < original.digital_count(); ++i) {
+    const DigitalCore& a = original.digital_cores()[i];
+    const DigitalCore& b = back.digital_cores()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.inputs, b.inputs);
+    EXPECT_EQ(a.outputs, b.outputs);
+    EXPECT_EQ(a.bidirs, b.bidirs);
+    EXPECT_EQ(a.scan_chain_lengths, b.scan_chain_lengths);
+    EXPECT_EQ(a.patterns, b.patterns);
+  }
+  ASSERT_EQ(back.analog_count(), original.analog_count());
+  for (std::size_t i = 0; i < original.analog_count(); ++i) {
+    EXPECT_TRUE(
+        back.analog_cores()[i].tests_equivalent(original.analog_cores()[i]));
+    EXPECT_EQ(back.analog_cores()[i].description,
+              original.analog_cores()[i].description);
+  }
+}
+
+TEST(Itc02RoundTrip, BenchmarksRoundTrip) {
+  for (const Soc& soc : {make_d695(), make_p93791m()}) {
+    const Soc back = parse_soc_string(write_soc_string(soc));
+    EXPECT_EQ(back.name(), soc.name());
+    EXPECT_EQ(back.digital_count(), soc.digital_count());
+    EXPECT_EQ(back.analog_count(), soc.analog_count());
+    EXPECT_EQ(back.total_scan_cells(), soc.total_scan_cells());
+    EXPECT_EQ(back.total_patterns(), soc.total_patterns());
+    EXPECT_EQ(back.total_analog_cycles(), soc.total_analog_cycles());
+  }
+}
+
+TEST(Itc02File, MissingFileThrows) {
+  EXPECT_THROW(load_soc_file("/nonexistent/path.soc"), ParseError);
+}
+
+}  // namespace
+}  // namespace msoc::soc

@@ -1,0 +1,81 @@
+#include "msoc/common/math.hpp"
+
+#include <gtest/gtest.h>
+
+namespace msoc {
+namespace {
+
+TEST(CeilDiv, ExactAndInexact) {
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(11, 5), 3);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+}
+
+TEST(CeilDiv, LargeValues) {
+  EXPECT_EQ(ceil_div<long long>(1'000'000'007, 2), 500'000'004);
+}
+
+TEST(AlmostEqual, Tolerances) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0));
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(almost_equal(1.0, 1.001));
+  EXPECT_TRUE(almost_equal(0.0, 0.0));
+  EXPECT_TRUE(almost_equal(1e-13, 0.0));
+}
+
+TEST(Decibels, RoundTrip) {
+  EXPECT_NEAR(to_db(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(to_db(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(from_db(to_db(0.5)), 0.5, 1e-12);
+  EXPECT_NEAR(from_db(-6.0205999132), 0.5, 1e-6);
+}
+
+TEST(Decibels, FloorForNonPositive) {
+  EXPECT_LE(to_db(0.0), -399.0);
+  EXPECT_LE(to_db(-1.0), -399.0);
+}
+
+TEST(PowerOfTwo, Detection) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(4551));
+}
+
+TEST(PowerOfTwo, NextPowerOfTwo) {
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(2), 2u);
+  EXPECT_EQ(next_power_of_two(3), 4u);
+  EXPECT_EQ(next_power_of_two(4551), 8192u);
+}
+
+TEST(LerpAt, InterpolatesAndHandlesDegenerate) {
+  EXPECT_DOUBLE_EQ(lerp_at(0.0, 0.0, 1.0, 10.0, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(lerp_at(0.0, 0.0, 1.0, 10.0, 2.0), 20.0);  // extrapolate
+  EXPECT_DOUBLE_EQ(lerp_at(1.0, 3.0, 1.0, 5.0, 1.0), 4.0);    // degenerate
+}
+
+TEST(CheckedInt, AcceptsSmallRejectsHuge) {
+  EXPECT_EQ(checked_int(42u), 42);
+  EXPECT_THROW((void)checked_int(static_cast<std::size_t>(1) << 40U),
+               LogicError);
+}
+
+class CeilDivProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CeilDivProperty, MatchesDefinition) {
+  const int b = GetParam();
+  for (int a = 0; a <= 100; ++a) {
+    const int q = ceil_div(a, b);
+    EXPECT_GE(q * b, a);
+    EXPECT_LT((q - 1) * b, a == 0 ? 1 : a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisors, CeilDivProperty,
+                         ::testing::Values(1, 2, 3, 7, 16, 64));
+
+}  // namespace
+}  // namespace msoc

@@ -1,0 +1,87 @@
+#include "msoc/dsp/multitone.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "msoc/common/error.hpp"
+
+namespace msoc::dsp {
+namespace {
+
+TEST(Multitone, SingleToneSamples) {
+  MultitoneSpec spec;
+  spec.tones = {Tone{Hertz(1000.0), 1.0, 0.0}};
+  const Signal s = generate_multitone(spec, Hertz(8000.0), 8);
+  // sin(2*pi*k/8) for k = 0..7.
+  EXPECT_NEAR(s[0], 0.0, 1e-12);
+  EXPECT_NEAR(s[2], 1.0, 1e-12);
+  EXPECT_NEAR(s[4], 0.0, 1e-12);
+  EXPECT_NEAR(s[6], -1.0, 1e-12);
+}
+
+TEST(Multitone, DcOffsetApplied) {
+  MultitoneSpec spec;
+  spec.dc_offset = 0.5;
+  const Signal s = generate_multitone(spec, Hertz(100.0), 10);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_DOUBLE_EQ(s[i], 0.5);
+}
+
+TEST(Multitone, PhaseShift) {
+  MultitoneSpec spec;
+  spec.tones = {Tone{Hertz(100.0), 1.0, 3.14159265358979 / 2.0}};
+  const Signal s = generate_multitone(spec, Hertz(1000.0), 4);
+  EXPECT_NEAR(s[0], 1.0, 1e-9);  // sin(pi/2) = 1
+}
+
+TEST(Multitone, SumOfTonesIsLinear) {
+  MultitoneSpec one;
+  one.tones = {Tone{Hertz(100.0), 0.4, 0.1}};
+  MultitoneSpec two;
+  two.tones = {Tone{Hertz(300.0), 0.6, 0.8}};
+  MultitoneSpec both;
+  both.tones = {one.tones[0], two.tones[0]};
+  const Hertz fs(5000.0);
+  const Signal a = generate_multitone(one, fs, 100);
+  const Signal b = generate_multitone(two, fs, 100);
+  const Signal c = generate_multitone(both, fs, 100);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], a[i] + b[i], 1e-12);
+  }
+}
+
+TEST(Multitone, RejectsAboveNyquist) {
+  MultitoneSpec spec;
+  spec.tones = {Tone{Hertz(600.0), 1.0, 0.0}};
+  EXPECT_THROW(generate_multitone(spec, Hertz(1000.0), 8), InfeasibleError);
+}
+
+TEST(CoherentFrequency, SnapsToBin) {
+  // 4551 samples at 1.7 MHz: bin width = 1.7e6/4551 = 373.54... Hz.
+  const Hertz snapped = coherent_frequency(Hertz(61e3), Hertz(1.7e6), 4551);
+  const double bin_width = 1.7e6 / 4551.0;
+  const double bins = snapped.hz() / bin_width;
+  EXPECT_NEAR(bins, std::round(bins), 1e-9);
+  EXPECT_NEAR(snapped.hz(), 61e3, bin_width);
+}
+
+TEST(CoherentFrequency, ExactBinUnchanged) {
+  const Hertz f = coherent_frequency(Hertz(250.0), Hertz(1000.0), 16);
+  // 250 Hz = bin 4 of 16 bins at 1 kHz.
+  EXPECT_DOUBLE_EQ(f.hz(), 250.0);
+}
+
+TEST(MakeCoherent, AllTonesSnapped) {
+  MultitoneSpec spec;
+  spec.tones = {Tone{Hertz(30e3), 1.0, 0.0}, Tone{Hertz(61e3), 1.0, 0.0},
+                Tone{Hertz(122e3), 1.0, 0.0}};
+  const MultitoneSpec snapped = make_coherent(spec, Hertz(1.7e6), 4551);
+  const double bin_width = 1.7e6 / 4551.0;
+  for (const Tone& t : snapped.tones) {
+    const double bins = t.frequency.hz() / bin_width;
+    EXPECT_NEAR(bins, std::round(bins), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace msoc::dsp

@@ -1,0 +1,143 @@
+#include "msoc/plan/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msoc/common/error.hpp"
+#include "msoc/soc/benchmarks.hpp"
+
+namespace msoc::plan {
+namespace {
+
+PlanningProblem problem(const soc::Soc& soc, int width, double w_time) {
+  PlanningProblem p;
+  p.soc = &soc;
+  p.tam_width = width;
+  p.weights.time = w_time;
+  p.weights.area = 1.0 - w_time;
+  return p;
+}
+
+TEST(Exhaustive, Evaluates26Combinations) {
+  const soc::Soc soc = soc::make_p93791m();
+  CostModel model(problem(soc, 32, 0.5));
+  const OptimizationResult r = optimize_exhaustive(model);
+  EXPECT_EQ(r.total_combinations, 26);
+  // 25 paid runs: all-share is the free baseline.
+  EXPECT_EQ(r.evaluations, 25);
+  EXPECT_GT(r.best.total, 0.0);
+}
+
+TEST(Heuristic, FarFewerEvaluations) {
+  const soc::Soc soc = soc::make_p93791m();
+  CostModel model(problem(soc, 32, 0.5));
+  const HeuristicResult r = optimize_cost_heuristic(model);
+  EXPECT_EQ(r.total_combinations, 26);
+  EXPECT_LT(r.evaluations, 26);
+  // At least the 4 paid group representatives must be evaluated.
+  EXPECT_GE(r.evaluations, 4);
+  EXPECT_GE(r.evaluation_reduction_percent(), 30.0);
+}
+
+class WeightSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeightSweep, HeuristicNearOptimal) {
+  const double w_time = GetParam();
+  const soc::Soc soc = soc::make_p93791m();
+
+  CostModel exhaustive_model(problem(soc, 32, w_time));
+  const OptimizationResult best = optimize_exhaustive(exhaustive_model);
+
+  CostModel heuristic_model(problem(soc, 32, w_time));
+  const HeuristicResult h = optimize_cost_heuristic(heuristic_model);
+
+  // The paper reports optimality in all but one case; allow a modest
+  // gap (the packer's schedule noise can flip near-tied representatives).
+  EXPECT_LE(h.best.total, best.best.total * 1.10 + 1e-9);
+  EXPECT_LE(h.evaluations, best.evaluations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, WeightSweep,
+                         ::testing::Values(0.25, 0.5, 0.75));
+
+TEST(Heuristic, DiagnosticsCoverFiveShapeGroups) {
+  const soc::Soc soc = soc::make_p93791m();
+  CostModel model(problem(soc, 32, 0.5));
+  const HeuristicResult r = optimize_cost_heuristic(model);
+  EXPECT_EQ(r.diagnostics.group_shapes.size(), 5u);
+  EXPECT_EQ(r.diagnostics.representative_costs.size(), 5u);
+  EXPECT_EQ(r.diagnostics.eliminated.size(), 5u);
+  // At least one group must survive.
+  bool survivor = false;
+  for (bool e : r.diagnostics.eliminated) survivor |= !e;
+  EXPECT_TRUE(survivor);
+}
+
+TEST(Heuristic, LargeEpsilonDegradesToExhaustive) {
+  const soc::Soc soc = soc::make_p93791m();
+
+  CostModel strict_model(problem(soc, 32, 0.5));
+  HeuristicOptions strict;
+  strict.epsilon = 0.0;
+  const HeuristicResult tight = optimize_cost_heuristic(strict_model, strict);
+
+  CostModel loose_model(problem(soc, 32, 0.5));
+  HeuristicOptions loose;
+  loose.epsilon = 1000.0;  // nothing gets eliminated
+  const HeuristicResult all = optimize_cost_heuristic(loose_model, loose);
+
+  EXPECT_EQ(all.evaluations, 25);  // = exhaustive (all-share free)
+  EXPECT_LE(tight.evaluations, all.evaluations);
+
+  CostModel exhaustive_model(problem(soc, 32, 0.5));
+  const OptimizationResult best = optimize_exhaustive(exhaustive_model);
+  EXPECT_NEAR(all.best.total, best.best.total, 1e-9);
+}
+
+TEST(Heuristic, NegativeEpsilonRejected) {
+  const soc::Soc soc = soc::make_p93791m();
+  CostModel model(problem(soc, 32, 0.5));
+  HeuristicOptions options;
+  options.epsilon = -1.0;
+  EXPECT_THROW(optimize_cost_heuristic(model, options), InfeasibleError);
+}
+
+TEST(Heuristic, AreaHeavyWeightsPreferMoreSharing) {
+  const soc::Soc soc = soc::make_p93791m();
+
+  CostModel time_heavy(problem(soc, 64, 0.95));
+  const HeuristicResult t = optimize_cost_heuristic(time_heavy);
+
+  CostModel area_heavy(problem(soc, 64, 0.05));
+  const HeuristicResult a = optimize_cost_heuristic(area_heavy);
+
+  // With area dominating, the winner has at most as many wrappers as the
+  // time-dominated winner.
+  EXPECT_LE(a.best.partition.wrapper_count(),
+            t.best.partition.wrapper_count());
+}
+
+TEST(EvaluationReduction, Formula) {
+  OptimizationResult r;
+  r.total_combinations = 26;
+  r.evaluations = 10;
+  EXPECT_NEAR(r.evaluation_reduction_percent(), 61.5, 0.1);
+  r.evaluations = 7;
+  EXPECT_NEAR(r.evaluation_reduction_percent(), 73.1, 0.1);
+}
+
+TEST(Optimizers, RespectSharingPolicy) {
+  const soc::Soc soc = soc::make_p93791m();
+  PlanningProblem p = problem(soc, 32, 0.5);
+  // Forbid everything except... make policy impossible to satisfy for
+  // shared groups by mutating resolutions is not possible here, so use a
+  // policy that still accepts Table-2 cores (all 8-bit) and check the
+  // count stays 26.
+  p.policy.max_fs_ratio = 1.0;
+  p.policy.min_resolution_gap = 99;  // gap never reached -> all feasible
+  CostModel model(p);
+  const OptimizationResult r = optimize_exhaustive(model);
+  EXPECT_EQ(r.total_combinations, 26);
+}
+
+}  // namespace
+}  // namespace msoc::plan

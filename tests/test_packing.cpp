@@ -1,0 +1,212 @@
+#include "msoc/tam/packing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "msoc/common/error.hpp"
+#include "msoc/soc/benchmarks.hpp"
+#include "msoc/tam/schedule.hpp"
+
+namespace msoc::tam {
+namespace {
+
+class PackP93791m : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackP93791m, SingletonScheduleValid) {
+  const soc::Soc s = soc::make_p93791m();
+  const Schedule sched =
+      schedule_soc(s, GetParam(), singleton_partition(s));
+  EXPECT_TRUE(validate_schedule(sched).empty());
+  EXPECT_EQ(sched.tests.size(), s.digital_count() + s.analog_count());
+}
+
+TEST_P(PackP93791m, AllShareScheduleValid) {
+  const soc::Soc s = soc::make_p93791m();
+  const Schedule sched =
+      schedule_soc(s, GetParam(), all_share_partition(s));
+  EXPECT_TRUE(validate_schedule(sched).empty());
+}
+
+TEST_P(PackP93791m, LowerBoundRespected) {
+  const soc::Soc s = soc::make_p93791m();
+  const AnalogPartition p = singleton_partition(s);
+  const Schedule sched = schedule_soc(s, GetParam(), p);
+  EXPECT_GE(sched.makespan(),
+            schedule_lower_bound(s, GetParam(), p));
+}
+
+TEST_P(PackP93791m, MoreSharingNeverHelps) {
+  // The all-share partition is the most constrained; a singleton
+  // partition's schedule should never be longer.
+  const soc::Soc s = soc::make_p93791m();
+  const Cycles singleton =
+      schedule_soc(s, GetParam(), singleton_partition(s)).makespan();
+  const Cycles all_share =
+      schedule_soc(s, GetParam(), all_share_partition(s)).makespan();
+  EXPECT_LE(singleton, all_share);
+}
+
+TEST_P(PackP93791m, Deterministic) {
+  const soc::Soc s = soc::make_p93791m();
+  const Cycles a =
+      schedule_soc(s, GetParam(), singleton_partition(s)).makespan();
+  const Cycles b =
+      schedule_soc(s, GetParam(), singleton_partition(s)).makespan();
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PackP93791m,
+                         ::testing::Values(16, 24, 32, 48, 64));
+
+TEST(Packing, MakespanDecreasesWithWidth) {
+  const soc::Soc s = soc::make_p93791m();
+  Cycles prev = 0;
+  for (int w : {16, 32, 64}) {
+    const Cycles m =
+        schedule_soc(s, w, singleton_partition(s)).makespan();
+    if (prev != 0) EXPECT_LE(m, prev) << "W=" << w;
+    prev = m;
+  }
+}
+
+TEST(Packing, DigitalOnlySoc) {
+  const soc::Soc s = soc::make_d695();
+  const Schedule sched = schedule_soc(s, 16, {});
+  EXPECT_TRUE(validate_schedule(sched).empty());
+  EXPECT_EQ(sched.tests.size(), 10u);
+  EXPECT_GE(sched.makespan(), digital_lower_bound(s, 16));
+}
+
+TEST(Packing, SharedGroupSerializedInTime) {
+  const soc::Soc s = soc::make_p93791m();
+  const AnalogPartition p = {{"A", "B", "C"}, {"D", "E"}};
+  const Schedule sched = schedule_soc(s, 32, p);
+  EXPECT_TRUE(validate_schedule(sched).empty());
+  // Group 0 tests (A,B,C) must not overlap pairwise.
+  std::vector<std::pair<Cycles, Cycles>> g0;
+  for (const ScheduledTest& t : sched.tests) {
+    if (t.kind == TestKind::kAnalog && t.wrapper_group == 0) {
+      g0.emplace_back(t.start, t.end());
+    }
+  }
+  ASSERT_EQ(g0.size(), 3u);
+  std::sort(g0.begin(), g0.end());
+  EXPECT_LE(g0[0].second, g0[1].first);
+  EXPECT_LE(g0[1].second, g0[2].first);
+}
+
+TEST(Packing, PartitionValidationErrors) {
+  const soc::Soc s = soc::make_p93791m();
+  EXPECT_THROW(schedule_soc(s, 32, {{"A"}}), InfeasibleError);  // missing
+  EXPECT_THROW(schedule_soc(s, 32,
+                            {{"A", "A"}, {"B"}, {"C"}, {"D"}, {"E"}}),
+               InfeasibleError);  // duplicate
+  EXPECT_THROW(schedule_soc(s, 32,
+                            {{"A", "Z"}, {"B"}, {"C"}, {"D"}, {"E"}}),
+               InfeasibleError);  // unknown
+  EXPECT_THROW(
+      schedule_soc(s, 32,
+                   {{"A"}, {}, {"B"}, {"C"}, {"D"}, {"E"}}),
+      InfeasibleError);  // empty group
+}
+
+TEST(Packing, RejectsTamNarrowerThanAnalogCore) {
+  // Core D needs 10 wires.
+  const soc::Soc s = soc::make_p93791m();
+  EXPECT_THROW(schedule_soc(s, 8, singleton_partition(s)),
+               InfeasibleError);
+}
+
+TEST(Packing, PartitionHelpers) {
+  const soc::Soc s = soc::make_p93791m();
+  EXPECT_EQ(singleton_partition(s).size(), 5u);
+  EXPECT_EQ(all_share_partition(s).size(), 1u);
+  EXPECT_EQ(all_share_partition(s).front().size(), 5u);
+  const soc::Soc d = soc::make_d695();
+  EXPECT_TRUE(all_share_partition(d).empty());
+}
+
+TEST(Packing, WireAssignmentsCoverEveryTest) {
+  const soc::Soc s = soc::make_p93791m();
+  const Schedule sched = schedule_soc(s, 32, singleton_partition(s));
+  for (const ScheduledTest& t : sched.tests) {
+    EXPECT_EQ(static_cast<int>(t.wires.size()), t.width) << t.core_name;
+  }
+}
+
+TEST(Packing, WireAssignmentOptional) {
+  PackingOptions options;
+  options.assign_wires = false;
+  const soc::Soc s = soc::make_p93791m();
+  const Schedule sched =
+      schedule_soc(s, 32, singleton_partition(s), options);
+  for (const ScheduledTest& t : sched.tests) {
+    EXPECT_TRUE(t.wires.empty());
+  }
+}
+
+TEST(PackingAblation, FullPackerBeatsBareGreedy) {
+  const soc::Soc s = soc::make_p93791m();
+  PackingOptions plain;
+  plain.race_orders = false;
+  plain.improvement_rounds = 0;
+  const Cycles greedy =
+      schedule_soc(s, 32, singleton_partition(s), plain).makespan();
+  const Cycles full =
+      schedule_soc(s, 32, singleton_partition(s)).makespan();
+  EXPECT_LE(full, greedy);
+}
+
+TEST(PackingAblation, FlexibleWidthBeatsRigid) {
+  const soc::Soc s = soc::make_p93791();
+  PackingOptions rigid;
+  rigid.flexible_width = false;
+  const Cycles rigid_time = schedule_soc(s, 32, {}, rigid).makespan();
+  const Cycles flexible_time = schedule_soc(s, 32, {}).makespan();
+  EXPECT_LE(flexible_time, rigid_time);
+}
+
+TEST(PackingAblation, SingleOrderStillValid) {
+  const soc::Soc s = soc::make_p93791m();
+  for (PlacementOrder order :
+       {PlacementOrder::kAreaDescending, PlacementOrder::kDigitalFirst,
+        PlacementOrder::kAnalogFirst, PlacementOrder::kDeclaration}) {
+    PackingOptions options;
+    options.race_orders = false;
+    options.order = order;
+    const Schedule sched =
+        schedule_soc(s, 32, singleton_partition(s), options);
+    EXPECT_TRUE(validate_schedule(sched).empty())
+        << "order " << static_cast<int>(order);
+  }
+}
+
+TEST(PackingAblation, PerTestGranularityValidAndNoWorse) {
+  const soc::Soc s = soc::make_p93791m();
+  PackingOptions per_test;
+  per_test.analog_per_test = true;
+  const Schedule sched =
+      schedule_soc(s, 48, singleton_partition(s), per_test);
+  EXPECT_TRUE(validate_schedule(sched).empty());
+  // 32 digital + 17 analog test rectangles (6+6+3+3+2 per core... A,B:6
+  // each, C:3, D:3, E:2 = 20).
+  EXPECT_EQ(sched.tests.size(), 32u + 20u);
+}
+
+TEST(LowerBounds, DigitalBoundMonotoneInWidth) {
+  const soc::Soc s = soc::make_p93791();
+  EXPECT_GE(digital_lower_bound(s, 16), digital_lower_bound(s, 32));
+  EXPECT_GE(digital_lower_bound(s, 32), digital_lower_bound(s, 64));
+}
+
+TEST(LowerBounds, AnalogBoundMatchesBusiestWrapper) {
+  const soc::Soc s = soc::make_p93791m();
+  EXPECT_EQ(analog_lower_bound(s, all_share_partition(s)), 636113u);
+  EXPECT_EQ(analog_lower_bound(s, singleton_partition(s)), 299785u);
+  EXPECT_EQ(analog_lower_bound(s, {{"A", "C"}, {"B"}, {"D"}, {"E"}}),
+            435754u);
+}
+
+}  // namespace
+}  // namespace msoc::tam

@@ -1,0 +1,180 @@
+#include "msoc/mswrap/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include <set>
+
+#include "msoc/common/error.hpp"
+#include "msoc/soc/benchmarks.hpp"
+
+namespace msoc::mswrap {
+namespace {
+
+std::vector<soc::AnalogCore> paper_cores() {
+  return soc::table2_analog_cores();
+}
+
+TEST(PartitionType, CanonicalForm) {
+  Partition p({{2, 0}, {1}, {4, 3}});
+  ASSERT_EQ(p.groups().size(), 3u);
+  // Groups sorted by (size desc, first asc); members ascending.
+  EXPECT_EQ(p.groups()[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(p.groups()[1], (std::vector<std::size_t>{3, 4}));
+  EXPECT_EQ(p.groups()[2], (std::vector<std::size_t>{1}));
+}
+
+TEST(PartitionType, RejectsDuplicatesAndEmptyGroups) {
+  EXPECT_THROW(Partition({{0, 1}, {1}}), InfeasibleError);
+  EXPECT_THROW(Partition({{0}, {}}), InfeasibleError);
+}
+
+TEST(PartitionType, ShapeAndCounts) {
+  Partition p({{0, 1, 2}, {3, 4}});
+  EXPECT_EQ(p.shape(), (std::vector<std::size_t>{3, 2}));
+  EXPECT_EQ(p.wrapper_count(), 2u);
+  EXPECT_EQ(p.core_count(), 5u);
+  EXPECT_EQ(p.shared_group_count(), 2u);
+  EXPECT_FALSE(p.is_no_sharing());
+}
+
+TEST(PartitionType, NoSharingDetection) {
+  Partition p({{0}, {1}, {2}});
+  EXPECT_TRUE(p.is_no_sharing());
+  EXPECT_EQ(p.shared_group_count(), 0u);
+}
+
+TEST(PartitionType, ToStringPaperStyle) {
+  const std::vector<std::string> names = {"A", "B", "C", "D", "E"};
+  Partition p({{0, 1, 4}, {2, 3}});
+  EXPECT_EQ(p.to_string(names), "{A,B,E} {C,D}");
+  Partition q({{0, 2}, {1}, {3}, {4}});
+  EXPECT_EQ(q.to_string(names), "{A,C}");  // singletons omitted
+  EXPECT_EQ(q.to_string(names, true), "{A,C} {B} {D} {E}");
+}
+
+TEST(BellNumbers, KnownValues) {
+  EXPECT_EQ(bell_number(0), 1u);
+  EXPECT_EQ(bell_number(1), 1u);
+  EXPECT_EQ(bell_number(2), 2u);
+  EXPECT_EQ(bell_number(3), 5u);
+  EXPECT_EQ(bell_number(5), 52u);
+  EXPECT_EQ(bell_number(10), 115975u);
+}
+
+TEST(Enumerate, PaperModeYields26ForTheTable2Cores) {
+  const auto partitions = enumerate_partitions(paper_cores());
+  EXPECT_EQ(partitions.size(), 26u);
+}
+
+TEST(Enumerate, FullPartitionLatticeWithoutSymmetry) {
+  EnumerationOptions options;
+  options.mode = EnumerationMode::kAllPartitions;
+  options.reduce_symmetry = false;
+  options.include_no_sharing = true;
+  const auto partitions = enumerate_partitions(paper_cores(), options);
+  EXPECT_EQ(partitions.size(), bell_number(5));
+}
+
+TEST(Enumerate, FullLatticeWithSymmetryReduction) {
+  EnumerationOptions options;
+  options.mode = EnumerationMode::kAllPartitions;
+  options.include_no_sharing = true;
+  const auto partitions = enumerate_partitions(paper_cores(), options);
+  // 52 partitions of 5 cores collapse to 36 classes under the A<->B
+  // symmetry (26 paper combinations + 9 of shape (2,2,1) + no-sharing).
+  EXPECT_EQ(partitions.size(), 36u);
+}
+
+TEST(Enumerate, PaperModeShapes) {
+  const auto partitions = enumerate_partitions(paper_cores());
+  std::set<std::vector<std::size_t>> shapes;
+  for (const Partition& p : partitions) shapes.insert(p.shape());
+  const std::set<std::vector<std::size_t>> expected = {
+      {2, 1, 1, 1}, {3, 1, 1}, {4, 1}, {3, 2}, {5}};
+  EXPECT_EQ(shapes, expected);
+}
+
+TEST(Enumerate, ShapeGroupSizesMatchThePaper) {
+  const auto partitions = enumerate_partitions(paper_cores());
+  std::map<std::vector<std::size_t>, int> count;
+  for (const Partition& p : partitions) ++count[p.shape()];
+  const std::vector<std::size_t> pairs = {2, 1, 1, 1};
+  const std::vector<std::size_t> triples = {3, 1, 1};
+  const std::vector<std::size_t> four_sets = {4, 1};
+  const std::vector<std::size_t> splits = {3, 2};
+  const std::vector<std::size_t> all_share = {5};
+  EXPECT_EQ(count[pairs], 7);
+  EXPECT_EQ(count[triples], 7);
+  EXPECT_EQ(count[four_sets], 4);
+  EXPECT_EQ(count[splits], 7);
+  EXPECT_EQ(count[all_share], 1);
+}
+
+TEST(Enumerate, OrderedByDescendingWrapperCount) {
+  const auto partitions = enumerate_partitions(paper_cores());
+  std::size_t prev = partitions.front().wrapper_count();
+  for (const Partition& p : partitions) {
+    EXPECT_LE(p.wrapper_count(), prev);
+    prev = p.wrapper_count();
+  }
+  EXPECT_EQ(partitions.back().wrapper_count(), 1u);
+}
+
+TEST(Enumerate, NoSymmetryGivesAllPairs) {
+  EnumerationOptions options;
+  options.reduce_symmetry = false;
+  const auto partitions = enumerate_partitions(paper_cores(), options);
+  int pairs = 0;
+  for (const Partition& p : partitions) {
+    if (p.shape() == std::vector<std::size_t>{2, 1, 1, 1}) ++pairs;
+  }
+  EXPECT_EQ(pairs, 10);  // C(5,2) without A~B collapsing
+}
+
+TEST(Enumerate, DistinctCoresNoReduction) {
+  // Make every core unique: symmetry reduction becomes a no-op.
+  auto cores = paper_cores();
+  cores[1].tests[0].cycles += 1;  // break the A~B equivalence
+  EnumerationOptions sym;
+  EnumerationOptions nosym;
+  nosym.reduce_symmetry = false;
+  EXPECT_EQ(enumerate_partitions(cores, sym).size(),
+            enumerate_partitions(cores, nosym).size());
+}
+
+TEST(Enumerate, SingleCore) {
+  std::vector<soc::AnalogCore> one = {paper_cores()[0]};
+  EnumerationOptions options;
+  options.include_no_sharing = true;
+  const auto partitions = enumerate_partitions(one, options);
+  ASSERT_EQ(partitions.size(), 1u);
+  EXPECT_TRUE(partitions[0].is_no_sharing());
+}
+
+TEST(Enumerate, RejectsTooMany) {
+  std::vector<soc::AnalogCore> cores;
+  for (int i = 0; i < 13; ++i) {
+    soc::AnalogCore c = paper_cores()[0];
+    c.name = "X" + std::to_string(i);
+    cores.push_back(std::move(c));
+  }
+  EXPECT_THROW(enumerate_partitions(cores), InfeasibleError);
+}
+
+TEST(Enumerate, EveryPartitionCoversAllCores) {
+  EnumerationOptions options;
+  options.mode = EnumerationMode::kAllPartitions;
+  for (const Partition& p : enumerate_partitions(paper_cores(), options)) {
+    EXPECT_EQ(p.core_count(), 5u);
+    std::set<std::size_t> seen;
+    for (const auto& g : p.groups()) {
+      for (std::size_t idx : g) seen.insert(idx);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace msoc::mswrap

@@ -1,0 +1,124 @@
+#include "msoc/mswrap/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "msoc/common/error.hpp"
+#include "msoc/mswrap/area_model.hpp"
+#include "msoc/soc/benchmarks.hpp"
+
+namespace msoc::mswrap {
+namespace {
+
+TEST(FloorplanType, Distances) {
+  Floorplan fp({{0.0, 0.0}, {3.0, 4.0}, {0.0, 4.0}});
+  EXPECT_DOUBLE_EQ(fp.distance(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(fp.distance(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(fp.distance(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(fp.distance(1, 1), 0.0);
+}
+
+TEST(FloorplanType, CumulativeDistance) {
+  Floorplan fp({{0.0, 0.0}, {3.0, 4.0}, {0.0, 4.0}});
+  EXPECT_DOUBLE_EQ(fp.cumulative_distance({0, 1, 2}), 12.0);
+  EXPECT_DOUBLE_EQ(fp.cumulative_distance({0, 2}), 4.0);
+  EXPECT_DOUBLE_EQ(fp.cumulative_distance({1}), 0.0);
+}
+
+TEST(FloorplanType, MeanPairDistance) {
+  Floorplan fp({{0.0, 0.0}, {3.0, 4.0}, {0.0, 4.0}});
+  EXPECT_DOUBLE_EQ(fp.mean_pair_distance(), 4.0);
+  Floorplan single({{1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(single.mean_pair_distance(), 0.0);
+}
+
+TEST(RingFloorplan, CoresOnCircle) {
+  const Floorplan fp = ring_floorplan(5, 2.0);
+  EXPECT_EQ(fp.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(std::hypot(fp.at(i).x, fp.at(i).y), 2.0, 1e-12);
+  }
+  // Adjacent cores equidistant.
+  EXPECT_NEAR(fp.distance(0, 1), fp.distance(1, 2), 1e-12);
+}
+
+TEST(ClusteredFloorplan, ClusterIsTight) {
+  const Floorplan fp = clustered_floorplan(5, {0, 1}, 1.0);
+  EXPECT_LT(fp.distance(0, 1), 0.05);
+  EXPECT_GT(fp.distance(0, 2), 0.5);
+}
+
+TEST(ClusteredFloorplan, RejectsBadIndex) {
+  EXPECT_THROW(clustered_floorplan(3, {7}), InfeasibleError);
+}
+
+TEST(PlacementAwareAreaModel, UniformRingMatchesPlacementFree) {
+  // On a ring, all pair distances are close to the mean, so the
+  // placement-aware overhead approximates beta*C(m,2).
+  WrapperAreaModel placed;
+  placed.set_floorplan(ring_floorplan(5));
+  const WrapperAreaModel plain;
+  for (std::size_t m = 2; m <= 5; ++m) {
+    std::vector<std::size_t> group;
+    for (std::size_t i = 0; i < m; ++i) group.push_back(i);
+    EXPECT_NEAR(placed.routing_overhead_for(group),
+                plain.routing_overhead(m),
+                0.6 * plain.routing_overhead(m))
+        << "m=" << m;
+  }
+}
+
+TEST(PlacementAwareAreaModel, ClusteredPairIsCheaper) {
+  const auto cores = soc::table2_analog_cores();
+  const Partition ab({{0, 1}, {2}, {3}, {4}});
+
+  WrapperAreaModel clustered;
+  clustered.set_floorplan(clustered_floorplan(5, {0, 1}));
+  WrapperAreaModel scattered;
+  scattered.set_floorplan(clustered_floorplan(5, {2, 3}));  // A,B far apart
+
+  EXPECT_LT(clustered.area_cost(cores, ab),
+            scattered.area_cost(cores, ab));
+}
+
+TEST(PlacementAwareAreaModel, NoFloorplanFallsBack) {
+  const WrapperAreaModel model;
+  EXPECT_FALSE(model.has_floorplan());
+  EXPECT_DOUBLE_EQ(model.routing_overhead_for({0, 1, 2}),
+                   model.routing_overhead(3));
+}
+
+TEST(PlacementAwareAreaModel, SingletonsAlwaysFree) {
+  WrapperAreaModel model;
+  model.set_floorplan(ring_floorplan(5));
+  EXPECT_DOUBLE_EQ(model.routing_overhead_for({3}), 0.0);
+}
+
+TEST(PlacementAwareAreaModel, DegenerateFloorplanRejected) {
+  WrapperAreaModel model;
+  EXPECT_THROW(model.set_floorplan(Floorplan({{0.0, 0.0}, {0.0, 0.0}})),
+               InfeasibleError);
+}
+
+TEST(PlacementAwareAreaModel, ClearFloorplanRestoresDefault) {
+  WrapperAreaModel model;
+  model.set_floorplan(ring_floorplan(5));
+  EXPECT_TRUE(model.has_floorplan());
+  model.clear_floorplan();
+  EXPECT_FALSE(model.has_floorplan());
+  EXPECT_DOUBLE_EQ(model.routing_overhead_for({0, 1}),
+                   model.routing_overhead(2));
+}
+
+TEST(PlacementAwareAreaModel, NoSharingStill100) {
+  const auto cores = soc::table2_analog_cores();
+  WrapperAreaModel model;
+  model.set_floorplan(ring_floorplan(5));
+  EXPECT_NEAR(
+      model.area_cost(cores, Partition({{0}, {1}, {2}, {3}, {4}})), 100.0,
+      1e-9);
+}
+
+}  // namespace
+}  // namespace msoc::mswrap

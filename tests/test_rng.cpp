@@ -1,0 +1,102 @@
+#include "msoc/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace msoc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ZeroSeedIsWellMixed) {
+  Rng rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(rng.next_u64());
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntHitsAllValues) {
+  Rng rng(3);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(1, 6));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 1);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(123);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+class RngRangeProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RngRangeProperty, StaysInRange) {
+  const auto [lo, hi] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(lo) * 31 + 17);
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, RngRangeProperty,
+    ::testing::Values(std::pair{0, 1}, std::pair{-5, 5}, std::pair{100, 200},
+                      std::pair{0, 1000000}));
+
+}  // namespace
+}  // namespace msoc

@@ -1,0 +1,198 @@
+#include "msoc/testsim/scan_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msoc/common/error.hpp"
+#include "msoc/soc/benchmarks.hpp"
+#include "msoc/testsim/replay.hpp"
+
+namespace msoc::testsim {
+namespace {
+
+soc::DigitalCore small_core() {
+  soc::DigitalCore c;
+  c.id = 1;
+  c.name = "small";
+  c.inputs = 4;
+  c.outputs = 4;
+  c.scan_chain_lengths = {6, 4};
+  c.patterns = 3;
+  return c;
+}
+
+TEST(ScanSim, CycleCountMatchesAnalyticModel) {
+  const soc::DigitalCore core = small_core();
+  for (int width : {1, 2, 3}) {
+    const wrapper::WrapperDesign design = wrapper::design_wrapper(core, width);
+    const auto patterns = random_patterns(design, 5, 42);
+    const ScanSimResult result =
+        apply_patterns(core, design, patterns, transparent_capture());
+    EXPECT_EQ(result.cycles_used,
+              simulate_scan_test(design.scan_in, design.scan_out, 5))
+        << "width " << width;
+  }
+}
+
+TEST(ScanSim, OneResponsePerPattern) {
+  const soc::DigitalCore core = small_core();
+  const wrapper::WrapperDesign design = wrapper::design_wrapper(core, 2);
+  const auto patterns = random_patterns(design, 4, 7);
+  const ScanSimResult result =
+      apply_patterns(core, design, patterns, transparent_capture());
+  ASSERT_EQ(result.responses.size(), 4u);
+  for (const WrapperResponse& r : result.responses) {
+    ASSERT_EQ(r.per_chain_response.size(), design.chains.size());
+    for (std::size_t c = 0; c < design.chains.size(); ++c) {
+      EXPECT_EQ(static_cast<long long>(r.per_chain_response[c].size()),
+                design.chains[c].scan_out_length());
+    }
+  }
+}
+
+TEST(ScanSim, TransparentCaptureTransportsInputBits) {
+  // With a transparent core, the out-cells after capture hold the
+  // in-cell bits, which exit the TAM first (deepest cells last).  The
+  // response must therefore reproduce the stimulus bits that sat in the
+  // input cells.
+  const soc::DigitalCore core = small_core();
+  const wrapper::WrapperDesign design = wrapper::design_wrapper(core, 2);
+  auto patterns = random_patterns(design, 1, 99);
+  const ScanSimResult result =
+      apply_patterns(core, design, patterns, transparent_capture());
+
+  // Reconstruct the expected capture view: stimulus is listed deepest-
+  // cell-first, so the input-cell contents (positions 0..in-1, i.e. the
+  // shallowest cells) are the LAST `input_cells` stimulus bits, and
+  // position 0 holds the very last bit.
+  std::vector<bool> expected_inputs;
+  for (std::size_t c = 0; c < design.chains.size(); ++c) {
+    const auto& stim = patterns[0].per_chain_stimulus[c];
+    const int in_cells = design.chains[c].input_cells;
+    for (int i = 0; i < in_cells; ++i) {
+      expected_inputs.push_back(stim[stim.size() - 1 - static_cast<std::size_t>(i)]);
+    }
+  }
+
+  // The transparent model copies inputs (global order) to outputs
+  // (global order).  Outputs land in out-cells; the response stream per
+  // chain starts with the out-cells nearest the TAM exit, i.e. the
+  // DEEPEST positions first.  Out-cell j of chain c (j = 0 nearest the
+  // scan cells) is at depth position L-1-(out_c-1-j): it exits at cycle
+  // out_c-1-j.  So per chain, the first out_c response bits are the
+  // chain's out-cell contents reversed.
+  std::size_t global_out = 0;
+  for (std::size_t c = 0; c < design.chains.size(); ++c) {
+    const int out_cells = design.chains[c].output_cells;
+    const auto& stream = result.responses[0].per_chain_response[c];
+    for (int j = 0; j < out_cells; ++j) {
+      const bool expected = expected_inputs[global_out + static_cast<std::size_t>(j)];
+      const bool actual = stream[static_cast<std::size_t>(out_cells - 1 - j)];
+      EXPECT_EQ(actual, expected) << "chain " << c << " out-cell " << j;
+    }
+    global_out += static_cast<std::size_t>(out_cells);
+  }
+}
+
+TEST(ScanSim, TransparentScanStateRoundTrips) {
+  // Transparent capture keeps scan state: the scanned-in bits must come
+  // back out unchanged after the out-cell prefix.
+  const soc::DigitalCore core = small_core();
+  const wrapper::WrapperDesign design = wrapper::design_wrapper(core, 1);
+  auto patterns = random_patterns(design, 1, 5);
+  const ScanSimResult result =
+      apply_patterns(core, design, patterns, transparent_capture());
+
+  const auto& stim = patterns[0].per_chain_stimulus[0];
+  const auto& resp = result.responses[0].per_chain_response[0];
+  const int out_cells = design.chains[0].output_cells;
+  const long long scan_cells = design.chains[0].scan_length;
+  // Scan cells sit at positions in..in+scan-1; stimulus deepest-first
+  // puts stimulus bit k at position si-1-k.  Scan cell position p holds
+  // stimulus bit si-1-p.  The response emits position L-1 first, so
+  // scan cell p appears at response index L-1-p... after the out cells:
+  // response index (L-1-p).
+  const int in_cells = design.chains[0].input_cells;
+  const long long si = design.chains[0].scan_in_length();
+  for (long long p = in_cells; p < in_cells + scan_cells; ++p) {
+    const bool scanned_in = stim[static_cast<std::size_t>(si - 1 - p)];
+    const long long chain_len = in_cells + scan_cells + out_cells;
+    const bool read_back =
+        resp[static_cast<std::size_t>(chain_len - 1 - p)];
+    EXPECT_EQ(read_back, scanned_in) << "scan position " << p;
+  }
+}
+
+TEST(ScanSim, XorNetworkIsDeterministic) {
+  const soc::DigitalCore core = small_core();
+  const wrapper::WrapperDesign design = wrapper::design_wrapper(core, 2);
+  const auto patterns = random_patterns(design, 3, 11);
+  const ScanSimResult a =
+      apply_patterns(core, design, patterns, xor_network_capture());
+  const ScanSimResult b =
+      apply_patterns(core, design, patterns, xor_network_capture());
+  ASSERT_EQ(a.responses.size(), b.responses.size());
+  for (std::size_t p = 0; p < a.responses.size(); ++p) {
+    EXPECT_EQ(a.responses[p].per_chain_response,
+              b.responses[p].per_chain_response);
+  }
+}
+
+TEST(ScanSim, XorNetworkDiffersFromTransparent) {
+  const soc::DigitalCore core = small_core();
+  const wrapper::WrapperDesign design = wrapper::design_wrapper(core, 2);
+  const auto patterns = random_patterns(design, 2, 13);
+  const ScanSimResult xor_run =
+      apply_patterns(core, design, patterns, xor_network_capture());
+  const ScanSimResult id_run =
+      apply_patterns(core, design, patterns, transparent_capture());
+  EXPECT_NE(xor_run.responses[1].per_chain_response,
+            id_run.responses[1].per_chain_response);
+}
+
+TEST(ScanSim, RejectsMalformedPatterns) {
+  const soc::DigitalCore core = small_core();
+  const wrapper::WrapperDesign design = wrapper::design_wrapper(core, 2);
+  std::vector<WrapperPattern> bad(1);
+  bad[0].per_chain_stimulus.resize(1);  // wrong chain count
+  EXPECT_THROW(
+      apply_patterns(core, design, bad, transparent_capture()),
+      InfeasibleError);
+
+  auto wrong_len = random_patterns(design, 1, 1);
+  wrong_len[0].per_chain_stimulus[0].pop_back();
+  EXPECT_THROW(
+      apply_patterns(core, design, wrong_len, transparent_capture()),
+      InfeasibleError);
+}
+
+TEST(ScanSim, WorksOnBenchmarkCore) {
+  // End-to-end on a real p93791 module at width 8 (kept small for test
+  // runtime: 2 patterns).
+  const soc::Soc soc = soc::make_p93791();
+  const soc::DigitalCore* core = nullptr;
+  for (const soc::DigitalCore& c : soc.digital_cores()) {
+    if (c.total_scan_cells() > 0 && c.total_scan_cells() < 1000) {
+      core = &c;
+      break;
+    }
+  }
+  ASSERT_NE(core, nullptr);
+  const wrapper::WrapperDesign design = wrapper::design_wrapper(*core, 8);
+  const auto patterns = random_patterns(design, 2, 3);
+  const ScanSimResult result =
+      apply_patterns(*core, design, patterns, xor_network_capture());
+  EXPECT_EQ(result.cycles_used,
+            simulate_scan_test(design.scan_in, design.scan_out, 2));
+}
+
+TEST(ScanSim, ZeroPatterns) {
+  const soc::DigitalCore core = small_core();
+  const wrapper::WrapperDesign design = wrapper::design_wrapper(core, 2);
+  const ScanSimResult result =
+      apply_patterns(core, design, {}, transparent_capture());
+  EXPECT_EQ(result.cycles_used, 0u);
+  EXPECT_TRUE(result.responses.empty());
+}
+
+}  // namespace
+}  // namespace msoc::testsim

@@ -1,0 +1,175 @@
+#include "msoc/tam/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "msoc/common/error.hpp"
+
+namespace msoc::tam {
+namespace {
+
+ScheduledTest make_test(const std::string& name, Cycles start, Cycles dur,
+                        int width, std::vector<int> wires,
+                        TestKind kind = TestKind::kDigital, int group = -1) {
+  ScheduledTest t;
+  t.core_name = name;
+  t.start = start;
+  t.duration = dur;
+  t.width = width;
+  t.wires = std::move(wires);
+  t.kind = kind;
+  t.wrapper_group = group;
+  return t;
+}
+
+Schedule valid_schedule() {
+  Schedule s;
+  s.tam_width = 4;
+  s.tests.push_back(make_test("a", 0, 100, 2, {0, 1}));
+  s.tests.push_back(make_test("b", 0, 50, 2, {2, 3}));
+  s.tests.push_back(make_test("c", 50, 100, 2, {2, 3}));
+  return s;
+}
+
+TEST(ScheduleStats, MakespanIdleUtilization) {
+  const Schedule s = valid_schedule();
+  EXPECT_EQ(s.makespan(), 150u);
+  // Total = 4*150 = 600; used = 200+100+200 = 500.
+  EXPECT_EQ(s.idle_area(), 100u);
+  EXPECT_NEAR(s.utilization(), 500.0 / 600.0, 1e-12);
+}
+
+TEST(ScheduleStats, EmptySchedule) {
+  Schedule s;
+  s.tam_width = 4;
+  EXPECT_EQ(s.makespan(), 0u);
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.0);
+}
+
+TEST(Validate, AcceptsValidSchedule) {
+  EXPECT_TRUE(validate_schedule(valid_schedule()).empty());
+  EXPECT_NO_THROW(require_valid(valid_schedule()));
+}
+
+TEST(Validate, DetectsCapacityOverflow) {
+  Schedule s = valid_schedule();
+  s.tests.push_back(make_test("d", 0, 150, 1, {})); // 5 wires at t=0
+  const auto violations = validate_schedule(s);
+  bool found = false;
+  for (const auto& v : violations) {
+    if (v.message.find("over-subscribed") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, DetectsWireDoubleBooking) {
+  Schedule s;
+  s.tam_width = 4;
+  s.tests.push_back(make_test("a", 0, 100, 1, {0}));
+  s.tests.push_back(make_test("b", 50, 100, 1, {0}));
+  const auto violations = validate_schedule(s);
+  bool found = false;
+  for (const auto& v : violations) {
+    if (v.message.find("double-booked") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, DetectsWireCountMismatch) {
+  Schedule s;
+  s.tam_width = 4;
+  s.tests.push_back(make_test("a", 0, 10, 2, {0}));  // 1 wire, width 2
+  EXPECT_FALSE(validate_schedule(s).empty());
+}
+
+TEST(Validate, DetectsDuplicateWiresWithinTest) {
+  Schedule s;
+  s.tam_width = 4;
+  s.tests.push_back(make_test("a", 0, 10, 2, {1, 1}));
+  EXPECT_FALSE(validate_schedule(s).empty());
+}
+
+TEST(Validate, DetectsWireIdOutOfRange) {
+  Schedule s;
+  s.tam_width = 2;
+  s.tests.push_back(make_test("a", 0, 10, 1, {5}));
+  EXPECT_FALSE(validate_schedule(s).empty());
+}
+
+TEST(Validate, DetectsAnalogGroupOverlap) {
+  Schedule s;
+  s.tam_width = 8;
+  s.tests.push_back(
+      make_test("A", 0, 100, 1, {0}, TestKind::kAnalog, 0));
+  s.tests.push_back(
+      make_test("B", 50, 100, 1, {1}, TestKind::kAnalog, 0));
+  const auto violations = validate_schedule(s);
+  bool found = false;
+  for (const auto& v : violations) {
+    if (v.message.find("used concurrently") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, DifferentGroupsMayOverlap) {
+  Schedule s;
+  s.tam_width = 8;
+  s.tests.push_back(make_test("A", 0, 100, 1, {0}, TestKind::kAnalog, 0));
+  s.tests.push_back(make_test("B", 0, 100, 1, {1}, TestKind::kAnalog, 1));
+  EXPECT_TRUE(validate_schedule(s).empty());
+}
+
+TEST(Validate, ZeroDurationFlagged) {
+  Schedule s;
+  s.tam_width = 2;
+  s.tests.push_back(make_test("a", 0, 0, 1, {0}));
+  EXPECT_FALSE(validate_schedule(s).empty());
+}
+
+TEST(Validate, WidthWiderThanTamFlagged) {
+  Schedule s;
+  s.tam_width = 2;
+  s.tests.push_back(make_test("a", 0, 10, 3, {0, 1, 2}));
+  EXPECT_FALSE(validate_schedule(s).empty());
+}
+
+TEST(RequireValid, ThrowsWithAllViolations) {
+  Schedule s;
+  s.tam_width = 2;
+  s.tests.push_back(make_test("a", 0, 0, 3, {}));
+  EXPECT_THROW(require_valid(s), LogicError);
+}
+
+TEST(Gantt, RendersEveryTest) {
+  const Schedule s = valid_schedule();
+  const std::string gantt = render_gantt(s, 40);
+  EXPECT_NE(gantt.find("a "), std::string::npos);
+  EXPECT_NE(gantt.find("b "), std::string::npos);
+  EXPECT_NE(gantt.find("150"), std::string::npos);
+}
+
+TEST(Gantt, AnalogUsesDifferentGlyph) {
+  Schedule s;
+  s.tam_width = 2;
+  s.tests.push_back(make_test("A", 0, 10, 1, {0}, TestKind::kAnalog, 0));
+  const std::string gantt = render_gantt(s, 40);
+  EXPECT_NE(gantt.find('a'), std::string::npos);
+}
+
+TEST(Gantt, RejectsTinyWidth) {
+  EXPECT_THROW(render_gantt(valid_schedule(), 5), InfeasibleError);
+}
+
+TEST(ScheduleCsv, OneRowPerTest) {
+  const std::string csv = schedule_to_csv(valid_schedule());
+  // header + 3 rows = 4 newlines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+  EXPECT_NE(csv.find("core,kind"), std::string::npos);
+  EXPECT_NE(csv.find("a,digital"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msoc::tam

@@ -1,0 +1,136 @@
+#include "msoc/mswrap/sharing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "msoc/soc/benchmarks.hpp"
+
+namespace msoc::mswrap {
+namespace {
+
+std::vector<soc::AnalogCore> cores() { return soc::table2_analog_cores(); }
+
+TEST(AnalogLowerBound, SharedWrapperUsage) {
+  const auto cs = cores();
+  // {A,C}: T_A + T_C = 135,969 + 299,785.
+  EXPECT_EQ(analog_time_lower_bound(cs, Partition({{0, 2}, {1}, {3}, {4}})),
+            435754u);
+  // All-share: the full 636,113.
+  EXPECT_EQ(analog_time_lower_bound(cs, Partition({{0, 1, 2, 3, 4}})),
+            636113u);
+  // Two shared groups: the busier one.
+  EXPECT_EQ(analog_time_lower_bound(cs, Partition({{0, 1, 2}, {3, 4}})),
+            571723u);
+}
+
+TEST(AnalogLowerBound, IgnoresSingletonsLikeThePaper) {
+  const auto cs = cores();
+  // {A,B} shares; C alone is longer (299,785 > 271,938) but Table 1
+  // reports the shared wrapper's usage: 42.7 % of the total.
+  EXPECT_EQ(analog_time_lower_bound(cs, Partition({{0, 1}, {2}, {3}, {4}})),
+            271938u);
+}
+
+TEST(AnalogLowerBound, NoSharingFallsBackToLongestCore) {
+  const auto cs = cores();
+  EXPECT_EQ(
+      analog_time_lower_bound(cs, Partition({{0}, {1}, {2}, {3}, {4}})),
+      299785u);  // core C
+}
+
+TEST(Table1Reproduction, NormalizedLowerBoundsMatchThePaper) {
+  // Every recoverable LB_A value of paper Table 1, to one decimal.
+  const auto evaluations = evaluate_combinations(cores());
+  std::map<std::string, double> lb;
+  for (const SharingEvaluation& e : evaluations) {
+    lb[e.label] = e.analog_lb_normalized;
+  }
+  const std::map<std::string, double> paper = {
+      {"{A,C}", 68.5},          {"{C,D}", 56.0},
+      {"{C,E}", 48.4},          {"{A,B}", 42.8},
+      {"{A,D}", 30.3},          {"{A,E}", 22.6},
+      {"{D,E}", 10.1},          {"{A,B,C}", 89.9},
+      {"{A,C,D}", 77.4},        {"{A,C,E}", 69.7},
+      {"{C,D,E}", 57.3},        {"{A,B,D}", 51.6},
+      {"{A,B,E}", 43.9},        {"{A,D,E}", 31.5},
+      {"{A,B,C,D}", 98.8},      {"{A,B,C,E}", 91.1},
+      {"{A,C,D,E}", 78.6},      {"{A,B,D,E}", 52.9},
+      {"{A,B,C} {D,E}", 89.9},  {"{A,B,C,D,E}", 100.0},
+  };
+  for (const auto& [label, expected] : paper) {
+    ASSERT_TRUE(lb.count(label)) << "missing combination " << label;
+    EXPECT_NEAR(lb[label], expected, 0.1) << label;
+  }
+}
+
+TEST(Table1Reproduction, TwentySixRows) {
+  EXPECT_EQ(evaluate_combinations(cores()).size(), 26u);
+}
+
+TEST(Table1Reproduction, AllShareHasMaximumLbAndArea) {
+  const auto evaluations = evaluate_combinations(cores());
+  for (const SharingEvaluation& e : evaluations) {
+    EXPECT_LE(e.analog_lb_normalized, 100.0 + 1e-9);
+    if (e.partition.wrapper_count() == 1) {
+      EXPECT_NEAR(e.analog_lb_normalized, 100.0, 1e-9);
+    }
+  }
+}
+
+TEST(SharingPolicyTest, DefaultAcceptsAllPaperCombinations) {
+  const SharingPolicy policy;
+  for (const SharingEvaluation& e : evaluate_combinations(cores())) {
+    EXPECT_TRUE(e.feasible) << e.label;
+  }
+}
+
+TEST(SharingPolicyTest, RejectsSpeedAndResolutionConflict) {
+  SharingPolicy policy;
+  policy.max_fs_ratio = 4.0;
+  policy.min_resolution_gap = 2;
+  auto cs = cores();
+  // Make C a slow high-resolution core and D stays fast low-res.
+  for (auto& t : cs[2].tests) t.resolution_bits = 12;
+  for (auto& t : cs[3].tests) t.resolution_bits = 8;
+  // C max fs = 2.46 MHz, D max fs = 78 MHz: ratio ~31.7 > 4, gap 4 >= 2.
+  EXPECT_FALSE(policy.compatible(cs[2], cs[3]));
+  EXPECT_FALSE(policy.feasible(cs, Partition({{2, 3}, {0}, {1}, {4}})));
+  // A and B identical: always compatible.
+  EXPECT_TRUE(policy.compatible(cs[0], cs[1]));
+}
+
+TEST(SharingPolicyTest, SpeedGapAloneIsAllowed) {
+  SharingPolicy policy;
+  policy.max_fs_ratio = 4.0;
+  policy.min_resolution_gap = 2;
+  const auto cs = cores();
+  // All Table-2 cores are 8-bit: no resolution gap, so speed mismatch
+  // alone does not forbid sharing.
+  EXPECT_TRUE(policy.compatible(cs[2], cs[3]));
+}
+
+TEST(ToAnalogPartition, ConvertsIndicesToNames) {
+  const auto cs = cores();
+  const tam::AnalogPartition p =
+      to_analog_partition(cs, Partition({{0, 4}, {1}, {2}, {3}}));
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p[0], (std::vector<std::string>{"A", "E"}));
+}
+
+TEST(CoreNames, InIndexOrder) {
+  EXPECT_EQ(core_names(cores()),
+            (std::vector<std::string>{"A", "B", "C", "D", "E"}));
+}
+
+TEST(Evaluations, LabelsOmitSingletons) {
+  for (const SharingEvaluation& e : evaluate_combinations(cores())) {
+    if (e.partition.wrapper_count() == 4) {
+      // Pair combinations render as a single brace group.
+      EXPECT_EQ(e.label.find('}'), e.label.size() - 1) << e.label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msoc::mswrap

@@ -1,0 +1,75 @@
+#include "msoc/dsp/signal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "msoc/common/error.hpp"
+
+namespace msoc::dsp {
+namespace {
+
+TEST(Signal, BasicProperties) {
+  Signal s(Hertz(1000.0), {1.0, -2.0, 3.0});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_DOUBLE_EQ(s.sample_rate().hz(), 1000.0);
+  EXPECT_DOUBLE_EQ(s[1], -2.0);
+  EXPECT_DOUBLE_EQ(s.duration_s(), 0.003);
+}
+
+TEST(Signal, ZerosFactory) {
+  const Signal s = Signal::zeros(Hertz(10.0), 5);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_DOUBLE_EQ(s.peak(), 0.0);
+  EXPECT_DOUBLE_EQ(s.rms(), 0.0);
+}
+
+TEST(Signal, RejectsNonPositiveRate) {
+  EXPECT_THROW(Signal(Hertz(0.0), {1.0}), InfeasibleError);
+  EXPECT_THROW(Signal(Hertz(-1.0), {1.0}), InfeasibleError);
+}
+
+TEST(Signal, Addition) {
+  Signal a(Hertz(10.0), {1.0, 2.0});
+  Signal b(Hertz(10.0), {3.0, -1.0});
+  const Signal c = a + b;
+  EXPECT_DOUBLE_EQ(c[0], 4.0);
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+}
+
+TEST(Signal, AdditionRequiresMatchingShape) {
+  Signal a(Hertz(10.0), {1.0, 2.0});
+  Signal rate(Hertz(20.0), {1.0, 2.0});
+  Signal len(Hertz(10.0), {1.0});
+  EXPECT_THROW(a + rate, InfeasibleError);
+  EXPECT_THROW(a + len, InfeasibleError);
+}
+
+TEST(Signal, Scaling) {
+  Signal a(Hertz(10.0), {1.0, -2.0});
+  const Signal b = a.scaled(-3.0);
+  EXPECT_DOUBLE_EQ(b[0], -3.0);
+  EXPECT_DOUBLE_EQ(b[1], 6.0);
+}
+
+TEST(Signal, PeakAndRmsAndMean) {
+  Signal s(Hertz(10.0), {3.0, -4.0, 0.0, 1.0});
+  EXPECT_DOUBLE_EQ(s.peak(), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.rms(), std::sqrt((9.0 + 16.0 + 0.0 + 1.0) / 4.0));
+}
+
+TEST(Signal, SineRmsIsAmplitudeOverSqrt2) {
+  const std::size_t n = 1000;
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = 2.0 * std::sin(2.0 * 3.14159265358979 * 10.0 *
+                          static_cast<double>(i) / static_cast<double>(n));
+  }
+  Signal s(Hertz(1000.0), std::move(v));
+  EXPECT_NEAR(s.rms(), 2.0 / std::sqrt(2.0), 1e-3);
+}
+
+}  // namespace
+}  // namespace msoc::dsp

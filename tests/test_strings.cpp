@@ -1,0 +1,101 @@
+#include "msoc/common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace msoc {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(Trim, EmptyAndAllWhitespace) {
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   \t  "), "");
+}
+
+TEST(Trim, PreservesInteriorWhitespace) {
+  EXPECT_EQ(trim("  a b  c  "), "a b  c");
+}
+
+TEST(SplitFields, BasicWhitespaceSplit) {
+  const auto fields = split_fields("a bb  ccc");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "bb");
+  EXPECT_EQ(fields[2], "ccc");
+}
+
+TEST(SplitFields, DropsEmptyFields) {
+  EXPECT_TRUE(split_fields("   ").empty());
+  EXPECT_EQ(split_fields("  x  ").size(), 1u);
+}
+
+TEST(SplitFields, CustomDelimiters) {
+  const auto fields = split_fields("a,b;;c", ",;");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitKeepEmpty, PreservesEmptyFields) {
+  const auto fields = split_keep_empty("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(SplitKeepEmpty, SingleField) {
+  const auto fields = split_keep_empty("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(Join, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(ToLower, AsciiLowercasing) {
+  EXPECT_EQ(to_lower("SocName"), "socname");
+  EXPECT_EQ(to_lower("already"), "already");
+  EXPECT_EQ(to_lower("MiXeD123"), "mixed123");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("Module 1", "Module"));
+  EXPECT_FALSE(starts_with("Mod", "Module"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(ParseInt, AcceptsStrictIntegers) {
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_EQ(parse_int("-7").value(), -7);
+  EXPECT_EQ(parse_int("  13 ").value(), 13);
+}
+
+TEST(ParseInt, RejectsJunk) {
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("12x").has_value());
+  EXPECT_FALSE(parse_int("1.5").has_value());
+  EXPECT_FALSE(parse_int("abc").has_value());
+}
+
+TEST(ParseDouble, AcceptsNumbers) {
+  EXPECT_DOUBLE_EQ(parse_double("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double("1e6").value(), 1e6);
+  EXPECT_DOUBLE_EQ(parse_double("-3.25e3").value(), -3250.0);
+}
+
+TEST(ParseDouble, RejectsJunk) {
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("1.5MHz").has_value());
+  EXPECT_FALSE(parse_double("--1").has_value());
+}
+
+}  // namespace
+}  // namespace msoc

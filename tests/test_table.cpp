@@ -1,0 +1,93 @@
+#include "msoc/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msoc/common/error.hpp"
+
+namespace msoc {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"a", "b"});
+  t.add_row({"xxxx", "1"});
+  t.add_row({"y", "2"});
+  const std::string out = t.to_string();
+  // All lines must be the same width.
+  std::size_t width = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    const std::size_t len = eol - pos;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    pos = eol + 1;
+  }
+}
+
+TEST(TextTable, RightAlignment) {
+  TextTable t({"n"});
+  t.set_alignment({Align::kRight});
+  t.add_row({"1"});
+  t.add_row({"100"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("|   1 |"), std::string::npos);
+  EXPECT_NE(out.find("| 100 |"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InfeasibleError);
+}
+
+TEST(TextTable, AlignmentSizeMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.set_alignment({Align::kLeft}), InfeasibleError);
+}
+
+TEST(TextTable, EmptyHeadersThrow) {
+  EXPECT_THROW(TextTable({}), InfeasibleError);
+}
+
+TEST(TextTable, RuleSeparatesGroups) {
+  TextTable t({"x"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string out = t.to_string();
+  // Header rule + top + bottom + group rule = 4 horizontal rules.
+  int rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(Fixed, FormatsDecimals) {
+  EXPECT_EQ(fixed(61.5, 1), "61.5");
+  EXPECT_EQ(fixed(100.0, 1), "100.0");
+  EXPECT_EQ(fixed(2.456, 2), "2.46");
+  EXPECT_EQ(fixed(3.0, 0), "3");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace msoc

@@ -1,0 +1,42 @@
+#include "msoc/common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace msoc {
+namespace {
+
+TEST(Hertz, LiteralsAndAccessors) {
+  EXPECT_DOUBLE_EQ((50_kHz).hz(), 50e3);
+  EXPECT_DOUBLE_EQ((1.5_MHz).hz(), 1.5e6);
+  EXPECT_DOUBLE_EQ((440_Hz).hz(), 440.0);
+  EXPECT_DOUBLE_EQ((1.5_MHz).khz(), 1500.0);
+  EXPECT_DOUBLE_EQ((1.5_MHz).mhz(), 1.5);
+}
+
+TEST(Hertz, Comparisons) {
+  EXPECT_LT(50_kHz, 1_MHz);
+  EXPECT_EQ(1000_Hz, 1_kHz);
+  EXPECT_GT(78_MHz, 26_MHz);
+}
+
+TEST(Hertz, Arithmetic) {
+  EXPECT_DOUBLE_EQ((2.0 * 50_kHz).hz(), 100e3);
+  EXPECT_DOUBLE_EQ((50_kHz * 2.0).hz(), 100e3);
+  EXPECT_DOUBLE_EQ(1_MHz / 250_kHz, 4.0);
+}
+
+TEST(Hertz, ToStringPicksPrefix) {
+  EXPECT_EQ((61_kHz).to_string(), "61 kHz");
+  EXPECT_EQ((1.5_MHz).to_string(), "1.50 MHz");
+  EXPECT_EQ((440_Hz).to_string(), "440 Hz");
+  EXPECT_EQ((26_MHz).to_string(), "26 MHz");
+}
+
+TEST(Cycles, IsWideEnough) {
+  // 636,113 analog cycles x big multipliers must not overflow.
+  const Cycles total = 636113;
+  EXPECT_EQ(total * 1000000, 636113000000ULL);
+}
+
+}  // namespace
+}  // namespace msoc

@@ -1,0 +1,74 @@
+#include "msoc/dsp/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msoc/common/error.hpp"
+
+namespace msoc::dsp {
+namespace {
+
+TEST(Window, RectangularIsAllOnes) {
+  const auto w = make_window(WindowKind::kRectangular, 16);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_DOUBLE_EQ(coherent_gain(w), 1.0);
+}
+
+TEST(Window, HannEndpointsAndPeak) {
+  const auto w = make_window(WindowKind::kHann, 65);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);  // midpoint
+}
+
+TEST(Window, HannCoherentGainNearHalf) {
+  const auto w = make_window(WindowKind::kHann, 4096);
+  EXPECT_NEAR(coherent_gain(w), 0.5, 1e-3);
+}
+
+TEST(Window, BlackmanHarrisGain) {
+  const auto w = make_window(WindowKind::kBlackmanHarris, 4096);
+  EXPECT_NEAR(coherent_gain(w), 0.35875, 1e-3);
+}
+
+TEST(Window, SymmetryProperty) {
+  for (WindowKind kind :
+       {WindowKind::kHann, WindowKind::kBlackmanHarris}) {
+    const auto w = make_window(kind, 101);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+    }
+  }
+}
+
+TEST(Window, SingleSampleWindow) {
+  for (WindowKind kind : {WindowKind::kRectangular, WindowKind::kHann,
+                          WindowKind::kBlackmanHarris}) {
+    const auto w = make_window(kind, 1);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+  }
+}
+
+TEST(Window, ZeroLengthThrows) {
+  EXPECT_THROW(make_window(WindowKind::kHann, 0), InfeasibleError);
+}
+
+TEST(Window, ApplyWindowMultiplies) {
+  std::vector<double> samples = {2.0, 2.0, 2.0};
+  apply_window(samples, {0.5, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(samples[0], 1.0);
+  EXPECT_DOUBLE_EQ(samples[1], 2.0);
+  EXPECT_DOUBLE_EQ(samples[2], 0.0);
+}
+
+TEST(Window, ApplyWindowSizeMismatchThrows) {
+  std::vector<double> samples = {1.0, 2.0};
+  EXPECT_THROW(apply_window(samples, {1.0}), InfeasibleError);
+}
+
+TEST(Window, CoherentGainEmpty) {
+  EXPECT_DOUBLE_EQ(coherent_gain({}), 0.0);
+}
+
+}  // namespace
+}  // namespace msoc::dsp

@@ -1,0 +1,182 @@
+#include "msoc/wrapper/wrapper_design.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <numeric>
+
+#include "msoc/common/error.hpp"
+#include "msoc/soc/benchmarks.hpp"
+#include "msoc/testsim/replay.hpp"
+
+namespace msoc::wrapper {
+namespace {
+
+soc::DigitalCore sample_core() {
+  soc::DigitalCore c;
+  c.id = 1;
+  c.name = "sample";
+  c.inputs = 10;
+  c.outputs = 6;
+  c.bidirs = 2;
+  c.scan_chain_lengths = {100, 80, 60, 40, 20};
+  c.patterns = 50;
+  return c;
+}
+
+TEST(DesignWrapper, AllScanCellsAssignedExactlyOnce) {
+  const soc::DigitalCore core = sample_core();
+  const WrapperDesign d = design_wrapper(core, 3);
+  long long assigned = 0;
+  std::vector<int> seen;
+  for (const WrapperChain& chain : d.chains) {
+    assigned += chain.scan_length;
+    for (int id : chain.scan_chain_ids) seen.push_back(id);
+  }
+  EXPECT_EQ(assigned, core.total_scan_cells());
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(DesignWrapper, AllFunctionalCellsAssigned) {
+  const soc::DigitalCore core = sample_core();
+  const WrapperDesign d = design_wrapper(core, 4);
+  int in_cells = 0;
+  int out_cells = 0;
+  for (const WrapperChain& chain : d.chains) {
+    in_cells += chain.input_cells;
+    out_cells += chain.output_cells;
+  }
+  EXPECT_EQ(in_cells, core.inputs + core.bidirs);
+  EXPECT_EQ(out_cells, core.outputs + core.bidirs);
+}
+
+TEST(DesignWrapper, WidthOneConcatenatesEverything) {
+  const soc::DigitalCore core = sample_core();
+  const WrapperDesign d = design_wrapper(core, 1);
+  EXPECT_EQ(d.chains.size(), 1u);
+  EXPECT_EQ(d.scan_in, core.total_scan_cells() + core.inputs + core.bidirs);
+  EXPECT_EQ(d.scan_out,
+            core.total_scan_cells() + core.outputs + core.bidirs);
+}
+
+TEST(DesignWrapper, BfdBalancesChains) {
+  soc::DigitalCore core;
+  core.name = "balanced";
+  core.scan_chain_lengths = std::vector<int>(8, 50);  // 8 equal chains
+  core.patterns = 10;
+  core.inputs = 1;
+  const WrapperDesign d = design_wrapper(core, 4);
+  for (const WrapperChain& chain : d.chains) {
+    EXPECT_EQ(chain.scan_length, 100);  // 2 chains each
+  }
+}
+
+TEST(DesignWrapper, RejectsZeroWidth) {
+  EXPECT_THROW(design_wrapper(sample_core(), 0), InfeasibleError);
+}
+
+TEST(DesignWrapper, CombinationalCoreTime) {
+  soc::DigitalCore core;
+  core.name = "comb";
+  core.inputs = 32;
+  core.outputs = 32;
+  core.patterns = 12;
+  const WrapperDesign d = design_wrapper(core, 8);
+  // 32 cells over 8 chains = 4 per chain in each direction.
+  EXPECT_EQ(d.scan_in, 4);
+  EXPECT_EQ(d.scan_out, 4);
+  EXPECT_EQ(d.test_time(core.patterns), (1 + 4) * 12 + 4u);
+}
+
+TEST(TestTime, MatchesClosedForm) {
+  const soc::DigitalCore core = sample_core();
+  for (int w : {1, 2, 3, 5, 8}) {
+    const WrapperDesign d = design_wrapper(core, w);
+    const Cycles expected =
+        (1 + static_cast<Cycles>(std::max(d.scan_in, d.scan_out))) *
+            static_cast<Cycles>(core.patterns) +
+        static_cast<Cycles>(std::min(d.scan_in, d.scan_out));
+    EXPECT_EQ(d.test_time(core.patterns), expected);
+  }
+}
+
+TEST(TestTime, ZeroPatternsZeroTime) {
+  const WrapperDesign d = design_wrapper(sample_core(), 2);
+  EXPECT_EQ(d.test_time(0), 0u);
+}
+
+class PipelineCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineCrossCheck, ClosedFormEqualsCycleWalk) {
+  // The analytic (1+max)p+min must equal the independent pattern-by-
+  // pattern pipeline walk for every width and every core of p93791.
+  const int width = GetParam();
+  const soc::Soc soc = soc::make_p93791();
+  for (const soc::DigitalCore& core : soc.digital_cores()) {
+    const WrapperDesign d = design_wrapper(core, width);
+    EXPECT_EQ(d.test_time(core.patterns),
+              testsim::simulate_scan_test(d.scan_in, d.scan_out,
+                                          core.patterns))
+        << core.name << " at w=" << width;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PipelineCrossCheck,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+class MonotonicityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotonicityProperty, MoreWidthNeverHurtsScanIn) {
+  // scan_in/scan_out of the BFD design are non-increasing in width for
+  // the benchmark cores (adding a chain cannot lengthen the longest).
+  const int core_index = GetParam();
+  const soc::Soc soc = soc::make_p93791();
+  const soc::DigitalCore& core =
+      soc.digital_cores()[static_cast<std::size_t>(core_index)];
+  long long prev_si = -1;
+  for (int w = 1; w <= 64; w *= 2) {
+    const WrapperDesign d = design_wrapper(core, w);
+    if (prev_si >= 0) EXPECT_LE(d.scan_in, prev_si) << "w=" << w;
+    prev_si = d.scan_in;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, MonotonicityProperty,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 10, 20, 31));
+
+TEST(ParetoWidths, StrictlyDecreasingTimes) {
+  const soc::Soc soc = soc::make_p93791();
+  for (const soc::DigitalCore& core : soc.digital_cores()) {
+    const auto points = pareto_widths(core, 48);
+    ASSERT_FALSE(points.empty());
+    EXPECT_EQ(points.front().width, 1);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+      EXPECT_GT(points[i].width, points[i - 1].width);
+      EXPECT_LT(points[i].time, points[i - 1].time);
+    }
+  }
+}
+
+TEST(ParetoWidths, DominatedWidthsExcluded) {
+  const soc::DigitalCore core = sample_core();
+  const auto points = pareto_widths(core, 16);
+  // Every returned point must beat all narrower widths.
+  for (const ParetoPoint& p : points) {
+    for (int w = 1; w < p.width; ++w) {
+      const WrapperDesign d = design_wrapper(core, w);
+      EXPECT_GT(d.test_time(core.patterns), p.time);
+    }
+  }
+}
+
+TEST(ParetoWidths, WidthCapRespected) {
+  const auto points = pareto_widths(sample_core(), 3);
+  for (const ParetoPoint& p : points) {
+    EXPECT_LE(p.width, 3);
+  }
+}
+
+}  // namespace
+}  // namespace msoc::wrapper

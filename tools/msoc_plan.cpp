@@ -1,0 +1,167 @@
+// msoc_plan — command-line mixed-signal SOC test planner.
+//
+// Usage:
+//   msoc_plan [options]
+//     --soc FILE       ITC'02-style .soc description (default: built-in
+//                      p93791m benchmark)
+//     --width N        TAM width (default 32)
+//     --wt X           test-time weight w_T in [0,1] (default 0.5;
+//                      w_A = 1 - w_T)
+//     --exhaustive     evaluate every combination (default: Cost_Optimizer)
+//     --epsilon X      heuristic elimination slack (default 0)
+//     --gantt          print the schedule as an ASCII Gantt chart
+//     --csv FILE       export the schedule as CSV
+//     --validate       replay the schedule through the cycle-level checker
+//     --help           this text
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/strings.hpp"
+#include "msoc/plan/optimizer.hpp"
+#include "msoc/soc/benchmarks.hpp"
+#include "msoc/soc/itc02.hpp"
+#include "msoc/testsim/replay.hpp"
+
+namespace {
+
+struct Options {
+  std::optional<std::string> soc_file;
+  int width = 32;
+  double w_time = 0.5;
+  bool exhaustive = false;
+  double epsilon = 0.0;
+  bool gantt = false;
+  std::optional<std::string> csv_file;
+  bool validate = false;
+  bool help = false;
+};
+
+void print_usage() {
+  std::puts(
+      "msoc_plan — mixed-signal SOC test planner (DATE'05 reproduction)\n"
+      "  --soc FILE     .soc description (default: built-in p93791m)\n"
+      "  --width N      TAM width (default 32)\n"
+      "  --wt X         test-time weight w_T (default 0.5)\n"
+      "  --exhaustive   exhaustive search instead of Cost_Optimizer\n"
+      "  --epsilon X    heuristic elimination slack (default 0)\n"
+      "  --gantt        print an ASCII Gantt chart\n"
+      "  --csv FILE     export the schedule as CSV\n"
+      "  --validate     replay-check the schedule\n"
+      "  --help         this text");
+}
+
+Options parse_args(int argc, char** argv) {
+  Options options;
+  const auto value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) {
+      throw msoc::InfeasibleError(std::string(flag) + " needs a value");
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") options.help = true;
+    else if (arg == "--soc") options.soc_file = value(i, "--soc");
+    else if (arg == "--width") {
+      const auto v = msoc::parse_int(value(i, "--width"));
+      msoc::require(v.has_value() && *v >= 1, "--width needs an integer >= 1");
+      options.width = static_cast<int>(*v);
+    } else if (arg == "--wt") {
+      const auto v = msoc::parse_double(value(i, "--wt"));
+      msoc::require(v.has_value() && *v >= 0.0 && *v <= 1.0,
+                    "--wt needs a number in [0,1]");
+      options.w_time = *v;
+    } else if (arg == "--exhaustive") options.exhaustive = true;
+    else if (arg == "--epsilon") {
+      const auto v = msoc::parse_double(value(i, "--epsilon"));
+      msoc::require(v.has_value() && *v >= 0.0, "--epsilon needs a number >= 0");
+      options.epsilon = *v;
+    } else if (arg == "--gantt") options.gantt = true;
+    else if (arg == "--csv") options.csv_file = value(i, "--csv");
+    else if (arg == "--validate") options.validate = true;
+    else {
+      throw msoc::InfeasibleError("unknown argument: " + arg);
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msoc;
+  try {
+    const Options options = parse_args(argc, argv);
+    if (options.help) {
+      print_usage();
+      return 0;
+    }
+
+    const soc::Soc soc = options.soc_file
+                             ? soc::load_soc_file(*options.soc_file)
+                             : soc::make_p93791m();
+    std::printf("SOC %s: %zu digital, %zu analog cores; TAM width %d; "
+                "w_T=%.2f w_A=%.2f; %s\n",
+                soc.name().c_str(), soc.digital_count(), soc.analog_count(),
+                options.width, options.w_time, 1.0 - options.w_time,
+                options.exhaustive ? "exhaustive" : "Cost_Optimizer");
+
+    plan::PlanningProblem problem;
+    problem.soc = &soc;
+    problem.tam_width = options.width;
+    problem.weights = {options.w_time, 1.0 - options.w_time};
+    plan::CostModel model(problem);
+
+    plan::CombinationCost best;
+    int evaluations = 0;
+    int total = 0;
+    if (options.exhaustive) {
+      const plan::OptimizationResult r = plan::optimize_exhaustive(model);
+      best = r.best;
+      evaluations = r.evaluations;
+      total = r.total_combinations;
+    } else {
+      plan::HeuristicOptions heuristic;
+      heuristic.epsilon = options.epsilon;
+      const plan::HeuristicResult r =
+          plan::optimize_cost_heuristic(model, heuristic);
+      best = r.best;
+      evaluations = r.evaluations;
+      total = r.total_combinations;
+    }
+
+    std::printf("\nplan: %s\n", best.label.c_str());
+    std::printf("  C = %.2f  (C_time = %.2f, C_A = %.2f)\n", best.total,
+                best.c_time, best.c_area);
+    std::printf("  test time %llu cycles; %d of %d combinations evaluated\n",
+                static_cast<unsigned long long>(best.test_time), evaluations,
+                total);
+
+    const tam::Schedule schedule = model.schedule_for(best.partition);
+    if (options.gantt) {
+      std::putchar('\n');
+      std::fputs(tam::render_gantt(schedule).c_str(), stdout);
+    }
+    if (options.csv_file) {
+      std::ofstream out(*options.csv_file);
+      require(static_cast<bool>(out),
+              "cannot open CSV output " + *options.csv_file);
+      out << tam::schedule_to_csv(schedule);
+      std::printf("schedule written to %s\n", options.csv_file->c_str());
+    }
+    if (options.validate) {
+      const testsim::ReplayReport report = testsim::replay(soc, schedule);
+      std::printf("%s\n", report.summary().c_str());
+      if (!report.clean()) return 2;
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
