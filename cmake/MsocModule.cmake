@@ -1,0 +1,21 @@
+# msoc_add_module(<name> SOURCES <src...> [DEPS <msoc::dep...>])
+#
+# Declares the static library msoc_<name> with alias msoc::<name>, wires up
+# the module's include/ directory and the shared build flags, and links the
+# listed dependencies as PUBLIC (module headers include their dependencies'
+# headers).
+function(msoc_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+
+  add_library(msoc_${name} STATIC ${ARG_SOURCES})
+  add_library(msoc::${name} ALIAS msoc_${name})
+
+  target_include_directories(msoc_${name}
+    PUBLIC $<BUILD_INTERFACE:${CMAKE_CURRENT_SOURCE_DIR}/include>)
+  target_link_libraries(msoc_${name}
+    PUBLIC ${ARG_DEPS}
+    PRIVATE msoc::build_flags)
+  set_target_properties(msoc_${name} PROPERTIES
+    OUTPUT_NAME msoc_${name}
+    POSITION_INDEPENDENT_CODE ON)
+endfunction()

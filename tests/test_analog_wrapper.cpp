@@ -56,7 +56,7 @@ TEST(WrapperTimingModel, RejectsSamplingAboveClock) {
   TestConfiguration t;
   t.sampling_frequency = Hertz(60e6);  // > 50 MHz TAM clock
   t.sample_count = 10;
-  EXPECT_THROW(w.timing(t), InfeasibleError);
+  EXPECT_THROW((void)w.timing(t), InfeasibleError);
 }
 
 TEST(DigitizeReconstruct, RoundTripWithinOneLsb) {

@@ -138,7 +138,7 @@ TEST(AreaModel, ValidatesParams) {
 
 TEST(AreaModel, PartitionMustCoverCoreSet) {
   const WrapperAreaModel model;
-  EXPECT_THROW(model.area_cost(cores(), Partition({{0, 1}})),
+  EXPECT_THROW((void)model.area_cost(cores(), Partition({{0, 1}})),
                InfeasibleError);
 }
 

@@ -60,11 +60,11 @@ TEST(OptimalPack, FlexibleWidthChoosesWisely) {
 }
 
 TEST(OptimalPack, ValidatesInputs) {
-  EXPECT_THROW(optimal_makespan({rigid(5, 10)}, 4), InfeasibleError);
-  EXPECT_THROW(optimal_makespan({rigid(1, 0)}, 4), InfeasibleError);
-  EXPECT_THROW(optimal_makespan({FlexibleItem{}}, 4), InfeasibleError);
+  EXPECT_THROW((void)optimal_makespan({rigid(5, 10)}, 4), InfeasibleError);
+  EXPECT_THROW((void)optimal_makespan({rigid(1, 0)}, 4), InfeasibleError);
+  EXPECT_THROW((void)optimal_makespan({FlexibleItem{}}, 4), InfeasibleError);
   std::vector<FlexibleItem> too_many(9, rigid(1, 10));
-  EXPECT_THROW(optimal_makespan(too_many, 4), InfeasibleError);
+  EXPECT_THROW((void)optimal_makespan(too_many, 4), InfeasibleError);
 }
 
 TEST(OptimalPack, NodeBudgetReported) {

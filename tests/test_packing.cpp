@@ -65,7 +65,9 @@ TEST(Packing, MakespanDecreasesWithWidth) {
   for (int w : {16, 32, 64}) {
     const Cycles m =
         schedule_soc(s, w, singleton_partition(s)).makespan();
-    if (prev != 0) EXPECT_LE(m, prev) << "W=" << w;
+    if (prev != 0) {
+      EXPECT_LE(m, prev) << "W=" << w;
+    }
     prev = m;
   }
 }

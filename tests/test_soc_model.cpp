@@ -106,7 +106,7 @@ TEST(SocModel, AddAndQuery) {
   EXPECT_EQ(soc.analog_count(), 1u);
   EXPECT_TRUE(soc.is_mixed_signal());
   EXPECT_EQ(soc.analog_by_name("X").total_cycles(), 350u);
-  EXPECT_THROW(soc.analog_by_name("missing"), InfeasibleError);
+  EXPECT_THROW((void)soc.analog_by_name("missing"), InfeasibleError);
 }
 
 TEST(SocModel, RejectsDuplicateAnalogNames) {

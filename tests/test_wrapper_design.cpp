@@ -138,7 +138,9 @@ TEST_P(MonotonicityProperty, MoreWidthNeverHurtsScanIn) {
   long long prev_si = -1;
   for (int w = 1; w <= 64; w *= 2) {
     const WrapperDesign d = design_wrapper(core, w);
-    if (prev_si >= 0) EXPECT_LE(d.scan_in, prev_si) << "w=" << w;
+    if (prev_si >= 0) {
+      EXPECT_LE(d.scan_in, prev_si) << "w=" << w;
+    }
     prev_si = d.scan_in;
   }
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Check (or fix, with --fix) clang-format conformance for all C++ sources.
+#
+# Usage:
+#   tools/check_format.sh          # dry-run, non-zero exit on violations
+#   tools/check_format.sh --fix    # rewrite files in place
+#
+# Set CLANG_FORMAT to pick a specific binary (e.g. clang-format-18).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found (set CLANG_FORMAT to override)" >&2
+  exit 2
+fi
+
+mapfile -t files < <(git ls-files '*.cpp' '*.hpp' '*.cc' '*.h')
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "no C++ sources found" >&2
+  exit 0
+fi
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+else
+  "$CLANG_FORMAT" --dry-run --Werror "${files[@]}"
+  echo "format OK (${#files[@]} files)"
+fi
