@@ -1,0 +1,76 @@
+#pragma once
+// Minimal threading primitives for the planning layer.
+//
+// ThreadPool is a fixed-size worker pool with a plain task queue; it
+// exists for long-lived fan-out (the sweep runner).  parallel_for is the
+// workhorse for the optimizers: it runs fn(0..count-1) across `jobs`
+// threads, pulling indices from a shared atomic counter so uneven task
+// costs balance dynamically.  Callers that need deterministic output
+// must write results into per-index slots and reduce serially afterwards
+// — the optimizers do exactly that, which is how `--jobs N` stays
+// bit-identical to `--jobs 1`.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace msoc {
+
+/// Worker count used when a jobs argument is <= 0: the hardware
+/// concurrency, or 1 when the runtime cannot report it.
+[[nodiscard]] int hardware_jobs() noexcept;
+
+/// Fixed-size worker pool.  Tasks run in submission order but complete in
+/// any order; exceptions escaping a task are captured and rethrown (first
+/// one wins) from wait() — and ONLY from wait(); see ~ThreadPool().
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (<= 0 means hardware_jobs()).
+  explicit ThreadPool(int threads = 0);
+
+  /// Drains the queue and joins all workers.  Destructors must not
+  /// throw, so an exception captured since the last wait() is DROPPED
+  /// here — call wait() before destruction when task failures matter.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished; rethrows the first
+  /// captured task exception, if any.
+  void wait();
+
+  [[nodiscard]] int thread_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Runs fn(i) for every i in [0, count) on up to `jobs` threads (<= 0
+/// means hardware_jobs()).  jobs == 1 (or count < 2) runs inline on the
+/// calling thread with no synchronization at all, so the serial path is
+/// exactly the plain loop.  Indices are handed out dynamically; the first
+/// exception thrown by any fn(i) is rethrown after all threads stop
+/// (remaining indices are abandoned).
+void parallel_for(std::size_t count, int jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace msoc

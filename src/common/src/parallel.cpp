@@ -1,0 +1,109 @@
+#include "msoc/common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace msoc {
+
+int hardware_jobs() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads <= 0 ? hardware_jobs() : threads;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and drained
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    try {
+      task();
+    } catch (...) {
+      lock.lock();
+      if (!first_error_) first_error_ = std::current_exception();
+      lock.unlock();
+    }
+    lock.lock();
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+  }
+}
+
+void parallel_for(std::size_t count, int jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  int n = jobs <= 0 ? hardware_jobs() : jobs;
+  n = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(n), count));
+  if (n <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto drain = [&] {
+    std::size_t i;
+    while (!failed.load(std::memory_order_relaxed) &&
+           (i = next.fetch_add(1, std::memory_order_relaxed)) < count) {
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n) - 1);
+  for (int t = 1; t < n; ++t) threads.emplace_back(drain);
+  drain();  // the calling thread participates
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace msoc

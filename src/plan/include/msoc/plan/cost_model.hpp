@@ -13,6 +13,7 @@
 // what the Cost_Optimizer heuristic prunes on.
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "msoc/mswrap/sharing.hpp"
 #include "msoc/soc/soc.hpp"
 #include "msoc/tam/packing.hpp"
+#include "msoc/tam/schedule.hpp"
 
 namespace msoc::plan {
 
@@ -58,12 +60,21 @@ struct CombinationCost {
 
 /// Evaluates combinations against one PlanningProblem, memoizing the
 /// expensive TAM-optimizer runs and the T_max baseline.
+///
+/// Thread safety: evaluate() and run_tam's memo table are guarded by an
+/// internal mutex, and the T_max baseline is computed eagerly at
+/// construction, so concurrent evaluate() calls on distinct partitions
+/// are safe and produce exactly the serial results (schedule_soc is a
+/// pure function of its arguments).  Construction itself is not
+/// concurrent-safe; build the model before fanning out.
 class CostModel {
  public:
   explicit CostModel(const PlanningProblem& problem);
 
-  /// SOC test time with all analog cores on one wrapper (computed once).
-  [[nodiscard]] Cycles t_max();
+  /// SOC test time with all analog cores on one wrapper (computed at
+  /// construction — it is the C_time normalization every evaluation
+  /// needs).
+  [[nodiscard]] Cycles t_max() const noexcept { return t_max_; }
 
   /// Eq. 3 preliminary cost from statically-known quantities.
   [[nodiscard]] double preliminary_cost(
@@ -75,7 +86,7 @@ class CostModel {
   /// Number of distinct TAM-optimizer invocations so far.  The all-share
   /// baseline is excluded: its schedule is the normalization constant the
   /// model needs anyway (this matches the paper's evaluation counting).
-  [[nodiscard]] int tam_runs() const noexcept { return tam_runs_; }
+  [[nodiscard]] int tam_runs() const;
 
   [[nodiscard]] const std::vector<soc::AnalogCore>& cores() const {
     return problem_.soc->analog_cores();
@@ -92,7 +103,11 @@ class CostModel {
   PlanningProblem problem_;
   std::vector<std::string> names_;
   Cycles t_max_ = 0;
-  bool t_max_ready_ = false;
+  /// Baseline schedule from construction; read-only afterwards, lent to
+  /// schedule_soc as the serialized-fallback hint so every evaluation
+  /// skips repacking the identical merged arrangement.
+  tam::Schedule all_share_schedule_;
+  mutable std::mutex mutex_;  ///< Guards tam_runs_ and time_cache_.
   int tam_runs_ = 0;
   std::map<mswrap::Partition, Cycles> time_cache_;
 };

@@ -50,12 +50,23 @@ struct HeuristicResult : OptimizationResult {
 };
 
 /// Evaluates every combination; optimal under the cost model.
-[[nodiscard]] OptimizationResult optimize_exhaustive(CostModel& model);
+///
+/// `jobs` fans the TAM evaluations out over that many threads (<= 0 uses
+/// the hardware concurrency).  Every cost lands in a per-combination
+/// slot and the minimum is reduced serially in enumeration order, so the
+/// result — best, evaluations, total — is bit-identical for every jobs
+/// value.
+[[nodiscard]] OptimizationResult optimize_exhaustive(CostModel& model,
+                                                     int jobs = 1);
 
 struct HeuristicOptions {
   /// Elimination slack epsilon of Fig. 3 (cost units).  0 = aggressive
   /// pruning (the paper's Table-4 setting).
   double epsilon = 0.0;
+  /// TAM-evaluation threads (<= 0 = hardware concurrency).  Parallelizes
+  /// the group-representative runs and the surviving groups' full
+  /// evaluations; results are bit-identical to jobs == 1.
+  int jobs = 1;
 };
 
 /// The Fig. 3 Cost_Optimizer heuristic.

@@ -1,0 +1,82 @@
+#pragma once
+// Batch plan-evaluation sweeps: fan {SOC x TAM width x cost weights} out
+// over a thread pool and collect one result row per case, exportable as
+// CSV and as machine-readable JSON (schema "msoc-sweep-v1", documented in
+// the README).  This is the ITC'02-style multi-scenario harness the CLI's
+// --sweep flag and the bench/sweep_perf driver drive on every commit.
+
+#include <string>
+#include <vector>
+
+#include "msoc/common/units.hpp"
+#include "msoc/plan/optimizer.hpp"
+#include "msoc/soc/soc.hpp"
+
+namespace msoc::plan {
+
+/// What to sweep.  SOCs are owned by value so configs built from the
+/// embedded benchmarks or from loaded .soc files are self-contained.
+struct SweepConfig {
+  std::vector<soc::Soc> socs;
+  std::vector<int> tam_widths = {16, 24, 32, 48, 64};
+  std::vector<double> time_weights = {0.25, 0.5, 0.75};
+  bool exhaustive = false;  ///< Cost_Optimizer when false.
+  double epsilon = 0.0;     ///< Heuristic elimination slack.
+  /// Worker threads ACROSS cases (<= 0 = hardware concurrency).  Each
+  /// case's optimizer runs serially; case-level fan-out scales better
+  /// because the cases are fully independent.
+  int jobs = 1;
+
+  /// Number of cases the cross product produces.
+  [[nodiscard]] std::size_t case_count() const;
+};
+
+/// One sweep case's outcome.  Infeasible cases (e.g. a TAM narrower than
+/// an analog wrapper) are recorded with `error` set instead of aborting
+/// the sweep; library invariant violations (LogicError) are NOT soft —
+/// they propagate out of run_sweep and fail the whole sweep.
+struct SweepRow {
+  std::string soc_name;
+  int tam_width = 0;
+  double w_time = 0.0;
+  std::string algorithm;  ///< "exhaustive" or "cost_optimizer".
+  std::string best_label;
+  double best_total = 0.0;
+  double c_time = 0.0;
+  double c_area = 0.0;
+  Cycles test_time = 0;
+  Cycles t_max = 0;
+  int evaluations = 0;
+  int total_combinations = 0;
+  double evaluation_reduction_percent = 0.0;
+  double wall_ms = 0.0;  ///< Wall-clock of this case, model build included.
+  std::string error;     ///< Empty on success.
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+struct SweepResult {
+  std::vector<SweepRow> rows;  ///< One per case, in cross-product order.
+  double total_wall_ms = 0.0;  ///< Whole sweep, fan-out included.
+  int jobs = 1;                ///< Worker threads the sweep actually used.
+  bool exhaustive = false;
+  double epsilon = 0.0;
+
+  /// RFC-4180 CSV with a header row.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// "msoc-sweep-v1" JSON document.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Runs every case of the cross product.  Case order in the result is
+/// deterministic (socs x widths x weights, in config order) regardless of
+/// jobs; wall_ms fields are the only nondeterministic outputs.
+[[nodiscard]] SweepResult run_sweep(const SweepConfig& config);
+
+/// The default benchmark sweep behind `msoc_plan --sweep`: the built-in
+/// mixed-signal SOCs (p93791m and d695m) across the paper's TAM widths
+/// and weight settings.
+[[nodiscard]] SweepConfig default_benchmark_sweep();
+
+}  // namespace msoc::plan

@@ -1,7 +1,7 @@
 #include "msoc/plan/cost_model.hpp"
 
-#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "msoc/common/error.hpp"
 
@@ -24,22 +24,22 @@ void PlanningProblem::validate() const {
 CostModel::CostModel(const PlanningProblem& problem) : problem_(problem) {
   problem_.validate();
   names_ = mswrap::core_names(problem_.soc->analog_cores());
+  // Compute the T_max baseline up front: every evaluation normalizes by
+  // it, and doing it here keeps evaluate() lock-cheap and safe to call
+  // concurrently.  All-share partition over core indices.
+  std::vector<std::size_t> all(cores().size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const mswrap::Partition all_share(
+      std::vector<std::vector<std::size_t>>{all});
+  all_share_schedule_ = schedule_for(all_share);
+  t_max_ = all_share_schedule_.makespan();
+  time_cache_[all_share] = t_max_;
+  check_invariant(t_max_ > 0, "T_max must be positive");
 }
 
-Cycles CostModel::t_max() {
-  if (!t_max_ready_) {
-    // All-share partition over core indices.
-    std::vector<std::size_t> all(cores().size());
-    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
-    const mswrap::Partition all_share(
-        std::vector<std::vector<std::size_t>>{all});
-    const tam::Schedule schedule = schedule_for(all_share);
-    t_max_ = schedule.makespan();
-    time_cache_[all_share] = t_max_;
-    t_max_ready_ = true;
-    check_invariant(t_max_ > 0, "T_max must be positive");
-  }
-  return t_max_;
+int CostModel::tam_runs() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tam_runs_;
 }
 
 double CostModel::preliminary_cost(
@@ -50,32 +50,49 @@ double CostModel::preliminary_cost(
 
 tam::Schedule CostModel::schedule_for(
     const mswrap::Partition& partition) const {
-  return tam::schedule_soc(
-      *problem_.soc, problem_.tam_width,
-      mswrap::to_analog_partition(cores(), partition), problem_.packing);
+  tam::PackingOptions packing = problem_.packing;
+  // Lend the construction-time baseline as the serialized-fallback hint
+  // (empty only while the constructor is computing that baseline itself).
+  if (!all_share_schedule_.tests.empty()) {
+    packing.serialized_hint = &all_share_schedule_;
+  }
+  return tam::schedule_soc(*problem_.soc, problem_.tam_width,
+                           mswrap::to_analog_partition(cores(), partition),
+                           packing);
 }
 
 Cycles CostModel::run_tam(const mswrap::Partition& partition) {
-  const auto it = time_cache_.find(partition);
-  if (it != time_cache_.end()) return it->second;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = time_cache_.find(partition);
+    if (it != time_cache_.end()) return it->second;
+  }
+  // The TAM run happens outside the lock — it is the expensive part and
+  // the whole point of evaluating combinations in parallel.  Two threads
+  // racing on the SAME partition would both compute the (identical)
+  // schedule; only the first insert counts toward tam_runs_, so the
+  // paper's N stays exact either way.
   const tam::Schedule schedule = schedule_for(partition);
   tam::require_valid(schedule);
   const Cycles time = schedule.makespan();
-  time_cache_.emplace(partition, time);
-  ++tam_runs_;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (time_cache_.emplace(partition, time).second) ++tam_runs_;
   return time;
 }
 
 CombinationCost CostModel::evaluate(const mswrap::Partition& partition) {
-  const Cycles baseline = t_max();  // ensure normalization exists first
+  const Cycles baseline = t_max();
   CombinationCost cost;
   cost.partition = partition;
   cost.label = partition.to_string(names_);
   cost.test_time = run_tam(partition);
   // Any all-share schedule is feasible for every partition (it satisfies
-  // a superset of the serialization constraints), so a partition's true
-  // optimum never exceeds T_max; cap the heuristic's occasional noise.
-  cost.test_time = std::min(cost.test_time, baseline);
+  // a superset of the serialization constraints), so no partition may
+  // cost more than T_max.  The packer guarantees this via its serialized
+  // fallback; a violation here means that guarantee regressed.
+  check_invariant(cost.test_time <= baseline,
+                  "partition " + cost.label +
+                      " packed worse than the all-share baseline");
   cost.c_time = 100.0 * static_cast<double>(cost.test_time) /
                 static_cast<double>(baseline);
   cost.c_area = problem_.area_model.area_cost(cores(), partition);

@@ -7,6 +7,7 @@
 
 #include "msoc/common/error.hpp"
 #include "msoc/common/logging.hpp"
+#include "msoc/common/parallel.hpp"
 
 namespace msoc::plan {
 
@@ -49,15 +50,21 @@ double OptimizationResult::evaluation_reduction_percent() const {
          static_cast<double>(total_combinations);
 }
 
-OptimizationResult optimize_exhaustive(CostModel& model) {
+OptimizationResult optimize_exhaustive(CostModel& model, int jobs) {
   const std::vector<mswrap::SharingEvaluation> combos =
       feasible_combinations(model);
 
   OptimizationResult result;
   result.total_combinations = static_cast<int>(combos.size());
+
+  // Fan out the TAM runs, then reduce serially in enumeration order so
+  // the winner (and its tie-breaking) matches the serial loop exactly.
+  std::vector<CombinationCost> costs(combos.size());
+  parallel_for(combos.size(), jobs, [&](std::size_t i) {
+    costs[i] = model.evaluate(combos[i].partition);
+  });
   bool have_best = false;
-  for (const mswrap::SharingEvaluation& e : combos) {
-    const CombinationCost cost = model.evaluate(e.partition);
+  for (const CombinationCost& cost : costs) {
     if (!have_best || cost.total < result.best.total) {
       result.best = cost;
       have_best = true;
@@ -108,9 +115,11 @@ HeuristicResult optimize_cost_heuristic(CostModel& model,
   }
 
   // --- Lines 9-13: evaluate representatives with the TAM optimizer. ---
+  parallel_for(states.size(), options.jobs, [&](std::size_t i) {
+    states[i].rep_cost = model.evaluate(states[i].representative->partition);
+  });
   double min_rep_cost = std::numeric_limits<double>::infinity();
-  for (GroupState& state : states) {
-    state.rep_cost = model.evaluate(state.representative->partition);
+  for (const GroupState& state : states) {
     min_rep_cost = std::min(min_rep_cost, state.rep_cost.total);
   }
 
@@ -127,7 +136,22 @@ HeuristicResult optimize_cost_heuristic(CostModel& model,
   }
 
   // --- Lines 18-19: fully evaluate surviving groups, return the best. ---
+  // Fan out every surviving member's TAM run, then reduce serially in the
+  // same (group, member) order the serial loop used, so ties resolve
+  // identically for every jobs value.
+  std::vector<const mswrap::SharingEvaluation*> survivors;
+  for (const GroupState& state : states) {
+    if (state.eliminated) continue;
+    survivors.insert(survivors.end(), state.members.begin(),
+                     state.members.end());
+  }
+  std::vector<CombinationCost> member_costs(survivors.size());
+  parallel_for(survivors.size(), options.jobs, [&](std::size_t i) {
+    member_costs[i] = model.evaluate(survivors[i]->partition);
+  });
+
   bool have_best = false;
+  std::size_t next_member = 0;
   for (const GroupState& state : states) {
     if (state.eliminated) {
       if (!have_best || state.rep_cost.total < result.best.total) {
@@ -138,8 +162,8 @@ HeuristicResult optimize_cost_heuristic(CostModel& model,
       }
       continue;
     }
-    for (const mswrap::SharingEvaluation* e : state.members) {
-      const CombinationCost cost = model.evaluate(e->partition);
+    for (std::size_t m = 0; m < state.members.size(); ++m) {
+      const CombinationCost& cost = member_costs[next_member++];
       if (!have_best || cost.total < result.best.total) {
         result.best = cost;
         have_best = true;

@@ -1,0 +1,213 @@
+#include "msoc/plan/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "msoc/common/csv.hpp"
+#include "msoc/common/error.hpp"
+#include "msoc/common/parallel.hpp"
+#include "msoc/soc/benchmarks.hpp"
+
+namespace msoc::plan {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+std::string json_escape(const std::string& s) {
+  std::ostringstream os;
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+SweepRow run_case(const soc::Soc& soc, int tam_width, double w_time,
+                  const SweepConfig& config) {
+  SweepRow row;
+  row.soc_name = soc.name();
+  row.tam_width = tam_width;
+  row.w_time = w_time;
+  row.algorithm = config.exhaustive ? "exhaustive" : "cost_optimizer";
+  const Clock::time_point start = Clock::now();
+  try {
+    PlanningProblem problem;
+    problem.soc = &soc;
+    problem.tam_width = tam_width;
+    problem.weights = {w_time, 1.0 - w_time};
+    CostModel model(problem);
+    OptimizationResult result;
+    if (config.exhaustive) {
+      result = optimize_exhaustive(model);
+    } else {
+      HeuristicOptions options;
+      options.epsilon = config.epsilon;
+      result = optimize_cost_heuristic(model, options);
+    }
+    row.best_label = result.best.label;
+    row.best_total = result.best.total;
+    row.c_time = result.best.c_time;
+    row.c_area = result.best.c_area;
+    row.test_time = result.best.test_time;
+    row.t_max = model.t_max();
+    row.evaluations = result.evaluations;
+    row.total_combinations = result.total_combinations;
+    row.evaluation_reduction_percent = result.evaluation_reduction_percent();
+  } catch (const InfeasibleError& e) {
+    // Unsatisfiable input (e.g. TAM narrower than an analog wrapper) is a
+    // legitimate sweep outcome.  LogicError — a library invariant
+    // violation, per the error.hpp taxonomy — must NOT become a soft row:
+    // it propagates (via ThreadPool::wait) and fails the whole sweep.
+    row.error = e.what();
+  } catch (const ParseError& e) {
+    row.error = e.what();
+  }
+  row.wall_ms = elapsed_ms(start);
+  return row;
+}
+
+}  // namespace
+
+std::size_t SweepConfig::case_count() const {
+  return socs.size() * tam_widths.size() * time_weights.size();
+}
+
+SweepResult run_sweep(const SweepConfig& config) {
+  require(!config.socs.empty(), "sweep needs at least one SOC");
+  require(!config.tam_widths.empty(), "sweep needs at least one TAM width");
+  require(!config.time_weights.empty(),
+          "sweep needs at least one time weight");
+
+  struct Case {
+    const soc::Soc* soc;
+    int tam_width;
+    double w_time;
+  };
+  std::vector<Case> cases;
+  cases.reserve(config.case_count());
+  for (const soc::Soc& soc : config.socs) {
+    for (const int width : config.tam_widths) {
+      for (const double w_time : config.time_weights) {
+        cases.push_back({&soc, width, w_time});
+      }
+    }
+  }
+
+  SweepResult result;
+  result.exhaustive = config.exhaustive;
+  result.epsilon = config.epsilon;
+  result.jobs = static_cast<int>(std::min<std::size_t>(
+      config.jobs <= 0 ? static_cast<std::size_t>(hardware_jobs())
+                       : static_cast<std::size_t>(config.jobs),
+      cases.size()));
+  result.rows.resize(cases.size());
+
+  const Clock::time_point start = Clock::now();
+  // Long-lived fan-out over fully independent cases: each worker pulls
+  // whole cases and writes into its case's slot, so row order (and every
+  // field except wall_ms) is identical for any jobs value.
+  ThreadPool pool(result.jobs);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    pool.submit([&result, &cases, &config, i] {
+      const Case& c = cases[i];
+      result.rows[i] = run_case(*c.soc, c.tam_width, c.w_time, config);
+    });
+  }
+  pool.wait();
+  result.total_wall_ms = elapsed_ms(start);
+  return result;
+}
+
+SweepConfig default_benchmark_sweep() {
+  SweepConfig config;
+  config.socs.push_back(soc::make_p93791m());
+  config.socs.push_back(soc::make_d695m());
+  return config;
+}
+
+std::string SweepResult::to_csv() const {
+  std::ostringstream out;
+  CsvWriter csv(out, {"soc", "tam_width", "w_time", "algorithm",
+                      "best_label", "best_total", "c_time", "c_area",
+                      "test_time", "t_max", "evaluations",
+                      "total_combinations", "evaluation_reduction_percent",
+                      "wall_ms", "error"});
+  for (const SweepRow& r : rows) {
+    csv.write_row({r.soc_name, std::to_string(r.tam_width),
+                   fmt_double(r.w_time), r.algorithm, r.best_label,
+                   fmt_double(r.best_total), fmt_double(r.c_time),
+                   fmt_double(r.c_area), std::to_string(r.test_time),
+                   std::to_string(r.t_max), std::to_string(r.evaluations),
+                   std::to_string(r.total_combinations),
+                   fmt_double(r.evaluation_reduction_percent),
+                   fmt_double(r.wall_ms), r.error});
+  }
+  return out.str();
+}
+
+std::string SweepResult::to_json() const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"schema\": \"msoc-sweep-v1\",\n"
+     << "  \"exhaustive\": " << (exhaustive ? "true" : "false") << ",\n"
+     << "  \"epsilon\": " << fmt_double(epsilon) << ",\n"
+     << "  \"jobs\": " << jobs << ",\n"
+     << "  \"total_wall_ms\": " << fmt_double(total_wall_ms) << ",\n"
+     << "  \"cases\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"soc\": \"" << json_escape(r.soc_name) << "\", "
+       << "\"tam_width\": " << r.tam_width << ", "
+       << "\"w_time\": " << fmt_double(r.w_time) << ", "
+       << "\"algorithm\": \"" << json_escape(r.algorithm) << "\", "
+       << "\"wall_ms\": " << fmt_double(r.wall_ms) << ", ";
+    if (!r.ok()) {
+      os << "\"error\": \"" << json_escape(r.error) << "\"}";
+      continue;
+    }
+    os << "\"best\": {\"label\": \"" << json_escape(r.best_label) << "\", "
+       << "\"total\": " << fmt_double(r.best_total) << ", "
+       << "\"c_time\": " << fmt_double(r.c_time) << ", "
+       << "\"c_area\": " << fmt_double(r.c_area) << ", "
+       << "\"test_time\": " << r.test_time << ", "
+       << "\"t_max\": " << r.t_max << "}, "
+       << "\"evaluations\": " << r.evaluations << ", "
+       << "\"total_combinations\": " << r.total_combinations << ", "
+       << "\"evaluation_reduction_percent\": "
+       << fmt_double(r.evaluation_reduction_percent) << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace msoc::plan

@@ -30,6 +30,10 @@ namespace msoc::soc {
 /// Small digital ITC'02 benchmark (10 ISCAS cores).
 [[nodiscard]] Soc make_d695();
 
+/// d695 plus the Table-2 analog cores: a small mixed-signal sweep
+/// vehicle complementing p93791m.
+[[nodiscard]] Soc make_d695m();
+
 /// Reconstructed large digital ITC'02 benchmark (32 modules).
 [[nodiscard]] Soc make_p93791();
 

@@ -144,6 +144,15 @@ Soc make_d695() {
   return soc;
 }
 
+Soc make_d695m() {
+  Soc soc = make_d695();
+  soc.set_name("d695m");
+  for (AnalogCore& core : table2_analog_cores()) {
+    soc.add_analog(std::move(core));
+  }
+  return soc;
+}
+
 Soc make_p93791() {
   // Reconstruction of the Philips p93791 SOC: 32 modules whose size
   // distribution matches the published aggregate statistics (a handful of

@@ -177,7 +177,16 @@ Soc parse_soc_string(const std::string& text,
 Soc load_soc_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw ParseError(path, 0, "cannot open file");
-  return parse_soc(in, path);
+  Soc soc = parse_soc(in, path);
+  // ifstream happily "opens" directories and other unreadable paths; the
+  // read then fails and getline-driven parsing sees an empty stream.
+  // Surface those as errors instead of returning a bogus empty SOC.
+  if (in.bad()) throw ParseError(path, 0, "read failed (is it a directory?)");
+  if (soc.name().empty() && soc.digital_count() == 0 &&
+      soc.analog_count() == 0) {
+    throw ParseError(path, 0, "no SocName or module definitions found");
+  }
+  return soc;
 }
 
 void write_soc(std::ostream& out, const Soc& soc) {

@@ -59,6 +59,21 @@ struct PackingOptions {
   /// test's TAM width (true) instead of one rectangle per core at the
   /// core's width (false, the paper's Table-2 granularity).
   bool analog_per_test = false;
+  /// Also race the fully-serialized analog arrangement (all wrappers
+  /// treated as one serial chain) and keep it when shorter.  This pins the
+  /// greedy's worst case to the all-share baseline: splitting wrappers
+  /// can then never yield a longer schedule than sharing them all, which
+  /// the Eq.-2 cost model's C_time <= 100 normalization relies on.
+  /// Disable only for ablation studies of the bare greedy.
+  bool serialized_fallback = true;
+  /// Precomputed all-share schedule reused by the serialized fallback
+  /// instead of repacking it — the merged arrangement is identical for
+  /// every partition of one SOC, so callers evaluating many partitions
+  /// (plan::CostModel) pass their baseline schedule here and save nearly
+  /// half the packing work per call.  Borrowed, not owned; MUST come from
+  /// schedule_soc over the all-share partition of the same SOC, width and
+  /// options (tam_width and test count are sanity-checked).
+  const Schedule* serialized_hint = nullptr;
 };
 
 /// Schedules all tests of `soc` on a `tam_width`-wire TAM.

@@ -1,0 +1,111 @@
+#pragma once
+// Wire-usage profile over time for the rectangle packer: piecewise-
+// constant usage maintained as a sorted map from time to usage delta.
+// Exposed in a header (rather than buried in packing.cpp) so the
+// retry-time logic — historically a source of subtle placement bugs —
+// stays unit-testable on hand-built profiles.
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/units.hpp"
+
+namespace msoc::tam {
+
+class UsageProfile {
+ public:
+  using Interval = std::pair<Cycles, Cycles>;  ///< [start, end).
+
+  explicit UsageProfile(int capacity) : capacity_(capacity) {}
+
+  /// True when usage stays <= capacity - width over [start, start+d) and
+  /// the window avoids all `blocked` intervals.  On failure *retry_at is
+  /// the earliest later time worth trying.
+  ///
+  /// Blocked intervals may arrive in any order.  A window overlapping a
+  /// blocked interval [b, e) can only become free at or after e, so the
+  /// minimal valid retry is the fixpoint of advancing past every interval
+  /// the candidate window still overlaps — NOT the end of whichever
+  /// overlapping interval happens to come first in vector order, which
+  /// under-reports the conflict and costs an extra probe per interval.
+  [[nodiscard]] bool window_free(Cycles start, int width, Cycles duration,
+                                 const std::vector<Interval>& blocked,
+                                 Cycles* retry_at) const {
+    Cycles clear = start;
+    bool conflicted = false;
+    for (bool moved = true; moved;) {
+      moved = false;
+      for (const auto& [b, e] : blocked) {
+        if (clear < e && b < clear + duration) {
+          clear = e;
+          conflicted = true;
+          moved = true;
+        }
+      }
+    }
+    if (conflicted) {
+      *retry_at = clear;
+      return false;
+    }
+    long long usage = 0;
+    auto it = delta_.begin();
+    for (; it != delta_.end() && it->first <= start; ++it) {
+      usage += it->second;
+    }
+    if (usage + width > capacity_) {
+      *retry_at = next_drop(it, usage, width);
+      return false;
+    }
+    for (; it != delta_.end() && it->first < start + duration; ++it) {
+      usage += it->second;
+      if (usage + width > capacity_) {
+        auto jt = std::next(it);
+        long long u = usage;
+        *retry_at = next_drop(jt, u, width, it->first);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Earliest start >= `not_before` where the window is free.
+  [[nodiscard]] Cycles earliest_start(
+      int width, Cycles duration, Cycles not_before,
+      const std::vector<Interval>& blocked) const {
+    Cycles candidate = not_before;
+    while (true) {
+      Cycles retry = 0;
+      if (window_free(candidate, width, duration, blocked, &retry)) {
+        return candidate;
+      }
+      check_invariant(retry > candidate, "packer failed to advance");
+      candidate = retry;
+    }
+  }
+
+  void reserve(Cycles start, Cycles duration, int width) {
+    delta_[start] += width;
+    delta_[start + duration] -= width;
+  }
+
+ private:
+  /// First event at/after `it` where usage drops enough for `width`.
+  Cycles next_drop(std::map<Cycles, long long>::const_iterator it,
+                   long long usage, int width, Cycles fallback = 0) const {
+    Cycles last = fallback;
+    for (; it != delta_.end(); ++it) {
+      usage += it->second;
+      last = it->first;
+      if (usage + width <= capacity_) return it->first;
+    }
+    check_invariant(false, "TAM usage never drops below capacity");
+    return last;
+  }
+
+  int capacity_;
+  std::map<Cycles, long long> delta_;
+};
+
+}  // namespace msoc::tam

@@ -6,93 +6,17 @@
 #include <map>
 #include <queue>
 #include <set>
+#include <utility>
 
 #include "msoc/common/error.hpp"
+#include "msoc/tam/usage_profile.hpp"
 #include "msoc/wrapper/wrapper_design.hpp"
 
 namespace msoc::tam {
 
 namespace {
 
-using Interval = std::pair<Cycles, Cycles>;
-
-/// Wire-usage profile over time: piecewise-constant usage, maintained as
-/// a sorted map from time to usage delta.
-class UsageProfile {
- public:
-  explicit UsageProfile(int capacity) : capacity_(capacity) {}
-
-  /// True when usage stays <= capacity - width over [start, start+d) and
-  /// the window avoids all `blocked` intervals.  On failure *retry_at is
-  /// the earliest later time worth trying.
-  [[nodiscard]] bool window_free(Cycles start, int width, Cycles duration,
-                                 const std::vector<Interval>& blocked,
-                                 Cycles* retry_at) const {
-    for (const auto& [b, e] : blocked) {
-      if (start < e && b < start + duration) {
-        *retry_at = e;
-        return false;
-      }
-    }
-    long long usage = 0;
-    auto it = delta_.begin();
-    for (; it != delta_.end() && it->first <= start; ++it) {
-      usage += it->second;
-    }
-    if (usage + width > capacity_) {
-      *retry_at = next_drop(it, usage, width);
-      return false;
-    }
-    for (; it != delta_.end() && it->first < start + duration; ++it) {
-      usage += it->second;
-      if (usage + width > capacity_) {
-        auto jt = std::next(it);
-        long long u = usage;
-        *retry_at = next_drop(jt, u, width, it->first);
-        return false;
-      }
-    }
-    return true;
-  }
-
-  /// Earliest start >= `not_before` where the window is free.
-  [[nodiscard]] Cycles earliest_start(
-      int width, Cycles duration, Cycles not_before,
-      const std::vector<Interval>& blocked) const {
-    Cycles candidate = not_before;
-    while (true) {
-      Cycles retry = 0;
-      if (window_free(candidate, width, duration, blocked, &retry)) {
-        return candidate;
-      }
-      check_invariant(retry > candidate, "packer failed to advance");
-      candidate = retry;
-    }
-  }
-
-  void reserve(Cycles start, Cycles duration, int width) {
-    delta_[start] += width;
-    delta_[start + duration] -= width;
-  }
-
- private:
-  /// First event at/after `it` where usage drops enough for `width`.
-  Cycles next_drop(std::map<Cycles, long long>::const_iterator it,
-                   long long usage, int width,
-                   Cycles fallback = 0) const {
-    Cycles last = fallback;
-    for (; it != delta_.end(); ++it) {
-      usage += it->second;
-      last = it->first;
-      if (usage + width <= capacity_) return it->first;
-    }
-    check_invariant(false, "TAM usage never drops below capacity");
-    return last;
-  }
-
-  int capacity_;
-  std::map<Cycles, long long> delta_;
-};
+using Interval = UsageProfile::Interval;
 
 struct DigitalItem {
   const soc::DigitalCore* core = nullptr;
@@ -442,6 +366,47 @@ Schedule pack_once(const std::vector<DigitalItem>& digital,
   return schedule;
 }
 
+/// Deterministic rectangle order within an analog group: longest first so
+/// the serial chain's spine is laid down before the short fillers.  Total
+/// order on (duration, core, test) — identical regardless of input order.
+bool rect_before(const AnalogRect& a, const AnalogRect& b) {
+  if (a.duration != b.duration) return a.duration > b.duration;
+  if (a.core->name != b.core->name) return a.core->name < b.core->name;
+  return a.test_name < b.test_name;
+}
+
+/// Races the configured placement orders and width preferences (plus
+/// iterative repair) and keeps the shortest schedule.
+Schedule pack_best(const std::vector<DigitalItem>& digital,
+                   const std::vector<AnalogGroupItem>& groups, int tam_width,
+                   const PackingOptions& options) {
+  std::vector<PlacementOrder> orders;
+  if (options.race_orders) {
+    orders = {PlacementOrder::kAreaDescending, PlacementOrder::kDigitalFirst,
+              PlacementOrder::kAnalogFirst};
+  } else {
+    orders = {options.order};
+  }
+
+  Schedule best;
+  bool have_best = false;
+  for (PlacementOrder order : orders) {
+    for (WidthPreference pref :
+         {WidthPreference::kNarrow, WidthPreference::kWide}) {
+      Schedule candidate = pack_once(digital, groups, tam_width, order, pref);
+      if (options.improvement_rounds > 0) {
+        improve_schedule(candidate, digital, options.improvement_rounds);
+      }
+      if (!have_best || candidate.makespan() < best.makespan()) {
+        best = std::move(candidate);
+        have_best = true;
+      }
+      if (!options.race_orders) break;
+    }
+  }
+  return best;
+}
+
 }  // namespace
 
 AnalogPartition singleton_partition(const soc::Soc& soc) {
@@ -517,43 +482,56 @@ Schedule schedule_soc(const soc::Soc& soc, int tam_width,
     }
     require(item.width <= tam_width,
             "analog wrapper needs more TAM wires than the SOC has");
-    // Longest rectangle first: the serial chain's spine is laid down
-    // before the short fillers.
-    std::sort(item.rects.begin(), item.rects.end(),
-              [](const AnalogRect& a, const AnalogRect& b) {
-                if (a.duration != b.duration) return a.duration > b.duration;
-                if (a.core->name != b.core->name) {
-                  return a.core->name < b.core->name;
-                }
-                return a.test_name < b.test_name;
-              });
+    std::sort(item.rects.begin(), item.rects.end(), rect_before);
     groups.push_back(std::move(item));
   }
 
   // --- Pack (racing placement orders unless disabled). ---
-  std::vector<PlacementOrder> orders;
-  if (options.race_orders) {
-    orders = {PlacementOrder::kAreaDescending, PlacementOrder::kDigitalFirst,
-              PlacementOrder::kAnalogFirst};
-  } else {
-    orders = {options.order};
-  }
+  Schedule best = pack_best(digital, groups, tam_width, options);
 
-  Schedule best;
-  bool have_best = false;
-  for (PlacementOrder order : orders) {
-    for (WidthPreference pref :
-         {WidthPreference::kNarrow, WidthPreference::kWide}) {
-      Schedule candidate =
-          pack_once(digital, groups, tam_width, order, pref);
-      if (options.improvement_rounds > 0) {
-        improve_schedule(candidate, digital, options.improvement_rounds);
+  // --- Monotonicity guard. ---
+  // The greedy packer is anomalous: relaxing serialization constraints
+  // (splitting wrappers) can steer it to a LONGER schedule than the
+  // all-share arrangement, even though any all-share schedule satisfies
+  // every partition's constraints.  Race the fully-serialized arrangement
+  // too: its pack is bit-identical to the all-share partition's (same
+  // items, same deterministic order), so refining a partition can never
+  // make schedule_soc worse than the all-share baseline.
+  if (options.serialized_fallback && groups.size() > 1) {
+    Schedule serialized;
+    if (options.serialized_hint != nullptr) {
+      std::size_t rect_count = 0;
+      for (const AnalogGroupItem& g : groups) rect_count += g.rects.size();
+      require(options.serialized_hint->tam_width == tam_width &&
+                  options.serialized_hint->tests.size() ==
+                      digital.size() + rect_count,
+              "serialized_hint does not match this SOC/width");
+      serialized = *options.serialized_hint;
+    } else {
+      AnalogGroupItem merged;
+      for (const AnalogGroupItem& g : groups) {
+        merged.rects.insert(merged.rects.end(), g.rects.begin(),
+                            g.rects.end());
+        merged.total_cycles += g.total_cycles;
+        merged.width = std::max(merged.width, g.width);
       }
-      if (!have_best || candidate.makespan() < best.makespan()) {
-        best = std::move(candidate);
-        have_best = true;
+      std::sort(merged.rects.begin(), merged.rects.end(), rect_before);
+      serialized = pack_best(digital, {std::move(merged)}, tam_width, options);
+    }
+    if (serialized.makespan() < best.makespan()) {
+      // All analog tests in the serialized schedule are pairwise disjoint
+      // in time, so relabeling them to the requested partition's wrapper
+      // groups keeps every per-wrapper serialization constraint satisfied.
+      std::map<std::string, int> group_of;
+      for (const AnalogGroupItem& g : groups) {
+        for (const AnalogRect& r : g.rects) group_of[r.core->name] = g.group_id;
       }
-      if (!options.race_orders) break;
+      best = std::move(serialized);
+      for (ScheduledTest& t : best.tests) {
+        if (t.kind == TestKind::kAnalog) {
+          t.wrapper_group = group_of.at(t.core_name);
+        }
+      }
     }
   }
 

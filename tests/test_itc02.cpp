@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <string>
+
 #include "msoc/common/error.hpp"
 #include "msoc/soc/benchmarks.hpp"
 
@@ -135,6 +138,30 @@ TEST(Itc02RoundTrip, BenchmarksRoundTrip) {
 
 TEST(Itc02File, MissingFileThrows) {
   EXPECT_THROW(load_soc_file("/nonexistent/path.soc"), ParseError);
+}
+
+TEST(Itc02File, EmptyFileRejectedWithPathInMessage) {
+  const std::string path = ::testing::TempDir() + "empty_test.soc";
+  std::ofstream(path).close();
+  try {
+    (void)load_soc_file(path);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.file(), path);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+}
+
+TEST(Itc02File, DirectoryRejectedWithPathInMessage) {
+  // ifstream "opens" directories on POSIX; the loader must not hand back
+  // a bogus empty SOC for them.
+  try {
+    (void)load_soc_file(::testing::TempDir());
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(::testing::TempDir()),
+              std::string::npos);
+  }
 }
 
 }  // namespace

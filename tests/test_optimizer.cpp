@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "msoc/common/error.hpp"
 #include "msoc/soc/benchmarks.hpp"
 
@@ -115,6 +117,62 @@ TEST(Heuristic, AreaHeavyWeightsPreferMoreSharing) {
   EXPECT_LE(a.best.partition.wrapper_count(),
             t.best.partition.wrapper_count());
 }
+
+class ParallelDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelDeterminism, ExhaustiveBitIdenticalAcrossJobs) {
+  // --jobs 1 and --jobs N must agree bit-for-bit on both benchmark SOCs:
+  // best partition, cost, test time, and the evaluation count.
+  const int jobs = GetParam();
+  for (const soc::Soc& soc : {soc::make_p93791m(), soc::make_d695m()}) {
+    CostModel serial_model(problem(soc, 32, 0.5));
+    const OptimizationResult serial = optimize_exhaustive(serial_model, 1);
+
+    CostModel parallel_model(problem(soc, 32, 0.5));
+    const OptimizationResult parallel =
+        optimize_exhaustive(parallel_model, jobs);
+
+    EXPECT_EQ(serial.best.partition, parallel.best.partition) << soc.name();
+    EXPECT_EQ(serial.best.label, parallel.best.label) << soc.name();
+    EXPECT_EQ(serial.best.test_time, parallel.best.test_time) << soc.name();
+    EXPECT_EQ(serial.best.total, parallel.best.total) << soc.name();
+    EXPECT_EQ(serial.best.c_time, parallel.best.c_time) << soc.name();
+    EXPECT_EQ(serial.best.c_area, parallel.best.c_area) << soc.name();
+    EXPECT_EQ(serial.evaluations, parallel.evaluations) << soc.name();
+    EXPECT_EQ(serial.total_combinations, parallel.total_combinations)
+        << soc.name();
+  }
+}
+
+TEST_P(ParallelDeterminism, HeuristicBitIdenticalAcrossJobs) {
+  const int jobs = GetParam();
+  for (const soc::Soc& soc : {soc::make_p93791m(), soc::make_d695m()}) {
+    CostModel serial_model(problem(soc, 32, 0.5));
+    const HeuristicResult serial = optimize_cost_heuristic(serial_model);
+
+    CostModel parallel_model(problem(soc, 32, 0.5));
+    HeuristicOptions options;
+    options.jobs = jobs;
+    const HeuristicResult parallel =
+        optimize_cost_heuristic(parallel_model, options);
+
+    EXPECT_EQ(serial.best.partition, parallel.best.partition) << soc.name();
+    EXPECT_EQ(serial.best.total, parallel.best.total) << soc.name();
+    EXPECT_EQ(serial.best.test_time, parallel.best.test_time) << soc.name();
+    EXPECT_EQ(serial.evaluations, parallel.evaluations) << soc.name();
+    EXPECT_EQ(serial.diagnostics.group_shapes,
+              parallel.diagnostics.group_shapes)
+        << soc.name();
+    EXPECT_EQ(serial.diagnostics.representative_costs,
+              parallel.diagnostics.representative_costs)
+        << soc.name();
+    EXPECT_EQ(serial.diagnostics.eliminated, parallel.diagnostics.eliminated)
+        << soc.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, ParallelDeterminism,
+                         ::testing::Values(2, 4, 0));
 
 TEST(EvaluationReduction, Formula) {
   OptimizationResult r;

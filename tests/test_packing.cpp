@@ -7,6 +7,7 @@
 #include "msoc/common/error.hpp"
 #include "msoc/soc/benchmarks.hpp"
 #include "msoc/tam/schedule.hpp"
+#include "msoc/tam/usage_profile.hpp"
 
 namespace msoc::tam {
 namespace {
@@ -194,6 +195,79 @@ TEST(PackingAblation, PerTestGranularityValidAndNoWorse) {
   // 32 digital + 17 analog test rectangles (6+6+3+3+2 per core... A,B:6
   // each, C:3, D:3, E:2 = 20).
   EXPECT_EQ(sched.tests.size(), 32u + 20u);
+}
+
+TEST(PackingMonotonicity, KnownAnomalousPartitionsNoWorseThanAllShare) {
+  // Regression: before the serialized fallback these partitions packed
+  // past the all-share baseline (by up to 46k cycles), which the cost
+  // model then hid with a std::min clamp.
+  const soc::Soc s = soc::make_p93791m();
+  const struct {
+    int width;
+    AnalogPartition partition;
+  } cases[] = {
+      {20, {{"A", "C", "D", "E"}, {"B"}}},
+      {24, {{"B", "C", "D", "E"}, {"A"}}},
+      {32, {{"A", "C", "D"}, {"B", "E"}}},
+      {40, {{"A", "B", "C", "D"}, {"E"}}},
+      {48, {{"A", "C", "D"}, {"B"}, {"E"}}},
+  };
+  for (const auto& c : cases) {
+    const Cycles baseline =
+        schedule_soc(s, c.width, all_share_partition(s)).makespan();
+    const Schedule sched = schedule_soc(s, c.width, c.partition);
+    EXPECT_LE(sched.makespan(), baseline) << "W=" << c.width;
+    EXPECT_TRUE(validate_schedule(sched).empty()) << "W=" << c.width;
+  }
+}
+
+TEST(PackingMonotonicity, FallbackCanBeDisabledForAblation) {
+  // The bare greedy (fallback off) reproduces the anomaly, proving the
+  // fallback is what provides the guarantee.
+  const soc::Soc s = soc::make_p93791m();
+  PackingOptions bare;
+  bare.serialized_fallback = false;
+  const Cycles baseline =
+      schedule_soc(s, 40, all_share_partition(s), bare).makespan();
+  const AnalogPartition anomalous = {{"A", "B", "C", "D"}, {"E"}};
+  EXPECT_GT(schedule_soc(s, 40, anomalous, bare).makespan(), baseline);
+  EXPECT_LE(schedule_soc(s, 40, anomalous).makespan(), baseline);
+}
+
+TEST(UsageProfileRetry, OutOfOrderBlockedIntervalsFindTightestRetry) {
+  // window_free must clear EVERY overlapping blocked interval, whatever
+  // their vector order: the minimal valid retry for a window of length 10
+  // against {[40,55), [0,20), [18,42)} starting at 5 is 55.
+  UsageProfile profile(8);
+  const std::vector<UsageProfile::Interval> unsorted = {
+      {40, 55}, {0, 20}, {18, 42}};
+  Cycles retry = 0;
+  EXPECT_FALSE(profile.window_free(5, 4, 10, unsorted, &retry));
+  EXPECT_EQ(retry, 55u);
+
+  // Same intervals sorted must agree (order independence).
+  const std::vector<UsageProfile::Interval> sorted = {
+      {0, 20}, {18, 42}, {40, 55}};
+  retry = 0;
+  EXPECT_FALSE(profile.window_free(5, 4, 10, sorted, &retry));
+  EXPECT_EQ(retry, 55u);
+
+  // A gap big enough for the window is found, not skipped: [20, 40) holds
+  // a length-10 window even though a later interval starts at 40.
+  const std::vector<UsageProfile::Interval> gap = {{40, 55}, {0, 20}};
+  EXPECT_EQ(profile.earliest_start(4, 10, 0, gap), 20u);
+  retry = 0;
+  EXPECT_TRUE(profile.window_free(20, 4, 10, gap, &retry));
+}
+
+TEST(UsageProfileRetry, CapacityAndBlockedInteract) {
+  UsageProfile profile(8);
+  profile.reserve(0, 100, 6);  // only 2 wires free until t=100
+  // Width 4 cannot fit before 100; blocked interval [100, 120) in front.
+  const std::vector<UsageProfile::Interval> blocked = {{100, 120}};
+  EXPECT_EQ(profile.earliest_start(4, 10, 0, blocked), 120u);
+  // Without the blocked interval the capacity drop at 100 is the answer.
+  EXPECT_EQ(profile.earliest_start(4, 10, 0, {}), 100u);
 }
 
 TEST(LowerBounds, DigitalBoundMonotoneInWidth) {

@@ -1,0 +1,115 @@
+#include "msoc/common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace msoc {
+namespace {
+
+TEST(HardwareJobs, AtLeastOne) { EXPECT_GE(hardware_jobs(), 1); }
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (int jobs : {1, 2, 4, 0}) {
+    std::vector<std::atomic<int>> hits(257);
+    parallel_for(hits.size(), jobs, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(ParallelFor, EmptyAndSingleton) {
+  int calls = 0;
+  parallel_for(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, 4, [&](std::size_t i) { calls += static_cast<int>(i) + 1; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, SlotResultsMatchSerial) {
+  const std::size_t n = 1000;
+  std::vector<long long> serial(n), parallel(n);
+  const auto fn = [](std::size_t i) {
+    return static_cast<long long>(i) * static_cast<long long>(i) + 7;
+  };
+  for (std::size_t i = 0; i < n; ++i) serial[i] = fn(i);
+  parallel_for(n, 4, [&](std::size_t i) { parallel[i] = fn(i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(64, 4,
+                   [](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // Serial path too.
+  EXPECT_THROW(
+      parallel_for(4, 1,
+                   [](std::size_t i) {
+                     if (i == 2) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ExceptionAbandonsRemainingWork) {
+  // Every index throws, so each worker fails on its very first pull and
+  // the failed flag must stop all further scheduling: at most one attempt
+  // per thread.  Without the short-circuit all 10000 indices would run.
+  std::atomic<int> attempts{0};
+  try {
+    parallel_for(10000, 2, [&](std::size_t) {
+      ++attempts;
+      throw std::runtime_error("early");
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_LE(attempts.load(), 2);
+  EXPECT_GE(attempts.load(), 1);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.submit([&sum, i] { sum += i; });
+  }
+  pool.wait();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstError) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ++ran; });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossWaves) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 10; ++i) pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), (wave + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, DefaultSizeUsesHardware) {
+  ThreadPool pool;
+  EXPECT_EQ(pool.thread_count(), hardware_jobs());
+}
+
+}  // namespace
+}  // namespace msoc

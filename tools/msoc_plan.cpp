@@ -9,11 +9,18 @@
 //                      w_A = 1 - w_T)
 //     --exhaustive     evaluate every combination (default: Cost_Optimizer)
 //     --epsilon X      heuristic elimination slack (default 0)
+//     --jobs N         evaluation threads (default 1; 0 = all cores)
+//     --sweep          run the benchmark sweep (SOCs x widths x weights)
+//                      instead of a single plan
+//     --json FILE      write results as msoc-sweep-v1 JSON
 //     --gantt          print the schedule as an ASCII Gantt chart
-//     --csv FILE       export the schedule as CSV
+//     --csv FILE       export the schedule (or, with --sweep, the result
+//                      table) as CSV
 //     --validate       replay the schedule through the cycle-level checker
 //     --help           this text
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -21,8 +28,10 @@
 #include <string>
 
 #include "msoc/common/error.hpp"
+#include "msoc/common/parallel.hpp"
 #include "msoc/common/strings.hpp"
 #include "msoc/plan/optimizer.hpp"
+#include "msoc/plan/sweep.hpp"
 #include "msoc/soc/benchmarks.hpp"
 #include "msoc/soc/itc02.hpp"
 #include "msoc/testsim/replay.hpp"
@@ -31,10 +40,13 @@ namespace {
 
 struct Options {
   std::optional<std::string> soc_file;
-  int width = 32;
-  double w_time = 0.5;
+  std::optional<int> width;      ///< Default 32 (single) / sweep ladder.
+  std::optional<double> w_time;  ///< Default 0.5 (single) / sweep set.
   bool exhaustive = false;
   double epsilon = 0.0;
+  int jobs = 1;
+  bool sweep = false;
+  std::optional<std::string> json_file;
   bool gantt = false;
   std::optional<std::string> csv_file;
   bool validate = false;
@@ -45,12 +57,15 @@ void print_usage() {
   std::puts(
       "msoc_plan — mixed-signal SOC test planner (DATE'05 reproduction)\n"
       "  --soc FILE     .soc description (default: built-in p93791m)\n"
-      "  --width N      TAM width (default 32)\n"
-      "  --wt X         test-time weight w_T (default 0.5)\n"
+      "  --width N      TAM width (default 32; narrows --sweep to one width)\n"
+      "  --wt X         test-time weight w_T (default 0.5; narrows --sweep)\n"
       "  --exhaustive   exhaustive search instead of Cost_Optimizer\n"
       "  --epsilon X    heuristic elimination slack (default 0)\n"
+      "  --jobs N       evaluation threads (default 1; 0 = all cores)\n"
+      "  --sweep        benchmark sweep (SOCs x widths x weights)\n"
+      "  --json FILE    write results as msoc-sweep-v1 JSON\n"
       "  --gantt        print an ASCII Gantt chart\n"
-      "  --csv FILE     export the schedule as CSV\n"
+      "  --csv FILE     export schedule CSV (result table with --sweep)\n"
       "  --validate     replay-check the schedule\n"
       "  --help         this text");
 }
@@ -81,7 +96,13 @@ Options parse_args(int argc, char** argv) {
       const auto v = msoc::parse_double(value(i, "--epsilon"));
       msoc::require(v.has_value() && *v >= 0.0, "--epsilon needs a number >= 0");
       options.epsilon = *v;
-    } else if (arg == "--gantt") options.gantt = true;
+    } else if (arg == "--jobs") {
+      const auto v = msoc::parse_int(value(i, "--jobs"));
+      msoc::require(v.has_value() && *v >= 0, "--jobs needs an integer >= 0");
+      options.jobs = static_cast<int>(*v);
+    } else if (arg == "--sweep") options.sweep = true;
+    else if (arg == "--json") options.json_file = value(i, "--json");
+    else if (arg == "--gantt") options.gantt = true;
     else if (arg == "--csv") options.csv_file = value(i, "--csv");
     else if (arg == "--validate") options.validate = true;
     else {
@@ -89,6 +110,69 @@ Options parse_args(int argc, char** argv) {
     }
   }
   return options;
+}
+
+void write_file(const std::string& path, const std::string& content,
+                const char* what) {
+  std::ofstream out(path);
+  msoc::require(static_cast<bool>(out),
+                std::string("cannot open ") + what + " output " + path);
+  out << content;
+}
+
+int run_sweep_mode(const Options& options) {
+  using namespace msoc;
+  require(!options.gantt && !options.validate,
+          "--gantt/--validate need a single plan; drop them or --sweep");
+  plan::SweepConfig config;
+  if (options.soc_file) {
+    config.socs.push_back(soc::load_soc_file(*options.soc_file));
+  } else {
+    config = plan::default_benchmark_sweep();
+  }
+  // An explicit --width / --wt narrows the sweep to that single value.
+  if (options.width) config.tam_widths = {*options.width};
+  if (options.w_time) config.time_weights = {*options.w_time};
+  config.exhaustive = options.exhaustive;
+  config.epsilon = options.epsilon;
+  config.jobs = options.jobs;
+
+  std::printf("sweep: %zu SOCs x %zu widths x %zu weights = %zu cases "
+              "(%s, jobs=%d)\n",
+              config.socs.size(), config.tam_widths.size(),
+              config.time_weights.size(), config.case_count(),
+              config.exhaustive ? "exhaustive" : "Cost_Optimizer",
+              config.jobs);
+  const plan::SweepResult result = plan::run_sweep(config);
+
+  int failures = 0;
+  for (const plan::SweepRow& row : result.rows) {
+    if (row.ok()) {
+      std::printf("  %-10s W=%-3d w_T=%.2f  C=%8.2f  %-24s %6.1f ms\n",
+                  row.soc_name.c_str(), row.tam_width, row.w_time,
+                  row.best_total, row.best_label.c_str(), row.wall_ms);
+    } else {
+      ++failures;
+      std::printf("  %-10s W=%-3d w_T=%.2f  infeasible: %s\n",
+                  row.soc_name.c_str(), row.tam_width, row.w_time,
+                  row.error.c_str());
+    }
+  }
+  std::printf("sweep finished in %.1f ms (%d infeasible of %zu cases)\n",
+              result.total_wall_ms, failures, result.rows.size());
+  if (options.json_file) {
+    write_file(*options.json_file, result.to_json(), "JSON");
+    std::printf("results written to %s\n", options.json_file->c_str());
+  }
+  if (options.csv_file) {
+    write_file(*options.csv_file, result.to_csv(), "CSV");
+    std::printf("result table written to %s\n", options.csv_file->c_str());
+  }
+  if (failures == static_cast<int>(result.rows.size())) {
+    std::fprintf(stderr, "error: every sweep case was infeasible\n");
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -101,46 +185,78 @@ int main(int argc, char** argv) {
       print_usage();
       return 0;
     }
+    if (options.sweep) return run_sweep_mode(options);
 
+    const int width = options.width.value_or(32);
+    const double w_time = options.w_time.value_or(0.5);
     const soc::Soc soc = options.soc_file
                              ? soc::load_soc_file(*options.soc_file)
                              : soc::make_p93791m();
     std::printf("SOC %s: %zu digital, %zu analog cores; TAM width %d; "
-                "w_T=%.2f w_A=%.2f; %s\n",
+                "w_T=%.2f w_A=%.2f; %s; jobs %d\n",
                 soc.name().c_str(), soc.digital_count(), soc.analog_count(),
-                options.width, options.w_time, 1.0 - options.w_time,
-                options.exhaustive ? "exhaustive" : "Cost_Optimizer");
+                width, w_time, 1.0 - w_time,
+                options.exhaustive ? "exhaustive" : "Cost_Optimizer",
+                options.jobs);
 
     plan::PlanningProblem problem;
     problem.soc = &soc;
-    problem.tam_width = options.width;
-    problem.weights = {options.w_time, 1.0 - options.w_time};
+    problem.tam_width = width;
+    problem.weights = {w_time, 1.0 - w_time};
     plan::CostModel model(problem);
 
-    plan::CombinationCost best;
-    int evaluations = 0;
-    int total = 0;
+    plan::OptimizationResult result;
+    const auto started = std::chrono::steady_clock::now();
     if (options.exhaustive) {
-      const plan::OptimizationResult r = plan::optimize_exhaustive(model);
-      best = r.best;
-      evaluations = r.evaluations;
-      total = r.total_combinations;
+      result = plan::optimize_exhaustive(model, options.jobs);
     } else {
       plan::HeuristicOptions heuristic;
       heuristic.epsilon = options.epsilon;
-      const plan::HeuristicResult r =
-          plan::optimize_cost_heuristic(model, heuristic);
-      best = r.best;
-      evaluations = r.evaluations;
-      total = r.total_combinations;
+      heuristic.jobs = options.jobs;
+      result = plan::optimize_cost_heuristic(model, heuristic);
     }
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - started)
+                               .count();
+    const plan::CombinationCost& best = result.best;
 
     std::printf("\nplan: %s\n", best.label.c_str());
     std::printf("  C = %.2f  (C_time = %.2f, C_A = %.2f)\n", best.total,
                 best.c_time, best.c_area);
     std::printf("  test time %llu cycles; %d of %d combinations evaluated\n",
-                static_cast<unsigned long long>(best.test_time), evaluations,
-                total);
+                static_cast<unsigned long long>(best.test_time),
+                result.evaluations, result.total_combinations);
+
+    if (options.json_file) {
+      // Single-plan runs reuse the sweep schema with one case.
+      plan::SweepResult single;
+      single.exhaustive = options.exhaustive;
+      single.epsilon = options.epsilon;
+      // Match the sweep semantics: "threads actually used", never 0.
+      single.jobs = std::min(
+          options.jobs <= 0 ? hardware_jobs() : options.jobs,
+          std::max(result.total_combinations, 1));
+      single.total_wall_ms = wall_ms;
+      plan::SweepRow row;
+      row.soc_name = soc.name();
+      row.tam_width = width;
+      row.w_time = w_time;
+      row.algorithm = options.exhaustive ? "exhaustive" : "cost_optimizer";
+      row.best_label = best.label;
+      row.best_total = best.total;
+      row.c_time = best.c_time;
+      row.c_area = best.c_area;
+      row.test_time = best.test_time;
+      row.t_max = model.t_max();
+      row.evaluations = result.evaluations;
+      row.total_combinations = result.total_combinations;
+      row.evaluation_reduction_percent =
+          result.evaluation_reduction_percent();
+      row.wall_ms = wall_ms;
+      single.rows.push_back(std::move(row));
+      write_file(*options.json_file, single.to_json(), "JSON");
+      std::printf("results written to %s\n", options.json_file->c_str());
+    }
 
     const tam::Schedule schedule = model.schedule_for(best.partition);
     if (options.gantt) {
@@ -148,10 +264,7 @@ int main(int argc, char** argv) {
       std::fputs(tam::render_gantt(schedule).c_str(), stdout);
     }
     if (options.csv_file) {
-      std::ofstream out(*options.csv_file);
-      require(static_cast<bool>(out),
-              "cannot open CSV output " + *options.csv_file);
-      out << tam::schedule_to_csv(schedule);
+      write_file(*options.csv_file, tam::schedule_to_csv(schedule), "CSV");
       std::printf("schedule written to %s\n", options.csv_file->c_str());
     }
     if (options.validate) {
