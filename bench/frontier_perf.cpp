@@ -1,0 +1,133 @@
+// Frontier-engine cold-vs-warm perf trajectory.
+//
+// Runs plan::FrontierEngine on the built-in p93791m benchmark across
+// the paper's width ladder three times against one msoc-cache-v1
+// directory: COLD (cache wiped), WARM (every cell solved), and WARM2
+// (stability).  Verifies the warm runs perform ZERO TAM-optimizer
+// evaluations and return bit-identical frontiers, then writes the
+// timings as JSON (schema "msoc-frontier-perf-v1") for CI to archive.
+// Exits non-zero when warm results diverge or still evaluate — this
+// doubles as the correctness gate for the cache.
+//
+// Usage: frontier_perf [output.json] [cache_dir]
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "msoc/plan/frontier.hpp"
+#include "msoc/soc/benchmarks.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Run {
+  const char* phase = "";
+  double wall_ms = 0.0;
+  msoc::plan::FrontierResult result;
+};
+
+bool same_frontier(const msoc::plan::FrontierResult& a,
+                   const msoc::plan::FrontierResult& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const msoc::plan::FrontierPoint& p = a.points[i];
+    const msoc::plan::FrontierPoint& q = b.points[i];
+    if (p.tam_width != q.tam_width || p.error != q.error) return false;
+    if (!p.ok()) continue;
+    if (p.best.partition != q.best.partition ||
+        p.best.test_time != q.best.test_time ||
+        p.best.total != q.best.total || p.t_max != q.t_max) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msoc;
+  const std::string out_path = argc > 1 ? argv[1] : "frontier_perf.json";
+  const std::string cache_dir =
+      argc > 2 ? argv[2] : "frontier_perf_cache";
+
+  std::error_code ec;
+  std::filesystem::remove_all(cache_dir, ec);  // cold means COLD
+
+  const soc::Soc soc = soc::make_p93791m();
+  std::vector<Run> runs;
+  runs.push_back({"cold", 0.0, {}});
+  runs.push_back({"warm", 0.0, {}});
+  runs.push_back({"warm2", 0.0, {}});
+
+  std::printf("FrontierEngine on %s, widths {16,24,32,48,64}, "
+              "cache %s\n",
+              soc.name().c_str(), cache_dir.c_str());
+  for (Run& run : runs) {
+    plan::ResultCache cache(cache_dir);
+    plan::FrontierOptions options;
+    options.cache = &cache;
+    const Clock::time_point start = Clock::now();
+    plan::FrontierEngine engine(soc, options);
+    run.result = engine.run();
+    cache.flush();
+    run.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                            start)
+                      .count();
+    std::printf("  %-5s  %8.1f ms  evaluations %-3d  cache hits %-3d\n",
+                run.phase, run.wall_ms, run.result.evaluations,
+                run.result.cache_hits);
+  }
+
+  const double speedup =
+      runs[1].wall_ms > 0.0 ? runs[0].wall_ms / runs[1].wall_ms : 0.0;
+  std::printf("cold/warm speedup: %.2fx\n", speedup);
+
+  bool ok = true;
+  if (runs[0].result.evaluations == 0) {
+    std::fprintf(stderr, "error: cold run performed no evaluations — "
+                         "the cache wipe failed\n");
+    ok = false;
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].result.evaluations != 0) {
+      std::fprintf(stderr, "error: %s run still performed %d evaluations\n",
+                   runs[i].phase, runs[i].result.evaluations);
+      ok = false;
+    }
+    if (!same_frontier(runs[0].result, runs[i].result)) {
+      std::fprintf(stderr, "error: %s frontier diverged from cold\n",
+                   runs[i].phase);
+      ok = false;
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"schema\": \"msoc-frontier-perf-v1\",\n"
+      << "  \"soc\": \"" << soc.name() << "\",\n"
+      << "  \"digest\": \"" << runs[0].result.digest << "\",\n"
+      << "  \"cold_warm_speedup\": " << speedup << ",\n"
+      << "  \"identical\": " << (ok ? "true" : "false") << ",\n"
+      << "  \"runs\": [";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    {\"phase\": \"" << runs[i].phase
+        << "\", \"wall_ms\": " << runs[i].wall_ms
+        << ", \"evaluations\": " << runs[i].result.evaluations
+        << ", \"cache_hits\": " << runs[i].result.cache_hits
+        << ", \"pruned\": " << runs[i].result.pruned << "}";
+  }
+  out << "\n  ],\n  \"frontier\": " << runs[0].result.to_json() << "}\n";
+  out.close();
+  std::printf("trajectory written to %s\n", out_path.c_str());
+
+  return ok ? 0 : 1;
+}

@@ -18,4 +18,8 @@ namespace msoc {
 /// Renders a set of core names as the paper does: "{A,C} {B,D,E}".
 [[nodiscard]] std::string braces(const std::vector<std::string>& names);
 
+/// Round-trip double rendering (17 significant digits) for the JSON
+/// and CSV writers — equal doubles format equally, parse back exactly.
+[[nodiscard]] std::string round_trip_double(double value);
+
 }  // namespace msoc

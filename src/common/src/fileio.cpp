@@ -1,0 +1,89 @@
+#include "msoc/common/fileio.hpp"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "msoc/common/error.hpp"
+
+namespace msoc {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+long long process_id() {
+#if defined(_WIN32)
+  return ::_getpid();
+#else
+  return static_cast<long long>(::getpid());
+#endif
+}
+
+}  // namespace
+
+std::optional<std::string> read_file_if_exists(const std::string& path) {
+  std::error_code ec;
+  if (!fs::is_regular_file(path, ec) || ec) return std::nullopt;
+  return read_file(path);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw Error("read failed: " + path);
+  return buffer.str();
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  // Unique per call (pid + per-process counter), so concurrent writers
+  // (two sweep processes sharing one cache dir, or two threads in one)
+  // never scribble on each other's temp file; last rename wins, both
+  // outcomes are whole documents.
+  static std::atomic<unsigned> counter{0};
+  const fs::path target(path);
+  std::error_code ec;
+  const fs::path dir =
+      target.has_parent_path() ? target.parent_path() : fs::path(".");
+  std::ostringstream name;
+  name << target.filename().string() << ".tmp." << process_id() << "."
+       << counter.fetch_add(1);
+  const fs::path temp = dir / name.str();
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("cannot open temp file " + temp.string());
+    out << content;
+    out.flush();
+    if (!out) {
+      fs::remove(temp, ec);
+      throw Error("write failed: " + temp.string());
+    }
+  }
+  fs::rename(temp, target, ec);
+  if (ec) {
+    std::error_code cleanup;
+    fs::remove(temp, cleanup);
+    throw Error("cannot rename " + temp.string() + " to " + path + ": " +
+                ec.message());
+  }
+}
+
+void ensure_directory(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) throw Error("cannot create directory " + path + ": " + ec.message());
+  if (!fs::is_directory(path, ec) || ec) {
+    throw Error(path + " exists but is not a directory");
+  }
+}
+
+}  // namespace msoc

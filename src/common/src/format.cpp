@@ -47,4 +47,11 @@ std::string braces(const std::vector<std::string>& names) {
   return out;
 }
 
+std::string round_trip_double(double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
 }  // namespace msoc

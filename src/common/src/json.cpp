@@ -1,0 +1,316 @@
+#include "msoc/common/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+
+#include "msoc/common/error.hpp"
+
+namespace msoc {
+
+namespace {
+
+constexpr int kMaxDepth = 128;  ///< Nesting cap; cache/sweep files use ~3.
+
+class Parser {
+ public:
+  Parser(std::string_view text, const std::string& source)
+      : text_(text), source_(source) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing garbage after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(source_, line_, message);
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+
+  [[nodiscard]] char peek() const {
+    if (at_end()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      next();
+    }
+  }
+
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  void expect_keyword(std::string_view keyword) {
+    for (const char c : keyword) {
+      if (at_end() || next() != c) {
+        fail("invalid literal (expected " + std::string(keyword) + ")");
+      }
+    }
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("JSON nested too deeply");
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue(parse_string());
+      case 't': expect_keyword("true"); return JsonValue(true);
+      case 'f': expect_keyword("false"); return JsonValue(false);
+      case 'n': expect_keyword("null"); return JsonValue(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    JsonValue::Object object;
+    skip_whitespace();
+    if (peek() == '}') {
+      next();
+      return JsonValue(std::move(object));
+    }
+    while (true) {
+      skip_whitespace();
+      if (peek() != '"') fail("object key must be a string");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object.insert_or_assign(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      const char sep = next();
+      if (sep == '}') return JsonValue(std::move(object));
+      if (sep != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    JsonValue::Array array;
+    skip_whitespace();
+    if (peek() == ']') {
+      next();
+      return JsonValue(std::move(array));
+    }
+    while (true) {
+      array.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char sep = next();
+      if (sep == ']') return JsonValue(std::move(array));
+      if (sep != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else
+        fail("invalid \\u escape");
+    }
+    return value;
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (next() != '\\' || next() != 'u') {
+              fail("unpaired UTF-16 surrogate");
+            }
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("invalid UTF-16 surrogate pair");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired UTF-16 surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') next();
+    if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("invalid number");
+    }
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      next();
+    }
+    if (!at_end() && peek() == '.') {
+      next();
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("invalid number: digit must follow '.'");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        next();
+      }
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      next();
+      if (!at_end() && (peek() == '+' || peek() == '-')) next();
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("invalid number: digit must follow exponent");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        next();
+      }
+    }
+    double value = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [end, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || end != last) fail("invalid number");
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  const std::string& source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+[[noreturn]] void type_error(const char* wanted) {
+  throw ParseError("<json>", 0,
+                   std::string("JSON value is not a ") + wanted);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&value_)) return *b;
+  type_error("bool");
+}
+
+double JsonValue::as_number() const {
+  if (const double* n = std::get_if<double>(&value_)) return *n;
+  type_error("number");
+}
+
+const std::string& JsonValue::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&value_)) return *s;
+  type_error("string");
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (const Array* a = std::get_if<Array>(&value_)) return *a;
+  type_error("array");
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (const Object* o = std::get_if<Object>(&value_)) return *o;
+  type_error("object");
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  const Object& object = as_object();
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* value = find(key);
+  if (value == nullptr) {
+    throw ParseError("<json>", 0, "missing JSON object key: " + key);
+  }
+  return *value;
+}
+
+JsonValue parse_json(std::string_view text, const std::string& source_name) {
+  return Parser(text, source_name).parse_document();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace msoc

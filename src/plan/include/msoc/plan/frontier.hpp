@@ -1,0 +1,150 @@
+#pragma once
+// Pareto-frontier planning engine: the full (TAM width, test time,
+// Eq. 2 cost) curve for one SOC in one call, instead of independent
+// per-width Cost_Optimizer runs.
+//
+// Every deployment question around the paper's Tables 3-4 is a curve —
+// how do test time and cost move as the width budget moves — and the
+// per-width optimizer re-derives everything from scratch at each
+// width.  The engine walks the widths in ascending order and shares
+// all the work that is width-independent:
+//
+//   * the sharing-combination enumeration, each combination's Eq. 3
+//     preliminary cost, area cost, analog lower bound, and the
+//     per-group representative choice (weights fixed per engine);
+//   * every digital core's Pareto staircase, computed once at the
+//     widest budget and sliced per width (tam::ParetoTables);
+//   * optionally a persistent ResultCache of TAM makespans keyed by
+//     soc::digest(), so repeated sweeps, CI benches and msoc_plan
+//     invocations skip solved cells entirely.
+//
+// On top of the Fig. 3 elimination it prunes surviving-group members
+// whose cost lower bound — w_T * 100 * max(analog LB, digital LB(W)) /
+// T_max(W) + w_A * C_A, every term known without a TAM run — strictly
+// exceeds the cheapest evaluated representative.  The bound is a true
+// lower bound on the Eq. 2 total and the winner is selected by strict
+// <, so pruning can never change the reported optimum: per-width
+// results are bit-identical to optimize_cost_heuristic /
+// optimize_exhaustive, just cheaper.  Evaluations fan out over the
+// common ThreadPool; all pruning thresholds are fixed before the
+// fan-out, so results (including evaluation counts) are bit-identical
+// for every jobs value.
+
+#include <string>
+#include <vector>
+
+#include "msoc/plan/cost_model.hpp"
+#include "msoc/plan/result_cache.hpp"
+#include "msoc/soc/soc.hpp"
+#include "msoc/tam/packing.hpp"
+
+namespace msoc::plan {
+
+struct FrontierOptions {
+  /// Width budgets to solve (duplicates collapse; solved ascending).
+  std::vector<int> widths = {16, 24, 32, 48, 64};
+  CostWeights weights;
+  /// Evaluate every combination instead of the Fig. 3 heuristic.
+  bool exhaustive = false;
+  /// Heuristic elimination slack (ignored when exhaustive).
+  double epsilon = 0.0;
+  /// Evaluation threads per width (<= 0 = hardware concurrency);
+  /// results are bit-identical for every value.
+  int jobs = 1;
+  /// Optional persistent makespan cache (borrowed).  The engine opens
+  /// the SOC's digest, reads the snapshot, and records every makespan
+  /// it computes; call cache->flush() to persist.  Entries that parse
+  /// but contradict a freshly-packed baseline are discarded and
+  /// recomputed — a cache can make runs slower to repair, never fail.
+  ResultCache* cache = nullptr;
+  /// Optional precomputed Pareto staircases (borrowed; must cover this
+  /// SOC at >= max(widths)).  Callers running several engines on one
+  /// SOC — run_sweep's weight series — share one table; the engine
+  /// computes its own when null.
+  const tam::ParetoTables* pareto_tables = nullptr;
+
+  mswrap::WrapperAreaModel area_model;
+  mswrap::SharingPolicy policy;
+  mswrap::EnumerationOptions enumeration;
+  tam::PackingOptions packing;
+};
+
+/// One width budget's outcome.
+struct FrontierPoint {
+  int tam_width = 0;
+  CombinationCost best;
+  Cycles t_max = 0;
+  int evaluations = 0;        ///< TAM-optimizer runs at this width.
+  int total_combinations = 0;
+  int cache_hits = 0;         ///< Combinations answered from the cache.
+  int pruned = 0;             ///< Members skipped by the lower bound.
+  /// On the (width, test time) Pareto frontier: no narrower feasible
+  /// budget achieves an equal-or-shorter test time.
+  bool pareto = false;
+  double wall_ms = 0.0;
+  std::string error;          ///< Set when this width is infeasible.
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+struct FrontierResult {
+  std::string soc_name;
+  std::string digest;         ///< soc::digest_hex of the SOC.
+  std::string algorithm;      ///< "exhaustive" or "cost_optimizer".
+  double w_time = 0.0;
+  std::vector<FrontierPoint> points;  ///< Ascending unique widths.
+  int evaluations = 0;        ///< Total TAM-optimizer runs.
+  int cache_hits = 0;
+  int pruned = 0;
+  /// Test time never increases with width over the feasible points —
+  /// the sanity the paper's Tables 3-4 rely on.
+  bool time_monotone = true;
+  double wall_ms = 0.0;       ///< Whole run, setup included.
+
+  /// "msoc-frontier-v1" JSON document.
+  [[nodiscard]] std::string to_json() const;
+  /// RFC-4180 CSV, one row per width.
+  [[nodiscard]] std::string to_csv() const;
+};
+
+/// Reusable frontier solver for one SOC.  The SOC and the options'
+/// cache are borrowed and must outlive the engine; run() may be called
+/// repeatedly (e.g. cold/warm timing) and is itself single-threaded at
+/// the API level — internal evaluation fan-out is governed by
+/// options.jobs.
+class FrontierEngine {
+ public:
+  FrontierEngine(const soc::Soc& soc, FrontierOptions options);
+  ~FrontierEngine();  ///< Out of line: Combo/Group are incomplete here.
+
+  FrontierEngine(const FrontierEngine&) = delete;
+  FrontierEngine& operator=(const FrontierEngine&) = delete;
+
+  [[nodiscard]] FrontierResult run();
+
+  [[nodiscard]] const std::string& digest() const noexcept {
+    return digest_;
+  }
+
+ private:
+  struct Combo;
+  struct Group;
+
+  [[nodiscard]] FrontierPoint solve_width(int width);
+  [[nodiscard]] FrontierPoint solve_width_attempt(int width,
+                                                  bool trust_cache);
+
+  const soc::Soc& soc_;
+  FrontierOptions options_;
+  std::string digest_;
+  std::string fingerprint_;
+  std::vector<std::string> names_;
+  std::vector<Combo> combos_;
+  std::vector<Group> groups_;
+  tam::ParetoTables own_pareto_tables_;        ///< Empty when borrowed.
+  const tam::ParetoTables* pareto_tables_ = nullptr;
+  std::vector<int> widths_;  ///< Ascending, unique.
+  int max_analog_width_ = 0;
+};
+
+}  // namespace msoc::plan

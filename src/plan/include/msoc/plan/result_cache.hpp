@@ -1,0 +1,132 @@
+#pragma once
+// Persistent TAM-optimizer result cache (the msoc-cache-v1 store,
+// documented in docs/formats.md).
+//
+// What is cached: schedule_soc makespans — the expensive, pure part of
+// a CombinationCost.  Everything else in Eq. 2 (C_A, C_time, the
+// weighted total) is cheap arithmetic over the cached time and is
+// recomputed at load, so weights can change between runs without
+// invalidating a single entry.
+//
+// How entries are keyed (all content-addressed, nothing positional):
+//   * soc::digest_hex — which SOC (stable under core reordering and
+//     renames);
+//   * TAM width;
+//   * a fingerprint of the PackingOptions fields that influence the
+//     makespan (placement racing, flexible width, improvement rounds,
+//     granularity, serialized fallback);
+//   * a partition key built from per-core content digests: each
+//     wrapper group is the sorted list of its members' core_digest
+//     values, groups sorted — so relabeled or reordered cores, and
+//     even symmetric partitions over tests_equivalent cores (the
+//     paper's A/B pair), share one entry.
+//
+// Read/write discipline: lookups see only the SNAPSHOT present when the
+// digest was opened; record() lands in an overlay that becomes visible
+// on flush().  This keeps parallel sweeps deterministic — which worker
+// computes a cell never changes what another worker can observe — at
+// the cost of intra-run cross-series sharing.  Corrupt, truncated, or
+// wrong-schema cache files are treated as absent (and counted), never
+// as errors: the cache must only ever make runs faster, not wronger.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "msoc/common/units.hpp"
+#include "msoc/mswrap/partition.hpp"
+#include "msoc/soc/soc.hpp"
+#include "msoc/tam/packing.hpp"
+
+namespace msoc::plan {
+
+/// Fingerprint (16 hex chars) of the PackingOptions fields a makespan
+/// depends on.  Excluded: assign_wires (wire coloring never moves a
+/// test) and the borrowed hint pointers (runtime plumbing).
+[[nodiscard]] std::string packing_fingerprint(
+    const tam::PackingOptions& options);
+
+/// Canonical cache key of a sharing partition over `cores`: per group
+/// the sorted member core_digest values, groups sorted.
+[[nodiscard]] std::string partition_key(
+    const std::vector<soc::AnalogCore>& cores,
+    const mswrap::Partition& partition);
+
+class ResultCache {
+ public:
+  /// In-memory cache: empty snapshot, flush() is a no-op.
+  ResultCache() = default;
+
+  /// Disk-backed cache rooted at `directory` (created on flush).
+  explicit ResultCache(std::string directory);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Loads the snapshot for one SOC digest from
+  /// `<directory>/<digest>.json`.  Idempotent and thread-safe
+  /// (internally locked), but the file read happens under the lock, so
+  /// prefer opening every digest up front before fanning lookups out.
+  /// Unreadable or corrupt files load as empty and bump
+  /// corrupt_files().
+  void open(const std::string& digest, const std::string& soc_name = "");
+
+  /// Snapshot lookup; nullopt on miss (or when the digest was never
+  /// opened).  Thread-safe.
+  [[nodiscard]] std::optional<Cycles> lookup(const std::string& digest,
+                                             int tam_width,
+                                             const std::string& fingerprint,
+                                             const std::string& key) const;
+
+  /// Records a computed makespan in the overlay (visible to lookups
+  /// only after the next flush; last writer wins on duplicates).
+  /// Thread-safe.
+  void record(const std::string& digest, int tam_width,
+              const std::string& fingerprint, const std::string& key,
+              const std::string& label, Cycles test_time);
+
+  /// Writes snapshot + overlay back to disk (atomic per file) and
+  /// merges the overlay into the snapshot.  No-op for in-memory
+  /// caches (the overlay still merges, so a subsequent run() in the
+  /// same process can hit it).
+  void flush();
+
+  [[nodiscard]] bool disk_backed() const noexcept {
+    return !directory_.empty();
+  }
+  [[nodiscard]] const std::string& directory() const noexcept {
+    return directory_;
+  }
+
+  /// Counters since construction (thread-safe).
+  [[nodiscard]] long long hits() const;
+  [[nodiscard]] long long misses() const;
+  [[nodiscard]] long long records() const;
+  [[nodiscard]] int corrupt_files() const;
+
+ private:
+  struct Entry {
+    Cycles test_time = 0;
+    std::string label;  ///< Informational only; not part of the key.
+  };
+  struct Store {
+    std::string soc_name;
+    std::map<std::string, Entry> snapshot;  ///< Visible to lookup().
+    std::map<std::string, Entry> overlay;   ///< Pending record()s.
+  };
+
+  [[nodiscard]] std::string file_path(const std::string& digest) const;
+  void load_store(const std::string& digest, Store& store);
+
+  std::string directory_;
+  std::map<std::string, Store> stores_;
+  mutable std::mutex mutex_;
+  mutable long long hits_ = 0;
+  mutable long long misses_ = 0;
+  long long records_ = 0;
+  int corrupt_files_ = 0;
+};
+
+}  // namespace msoc::plan

@@ -1,9 +1,13 @@
 #pragma once
-// Batch plan-evaluation sweeps: fan {SOC x TAM width x cost weights} out
-// over a thread pool and collect one result row per case, exportable as
-// CSV and as machine-readable JSON (schema "msoc-sweep-v1", documented in
-// the README).  This is the ITC'02-style multi-scenario harness the CLI's
-// --sweep flag and the bench/sweep_perf driver drive on every commit.
+// Batch plan-evaluation sweeps: one result row per {SOC x TAM width x
+// cost weights} case, exportable as CSV and as machine-readable JSON
+// (schema "msoc-sweep-v1", documented in docs/formats.md).  Each
+// (SOC, weight) pair routes through one plan::FrontierEngine walking
+// every width, so enumeration, Eq. 3 preliminaries and Pareto
+// staircases are shared across widths, and a cache_dir lets repeated
+// sweeps skip solved cells entirely.  This is the ITC'02-style
+// multi-scenario harness the CLI's --sweep flag and the
+// bench/sweep_perf driver drive on every commit.
 
 #include <string>
 #include <vector>
@@ -22,10 +26,18 @@ struct SweepConfig {
   std::vector<double> time_weights = {0.25, 0.5, 0.75};
   bool exhaustive = false;  ///< Cost_Optimizer when false.
   double epsilon = 0.0;     ///< Heuristic elimination slack.
-  /// Worker threads ACROSS cases (<= 0 = hardware concurrency).  Each
-  /// case's optimizer runs serially; case-level fan-out scales better
-  /// because the cases are fully independent.
+  /// Total worker threads (<= 0 = hardware concurrency).  The sweep
+  /// fans (SOC x weight) series out over a pool — each series walks
+  /// every width through one FrontierEngine — and leftover budget goes
+  /// to the engines' evaluation fan-out.  Both levels are
+  /// deterministic, so results never depend on the value.
   int jobs = 1;
+  /// Persistent TAM-makespan cache directory (msoc-cache-v1); empty
+  /// disables caching.  Lookups see only the state loaded at sweep
+  /// start (results computed during the sweep land on flush), so a
+  /// warm re-run skips every solved cell while per-row evaluation
+  /// counts stay scheduling-independent.
+  std::string cache_dir;
 
   /// Number of cases the cross product produces.
   [[nodiscard]] std::size_t case_count() const;
@@ -46,6 +58,9 @@ struct SweepRow {
   double c_area = 0.0;
   Cycles test_time = 0;
   Cycles t_max = 0;
+  /// TAM-optimizer runs this case actually performed.  Frontier-engine
+  /// pruning and cache hits reduce it below the paper's heuristic N;
+  /// a fully-cached case reports 0.
   int evaluations = 0;
   int total_combinations = 0;
   double evaluation_reduction_percent = 0.0;

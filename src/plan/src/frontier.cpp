@@ -1,0 +1,473 @@
+#include "msoc/plan/frontier.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "msoc/common/csv.hpp"
+#include "msoc/common/error.hpp"
+#include "msoc/common/format.hpp"
+#include "msoc/common/json.hpp"
+#include "msoc/common/logging.hpp"
+#include "msoc/common/parallel.hpp"
+#include "msoc/soc/digest.hpp"
+
+namespace msoc::plan {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+/// The message schedule_soc raises for an over-narrow TAM; the engine
+/// pre-checks so fully-cached widths never need a packer run to learn
+/// they are infeasible, but must report the identical text.
+constexpr const char* kTooNarrow =
+    "analog wrapper needs more TAM wires than the SOC has";
+
+/// Raised internally when a parseable cache entry contradicts a
+/// freshly-packed baseline (stale or tampered store): the width is
+/// re-solved from scratch without trusting the cache.  Never escapes
+/// the engine.
+struct StaleCacheError {};
+
+}  // namespace
+
+struct FrontierEngine::Combo {
+  mswrap::SharingEvaluation evaluation;
+  double prelim = 0.0;     ///< Eq. 3, matches CostModel::preliminary_cost.
+  Cycles analog_lb = 0;    ///< Busiest-wrapper usage (width-independent).
+  std::string cache_key;   ///< Content-addressed partition key.
+};
+
+struct FrontierEngine::Group {
+  std::vector<std::size_t> members;  ///< Combo indices, enumeration order.
+  std::size_t representative = 0;    ///< Best Eq. 3 member.
+};
+
+FrontierEngine::~FrontierEngine() = default;
+
+FrontierEngine::FrontierEngine(const soc::Soc& soc, FrontierOptions options)
+    : soc_(soc), options_(std::move(options)) {
+  require(!options_.widths.empty(), "frontier needs at least one TAM width");
+  require(options_.epsilon >= 0.0, "epsilon must be non-negative");
+  options_.weights.validate();
+  require(soc_.analog_count() >= 1,
+          "mixed-signal planning needs at least one analog core");
+
+  widths_ = options_.widths;
+  std::sort(widths_.begin(), widths_.end());
+  widths_.erase(std::unique(widths_.begin(), widths_.end()), widths_.end());
+
+  digest_ = soc::digest_hex(soc_);
+  fingerprint_ = packing_fingerprint(options_.packing);
+  names_ = mswrap::core_names(soc_.analog_cores());
+  for (const soc::AnalogCore& core : soc_.analog_cores()) {
+    max_analog_width_ = std::max(max_analog_width_, core.tam_width());
+  }
+
+  // --- Width-independent combination work, done exactly once. ---
+  std::vector<mswrap::SharingEvaluation> all = mswrap::evaluate_combinations(
+      soc_.analog_cores(), options_.area_model, options_.policy,
+      options_.enumeration);
+  for (mswrap::SharingEvaluation& e : all) {
+    if (!e.feasible) {
+      log_debug("combination ", e.label, " dropped: sharing policy");
+      continue;
+    }
+    Combo combo;
+    combo.prelim = options_.weights.time * e.analog_lb_normalized +
+                   options_.weights.area * e.area_cost;
+    combo.analog_lb = e.analog_lb_cycles;
+    combo.cache_key = partition_key(soc_.analog_cores(), e.partition);
+    combo.evaluation = std::move(e);
+    combos_.push_back(std::move(combo));
+  }
+  require(!combos_.empty(), "no feasible sharing combination");
+
+  // Same grouping and representative choice as optimize_cost_heuristic:
+  // shape groups in sorted-shape order, members in enumeration order,
+  // representative = first Eq. 3 minimum.
+  std::map<std::vector<std::size_t>, std::vector<std::size_t>> by_shape;
+  for (std::size_t i = 0; i < combos_.size(); ++i) {
+    by_shape[combos_[i].evaluation.partition.shape()].push_back(i);
+  }
+  for (const auto& [shape, members] : by_shape) {
+    Group group;
+    group.members = members;
+    double best_prelim = std::numeric_limits<double>::infinity();
+    for (const std::size_t index : members) {
+      if (combos_[index].prelim < best_prelim) {
+        best_prelim = combos_[index].prelim;
+        group.representative = index;
+      }
+    }
+    groups_.push_back(std::move(group));
+  }
+
+  // Invalid widths (< 1) become per-width error points, like widths
+  // below the analog minimum, so tables are sized by the widest VALID
+  // budget (and at least 1 so a fully-degenerate ladder still builds).
+  const int table_width = std::max(widths_.back(), 1);
+  if (options_.pareto_tables != nullptr) {
+    require(options_.pareto_tables->max_width >= table_width &&
+                options_.pareto_tables->by_core.size() ==
+                    soc_.digital_count(),
+            "borrowed pareto_tables do not cover this SOC/width ladder");
+    pareto_tables_ = options_.pareto_tables;
+  } else {
+    own_pareto_tables_ = tam::compute_pareto_tables(soc_, table_width);
+    pareto_tables_ = &own_pareto_tables_;
+  }
+
+  if (options_.cache != nullptr) {
+    options_.cache->open(digest_, soc_.name());
+  }
+}
+
+FrontierPoint FrontierEngine::solve_width(int width) {
+  try {
+    return solve_width_attempt(width, /*trust_cache=*/true);
+  } catch (const StaleCacheError&) {
+    // A parseable entry contradicted the packer (stale or tampered
+    // store).  Per the cache contract this must never fail the run:
+    // re-solve the width ignoring cached values; the fresh results are
+    // recorded and overwrite the stale cells on flush.
+    log_warn("cache entries for width ", width, " of ", digest_,
+             " are stale; recomputing");
+    return solve_width_attempt(width, /*trust_cache=*/false);
+  }
+}
+
+FrontierPoint FrontierEngine::solve_width_attempt(int width,
+                                                  bool trust_cache) {
+  const Clock::time_point started = Clock::now();
+  FrontierPoint point;
+  point.tam_width = width;
+  point.total_combinations = static_cast<int>(combos_.size());
+
+  if (width < 1) {
+    point.error = "TAM width must be >= 1";
+    point.wall_ms = elapsed_ms(started);
+    return point;
+  }
+  if (max_analog_width_ > width) {
+    point.error = kTooNarrow;
+    point.wall_ms = elapsed_ms(started);
+    return point;
+  }
+
+  // Fresh results are always recorded (repairing stale stores); reads
+  // happen only when the cache is still trusted for this width.
+  ResultCache* cache = options_.cache;
+  const bool read_cache = trust_cache && cache != nullptr;
+  std::optional<CostModel> model;
+  const auto ensure_model = [&]() -> CostModel& {
+    if (!model.has_value()) {
+      PlanningProblem problem;
+      problem.soc = &soc_;
+      problem.tam_width = width;
+      problem.weights = options_.weights;
+      problem.area_model = options_.area_model;
+      problem.policy = options_.policy;
+      problem.enumeration = options_.enumeration;
+      problem.packing = options_.packing;
+      problem.packing.pareto_hint = pareto_tables_;
+      model.emplace(problem);
+    }
+    return *model;
+  };
+
+  // --- T_max: the all-share baseline every cost normalizes by. ---
+  std::vector<std::size_t> everyone(soc_.analog_count());
+  for (std::size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
+  const mswrap::Partition all_share(
+      std::vector<std::vector<std::size_t>>{everyone});
+  const std::string all_share_key =
+      partition_key(soc_.analog_cores(), all_share);
+
+  Cycles t_max = 0;
+  std::optional<Cycles> cached_t_max;
+  if (read_cache) {
+    cached_t_max = cache->lookup(digest_, width, fingerprint_, all_share_key);
+  }
+  if (cached_t_max.has_value()) {
+    // Loading validated test_time >= 1, so the baseline is usable as a
+    // divisor; whether it is *correct* is re-checked against the
+    // packer the moment a model gets built.
+    t_max = *cached_t_max;
+  } else {
+    t_max = ensure_model().t_max();
+    if (cache != nullptr) {
+      cache->record(digest_, width, fingerprint_, all_share_key,
+                    all_share.to_string(names_, true), t_max);
+    }
+  }
+
+  // Uniform cost construction for cached and freshly-packed times —
+  // the exact expressions CostModel::evaluate uses, so both paths (and
+  // therefore frontier vs per-width optimizer runs) are bit-identical.
+  const auto make_cost = [&](const Combo& combo,
+                             Cycles test_time) -> CombinationCost {
+    CombinationCost cost;
+    cost.partition = combo.evaluation.partition;
+    cost.label = combo.evaluation.label;
+    cost.test_time = test_time;
+    check_invariant(cost.test_time <= t_max,
+                    "partition " + cost.label +
+                        " packed worse than the all-share baseline");
+    cost.c_time = 100.0 * static_cast<double>(test_time) /
+                  static_cast<double>(t_max);
+    cost.c_area = combo.evaluation.area_cost;
+    cost.total = options_.weights.time * cost.c_time +
+                 options_.weights.area * cost.c_area;
+    return cost;
+  };
+
+  // Resolves `indices` to test times: snapshot cache first, then one
+  // deterministic parallel fan-out over the misses.  Pruning decisions
+  // are made by the caller BEFORE this runs, against thresholds fixed
+  // serially, so jobs never changes results or counts.
+  std::vector<std::optional<Cycles>> time_of(combos_.size());
+  const auto resolve = [&](const std::vector<std::size_t>& indices) {
+    std::vector<std::size_t> misses;
+    for (const std::size_t index : indices) {
+      if (time_of[index].has_value()) continue;
+      if (read_cache) {
+        const std::optional<Cycles> hit = cache->lookup(
+            digest_, width, fingerprint_, combos_[index].cache_key);
+        // A stored time above the baseline contradicts the packer's
+        // serialized-fallback guarantee: the store is stale for this
+        // width, so stop trusting it and recompute.
+        if (hit.has_value() && *hit > t_max) throw StaleCacheError{};
+        if (hit.has_value()) {
+          time_of[index] = *hit;
+          ++point.cache_hits;
+          continue;
+        }
+      }
+      misses.push_back(index);
+    }
+    if (misses.empty()) return;
+    CostModel& the_model = ensure_model();
+    if (cached_t_max.has_value() && the_model.t_max() != t_max) {
+      // The stored baseline disagrees with a fresh pack: every cached
+      // value for this width is suspect, including ones already
+      // consumed by representative/elimination decisions — restart the
+      // width without the cache.
+      throw StaleCacheError{};
+    }
+    std::vector<Cycles> packed(misses.size());
+    parallel_for(misses.size(), options_.jobs, [&](std::size_t i) {
+      packed[i] =
+          the_model.evaluate(combos_[misses[i]].evaluation.partition)
+              .test_time;
+    });
+    for (std::size_t i = 0; i < misses.size(); ++i) {
+      time_of[misses[i]] = packed[i];
+      if (cache != nullptr) {
+        cache->record(digest_, width, fingerprint_,
+                      combos_[misses[i]].cache_key,
+                      combos_[misses[i]].evaluation.label, packed[i]);
+      }
+    }
+  };
+
+  bool have_best = false;
+  const auto consider = [&](const CombinationCost& cost) {
+    if (!have_best || cost.total < point.best.total) {
+      point.best = cost;
+      have_best = true;
+    }
+  };
+
+  if (options_.exhaustive) {
+    std::vector<std::size_t> everything(combos_.size());
+    for (std::size_t i = 0; i < everything.size(); ++i) everything[i] = i;
+    resolve(everything);
+    for (std::size_t i = 0; i < combos_.size(); ++i) {
+      consider(make_cost(combos_[i], *time_of[i]));
+    }
+  } else {
+    // --- Fig. 3 lines 9-13: evaluate group representatives. ---
+    std::vector<std::size_t> reps;
+    reps.reserve(groups_.size());
+    for (const Group& group : groups_) {
+      reps.push_back(group.representative);
+    }
+    resolve(reps);
+    std::vector<double> rep_total(groups_.size());
+    double min_rep = std::numeric_limits<double>::infinity();
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      rep_total[g] =
+          make_cost(combos_[groups_[g].representative],
+                    *time_of[groups_[g].representative])
+              .total;
+      min_rep = std::min(min_rep, rep_total[g]);
+    }
+
+    // --- Lines 14-17: eliminate groups beyond epsilon of the winner.
+    std::vector<bool> eliminated(groups_.size());
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      eliminated[g] = rep_total[g] > min_rep + options_.epsilon;
+    }
+
+    // --- Lines 18-19, with the frontier engine's extra prune: a
+    // surviving member whose cost lower bound strictly exceeds the
+    // cheapest representative can neither win nor tie (selection is by
+    // strict <), so skipping its TAM run cannot change the result.
+    const Cycles digital_lb =
+        tam::digital_lower_bound(soc_, width, pareto_tables_);
+    std::vector<bool> pruned(combos_.size());
+    std::vector<std::size_t> survivors;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      if (eliminated[g]) continue;
+      for (const std::size_t index : groups_[g].members) {
+        if (time_of[index].has_value()) continue;  // representative
+        const Cycles time_lb = std::max(combos_[index].analog_lb, digital_lb);
+        const double total_lb =
+            options_.weights.time * (100.0 * static_cast<double>(time_lb) /
+                                     static_cast<double>(t_max)) +
+            options_.weights.area * combos_[index].evaluation.area_cost;
+        if (total_lb > min_rep) {
+          pruned[index] = true;
+          ++point.pruned;
+          continue;
+        }
+        survivors.push_back(index);
+      }
+    }
+    resolve(survivors);
+
+    // Reduce in exactly optimize_cost_heuristic's order: groups in
+    // shape order; an eliminated group's representative still
+    // competes; surviving members in enumeration order.
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      if (eliminated[g]) {
+        consider(make_cost(combos_[groups_[g].representative],
+                           *time_of[groups_[g].representative]));
+        continue;
+      }
+      for (const std::size_t index : groups_[g].members) {
+        if (pruned[index]) continue;
+        consider(make_cost(combos_[index], *time_of[index]));
+      }
+    }
+  }
+
+  point.t_max = t_max;
+  point.evaluations = model.has_value() ? model->tam_runs() : 0;
+  point.wall_ms = elapsed_ms(started);
+  return point;
+}
+
+FrontierResult FrontierEngine::run() {
+  const Clock::time_point started = Clock::now();
+  FrontierResult result;
+  result.soc_name = soc_.name();
+  result.digest = digest_;
+  result.algorithm = options_.exhaustive ? "exhaustive" : "cost_optimizer";
+  result.w_time = options_.weights.time;
+
+  for (const int width : widths_) {
+    FrontierPoint point;
+    try {
+      point = solve_width(width);
+    } catch (const InfeasibleError& e) {
+      point.tam_width = width;
+      point.total_combinations = static_cast<int>(combos_.size());
+      point.error = e.what();
+    }
+    result.evaluations += point.evaluations;
+    result.cache_hits += point.cache_hits;
+    result.pruned += point.pruned;
+    result.points.push_back(std::move(point));
+  }
+
+  // Monotonicity and Pareto membership over the feasible points.
+  bool have_min = false;
+  Cycles running_min = 0;
+  for (FrontierPoint& point : result.points) {
+    if (!point.ok()) continue;
+    if (have_min && point.best.test_time > running_min) {
+      result.time_monotone = false;
+    }
+    point.pareto = !have_min || point.best.test_time < running_min;
+    if (!have_min || point.best.test_time < running_min) {
+      running_min = point.best.test_time;
+      have_min = true;
+    }
+  }
+
+  result.wall_ms = elapsed_ms(started);
+  return result;
+}
+
+std::string FrontierResult::to_csv() const {
+  std::ostringstream out;
+  CsvWriter csv(out, {"soc", "tam_width", "w_time", "algorithm",
+                      "best_label", "best_total", "c_time", "c_area",
+                      "test_time", "t_max", "evaluations",
+                      "total_combinations", "cache_hits", "pruned",
+                      "pareto", "wall_ms", "error"});
+  for (const FrontierPoint& p : points) {
+    csv.write_row({soc_name, std::to_string(p.tam_width),
+                   round_trip_double(w_time), algorithm, p.best.label,
+                   round_trip_double(p.best.total), round_trip_double(p.best.c_time),
+                   round_trip_double(p.best.c_area), std::to_string(p.best.test_time),
+                   std::to_string(p.t_max), std::to_string(p.evaluations),
+                   std::to_string(p.total_combinations),
+                   std::to_string(p.cache_hits), std::to_string(p.pruned),
+                   p.pareto ? "1" : "0", round_trip_double(p.wall_ms), p.error});
+  }
+  return out.str();
+}
+
+std::string FrontierResult::to_json() const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"schema\": \"msoc-frontier-v1\",\n"
+     << "  \"soc\": \"" << json_escape(soc_name) << "\",\n"
+     << "  \"digest\": \"" << json_escape(digest) << "\",\n"
+     << "  \"algorithm\": \"" << json_escape(algorithm) << "\",\n"
+     << "  \"w_time\": " << round_trip_double(w_time) << ",\n"
+     << "  \"evaluations\": " << evaluations << ",\n"
+     << "  \"cache_hits\": " << cache_hits << ",\n"
+     << "  \"pruned\": " << pruned << ",\n"
+     << "  \"time_monotone\": " << (time_monotone ? "true" : "false")
+     << ",\n"
+     << "  \"wall_ms\": " << round_trip_double(wall_ms) << ",\n"
+     << "  \"points\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const FrontierPoint& p = points[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"tam_width\": " << p.tam_width << ", "
+       << "\"wall_ms\": " << round_trip_double(p.wall_ms) << ", ";
+    if (!p.ok()) {
+      os << "\"error\": \"" << json_escape(p.error) << "\"}";
+      continue;
+    }
+    os << "\"best\": {\"label\": \"" << json_escape(p.best.label) << "\", "
+       << "\"total\": " << round_trip_double(p.best.total) << ", "
+       << "\"c_time\": " << round_trip_double(p.best.c_time) << ", "
+       << "\"c_area\": " << round_trip_double(p.best.c_area) << ", "
+       << "\"test_time\": " << p.best.test_time << ", "
+       << "\"t_max\": " << p.t_max << "}, "
+       << "\"evaluations\": " << p.evaluations << ", "
+       << "\"total_combinations\": " << p.total_combinations << ", "
+       << "\"cache_hits\": " << p.cache_hits << ", "
+       << "\"pruned\": " << p.pruned << ", "
+       << "\"pareto\": " << (p.pareto ? "true" : "false") << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace msoc::plan

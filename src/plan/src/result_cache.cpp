@@ -1,0 +1,251 @@
+#include "msoc/plan/result_cache.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/fileio.hpp"
+#include "msoc/common/json.hpp"
+#include "msoc/common/logging.hpp"
+#include "msoc/soc/digest.hpp"
+
+namespace msoc::plan {
+
+namespace {
+
+constexpr const char* kSchema = "msoc-cache-v1";
+constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+  return std::string(buf);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Full entry key inside one digest's store.
+std::string entry_key(int tam_width, const std::string& fingerprint,
+                      const std::string& key) {
+  return "w" + std::to_string(tam_width) + "|" + fingerprint + "|" + key;
+}
+
+/// A JSON number that is a non-negative integer representable exactly
+/// as a double; nullopt otherwise.
+std::optional<Cycles> as_cycles(const JsonValue& value) {
+  if (value.type() != JsonValue::Type::kNumber) return std::nullopt;
+  const double n = value.as_number();
+  if (!(n >= 0.0) || n > kMaxExactInteger || n != std::floor(n)) {
+    return std::nullopt;
+  }
+  return static_cast<Cycles>(n);
+}
+
+}  // namespace
+
+std::string packing_fingerprint(const tam::PackingOptions& options) {
+  std::ostringstream canonical;
+  canonical << "race=" << options.race_orders
+            << ";order=" << static_cast<int>(options.order)
+            << ";flex=" << options.flexible_width
+            << ";rounds=" << options.improvement_rounds
+            << ";pertest=" << options.analog_per_test
+            << ";serfb=" << options.serialized_fallback << ";";
+  return hex64(fnv1a(canonical.str()));
+}
+
+std::string partition_key(const std::vector<soc::AnalogCore>& cores,
+                          const mswrap::Partition& partition) {
+  std::vector<std::string> group_keys;
+  group_keys.reserve(partition.groups().size());
+  for (const std::vector<std::size_t>& group : partition.groups()) {
+    std::vector<std::uint64_t> members;
+    members.reserve(group.size());
+    for (const std::size_t index : group) {
+      check_invariant(index < cores.size(),
+                      "partition index outside the core list");
+      members.push_back(soc::core_digest(cores[index]));
+    }
+    std::sort(members.begin(), members.end());
+    std::string key;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i > 0) key += ',';
+      key += hex64(members[i]);
+    }
+    group_keys.push_back(std::move(key));
+  }
+  std::sort(group_keys.begin(), group_keys.end());
+  std::string joined;
+  for (std::size_t i = 0; i < group_keys.size(); ++i) {
+    if (i > 0) joined += '|';
+    joined += group_keys[i];
+  }
+  return joined;
+}
+
+ResultCache::ResultCache(std::string directory)
+    : directory_(std::move(directory)) {
+  require(!directory_.empty(), "cache directory must not be empty");
+}
+
+std::string ResultCache::file_path(const std::string& digest) const {
+  return (std::filesystem::path(directory_) / (digest + ".json")).string();
+}
+
+void ResultCache::load_store(const std::string& digest, Store& store) {
+  try {
+    const std::optional<std::string> text =
+        read_file_if_exists(file_path(digest));
+    if (!text.has_value()) return;
+    const JsonValue doc = parse_json(*text, file_path(digest));
+    if (doc.at("schema").as_string() != kSchema) {
+      throw ParseError(file_path(digest), 0, "unexpected schema");
+    }
+    if (doc.at("digest").as_string() != digest) {
+      throw ParseError(file_path(digest), 0, "digest does not match file");
+    }
+    std::map<std::string, Entry> snapshot;
+    for (const JsonValue& item : doc.at("entries").as_array()) {
+      const std::optional<Cycles> width = as_cycles(item.at("width"));
+      const std::optional<Cycles> time = as_cycles(item.at("test_time"));
+      // Zero-cycle makespans are impossible (every SOC tests something)
+      // and a zero T_max baseline would divide costs by zero — reject
+      // them here so readers can use entries without re-validating.
+      if (!width.has_value() || *width < 1 || !time.has_value() ||
+          *time < 1) {
+        throw ParseError(file_path(digest), 0, "malformed cache entry");
+      }
+      Entry entry;
+      entry.test_time = *time;
+      if (const JsonValue* label = item.find("label")) {
+        entry.label = label->as_string();
+      }
+      snapshot.insert_or_assign(
+          entry_key(static_cast<int>(*width),
+                    item.at("packing").as_string(),
+                    item.at("partition").as_string()),
+          std::move(entry));
+    }
+    store.snapshot = std::move(snapshot);
+  } catch (const Error& e) {
+    // A cache must only ever make runs faster: anything unparseable OR
+    // unreadable (ParseError and plain Error alike — e.g. permission
+    // problems) is treated as absent and rewritten whole on flush.
+    log_debug("ignoring corrupt cache file ", file_path(digest), ": ",
+              e.what());
+    store.snapshot.clear();
+    ++corrupt_files_;
+  }
+}
+
+void ResultCache::open(const std::string& digest,
+                       const std::string& soc_name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = stores_.try_emplace(digest);
+  if (!soc_name.empty()) it->second.soc_name = soc_name;
+  if (!inserted) return;
+  if (disk_backed()) load_store(digest, it->second);
+}
+
+std::optional<Cycles> ResultCache::lookup(const std::string& digest,
+                                          int tam_width,
+                                          const std::string& fingerprint,
+                                          const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto store = stores_.find(digest);
+  if (store != stores_.end()) {
+    const auto it =
+        store->second.snapshot.find(entry_key(tam_width, fingerprint, key));
+    if (it != store->second.snapshot.end()) {
+      ++hits_;
+      return it->second.test_time;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void ResultCache::record(const std::string& digest, int tam_width,
+                         const std::string& fingerprint,
+                         const std::string& key, const std::string& label,
+                         Cycles test_time) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Store& store = stores_[digest];
+  Entry entry;
+  entry.test_time = test_time;
+  entry.label = label;
+  store.overlay.insert_or_assign(entry_key(tam_width, fingerprint, key),
+                                 std::move(entry));
+  ++records_;
+}
+
+void ResultCache::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (disk_backed()) ensure_directory(directory_);
+  for (auto& [digest, store] : stores_) {
+    const bool dirty = !store.overlay.empty();
+    for (auto& [key, entry] : store.overlay) {
+      store.snapshot.insert_or_assign(key, std::move(entry));
+    }
+    store.overlay.clear();
+    if (!disk_backed() || !dirty) continue;
+
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"schema\": \"" << kSchema << "\",\n"
+       << "  \"digest\": \"" << json_escape(digest) << "\",\n"
+       << "  \"soc_name\": \"" << json_escape(store.soc_name) << "\",\n"
+       << "  \"entries\": [";
+    bool first = true;
+    for (const auto& [key, entry] : store.snapshot) {
+      // entry_key is "w<width>|<fingerprint>|<partition>".
+      const std::size_t bar1 = key.find('|');
+      const std::size_t bar2 = key.find('|', bar1 + 1);
+      check_invariant(key.size() > 1 && key[0] == 'w' &&
+                          bar1 != std::string::npos &&
+                          bar2 != std::string::npos,
+                      "malformed in-memory cache key");
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "    {\"width\": " << key.substr(1, bar1 - 1) << ", "
+         << "\"packing\": \""
+         << json_escape(key.substr(bar1 + 1, bar2 - bar1 - 1)) << "\", "
+         << "\"partition\": \"" << json_escape(key.substr(bar2 + 1))
+         << "\", \"label\": \"" << json_escape(entry.label) << "\", "
+         << "\"test_time\": " << entry.test_time << "}";
+    }
+    os << "\n  ]\n}\n";
+    write_file_atomic(file_path(digest), os.str());
+  }
+}
+
+long long ResultCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+long long ResultCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+long long ResultCache::records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+int ResultCache::corrupt_files() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return corrupt_files_;
+}
+
+}  // namespace msoc::plan

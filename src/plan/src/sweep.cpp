@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdio>
+#include <map>
+#include <optional>
 #include <sstream>
 
 #include "msoc/common/csv.hpp"
 #include "msoc/common/error.hpp"
+#include "msoc/common/format.hpp"
+#include "msoc/common/json.hpp"
 #include "msoc/common/parallel.hpp"
+#include "msoc/plan/frontier.hpp"
 #include "msoc/soc/benchmarks.hpp"
+#include "msoc/soc/digest.hpp"
 
 namespace msoc::plan {
 
@@ -21,77 +26,19 @@ double elapsed_ms(Clock::time_point since) {
       .count();
 }
 
-/// Minimal JSON string escaping (quotes, backslash, control chars).
-std::string json_escape(const std::string& s) {
-  std::ostringstream os;
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\r': os << "\\r"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  return os.str();
-}
+/// One frontier-engine run: a (SOC, weight) pair across every width.
+struct Series {
+  std::size_t soc_index = 0;
+  std::size_t weight_index = 0;
+};
 
-std::string fmt_double(double v) {
-  std::ostringstream os;
-  os.precision(17);
-  os << v;
-  return os.str();
-}
-
-SweepRow run_case(const soc::Soc& soc, int tam_width, double w_time,
+SweepRow make_row(const soc::Soc& soc, int tam_width, double w_time,
                   const SweepConfig& config) {
   SweepRow row;
   row.soc_name = soc.name();
   row.tam_width = tam_width;
   row.w_time = w_time;
   row.algorithm = config.exhaustive ? "exhaustive" : "cost_optimizer";
-  const Clock::time_point start = Clock::now();
-  try {
-    PlanningProblem problem;
-    problem.soc = &soc;
-    problem.tam_width = tam_width;
-    problem.weights = {w_time, 1.0 - w_time};
-    CostModel model(problem);
-    OptimizationResult result;
-    if (config.exhaustive) {
-      result = optimize_exhaustive(model);
-    } else {
-      HeuristicOptions options;
-      options.epsilon = config.epsilon;
-      result = optimize_cost_heuristic(model, options);
-    }
-    row.best_label = result.best.label;
-    row.best_total = result.best.total;
-    row.c_time = result.best.c_time;
-    row.c_area = result.best.c_area;
-    row.test_time = result.best.test_time;
-    row.t_max = model.t_max();
-    row.evaluations = result.evaluations;
-    row.total_combinations = result.total_combinations;
-    row.evaluation_reduction_percent = result.evaluation_reduction_percent();
-  } catch (const InfeasibleError& e) {
-    // Unsatisfiable input (e.g. TAM narrower than an analog wrapper) is a
-    // legitimate sweep outcome.  LogicError — a library invariant
-    // violation, per the error.hpp taxonomy — must NOT become a soft row:
-    // it propagates (via ThreadPool::wait) and fails the whole sweep.
-    row.error = e.what();
-  } catch (const ParseError& e) {
-    row.error = e.what();
-  }
-  row.wall_ms = elapsed_ms(start);
   return row;
 }
 
@@ -107,42 +54,130 @@ SweepResult run_sweep(const SweepConfig& config) {
   require(!config.time_weights.empty(),
           "sweep needs at least one time weight");
 
-  struct Case {
-    const soc::Soc* soc;
-    int tam_width;
-    double w_time;
-  };
-  std::vector<Case> cases;
-  cases.reserve(config.case_count());
-  for (const soc::Soc& soc : config.socs) {
-    for (const int width : config.tam_widths) {
-      for (const double w_time : config.time_weights) {
-        cases.push_back({&soc, width, w_time});
-      }
+  std::vector<Series> series;
+  series.reserve(config.socs.size() * config.time_weights.size());
+  for (std::size_t s = 0; s < config.socs.size(); ++s) {
+    for (std::size_t t = 0; t < config.time_weights.size(); ++t) {
+      series.push_back({s, t});
     }
   }
 
   SweepResult result;
   result.exhaustive = config.exhaustive;
   result.epsilon = config.epsilon;
+  const int resolved_jobs =
+      config.jobs <= 0 ? hardware_jobs() : config.jobs;
   result.jobs = static_cast<int>(std::min<std::size_t>(
-      config.jobs <= 0 ? static_cast<std::size_t>(hardware_jobs())
-                       : static_cast<std::size_t>(config.jobs),
-      cases.size()));
-  result.rows.resize(cases.size());
+      static_cast<std::size_t>(resolved_jobs), config.case_count()));
+  result.rows.resize(config.case_count());
 
+  // Thread budget: series fan out over the pool (they are fully
+  // independent), and each series' engine re-uses the leftover budget
+  // for its per-width evaluation fan-out.  Both levels are
+  // deterministic, so the split never changes results.
+  const int outer = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(resolved_jobs), series.size()));
+  const int inner = std::max(1, resolved_jobs / std::max(outer, 1));
+
+  // The persistent cache is opened up front (one file per SOC digest)
+  // so worker threads only ever touch the loaded snapshot.  Lookups
+  // read the snapshot, never other workers' fresh results: which
+  // worker computes a cell must not influence what another can see, or
+  // evaluation counts would depend on scheduling.
+  std::optional<ResultCache> cache;
+  if (!config.cache_dir.empty()) cache.emplace(config.cache_dir);
+
+  // The sweep clock starts here: the per-SOC setup below (staircase
+  // computation, cache file loads) is real sweep work and must stay
+  // inside total_wall_ms, as it was when each case computed its own.
   const Clock::time_point start = Clock::now();
-  // Long-lived fan-out over fully independent cases: each worker pulls
-  // whole cases and writes into its case's slot, so row order (and every
-  // field except wall_ms) is identical for any jobs value.
-  ThreadPool pool(result.jobs);
-  for (std::size_t i = 0; i < cases.size(); ++i) {
-    pool.submit([&result, &cases, &config, i] {
-      const Case& c = cases[i];
-      result.rows[i] = run_case(*c.soc, c.tam_width, c.w_time, config);
+
+  // Per-SOC shared setup, done serially before the fan-out: each
+  // digest's cache file is read once (open holds the cache lock), and
+  // the Pareto staircases — weight-independent — are computed once and
+  // lent to every weight series instead of once per engine.
+  const int table_width = std::max(
+      1, *std::max_element(config.tam_widths.begin(),
+                           config.tam_widths.end()));
+  std::vector<tam::ParetoTables> tables;
+  tables.reserve(config.socs.size());
+  for (const soc::Soc& soc : config.socs) {
+    tables.push_back(tam::compute_pareto_tables(soc, table_width));
+    if (cache.has_value()) cache->open(soc::digest_hex(soc), soc.name());
+  }
+
+  ThreadPool pool(outer);
+  for (const Series& s : series) {
+    pool.submit([&result, &config, &cache, &tables, s, inner] {
+      const soc::Soc& soc = config.socs[s.soc_index];
+      const double w_time = config.time_weights[s.weight_index];
+      const auto row_index = [&](std::size_t width_index) {
+        return (s.soc_index * config.tam_widths.size() + width_index) *
+                   config.time_weights.size() +
+               s.weight_index;
+      };
+      const auto fill_series_error = [&](const std::string& what) {
+        for (std::size_t w = 0; w < config.tam_widths.size(); ++w) {
+          SweepRow row =
+              make_row(soc, config.tam_widths[w], w_time, config);
+          row.error = what;
+          result.rows[row_index(w)] = std::move(row);
+        }
+      };
+      try {
+        FrontierOptions options;
+        options.widths = config.tam_widths;
+        options.weights = {w_time, 1.0 - w_time};
+        options.exhaustive = config.exhaustive;
+        options.epsilon = config.epsilon;
+        options.jobs = inner;
+        options.cache = cache.has_value() ? &*cache : nullptr;
+        options.pareto_tables = &tables[s.soc_index];
+        FrontierEngine engine(soc, options);
+        const FrontierResult frontier = engine.run();
+
+        std::map<int, const FrontierPoint*> by_width;
+        for (const FrontierPoint& point : frontier.points) {
+          by_width.emplace(point.tam_width, &point);
+        }
+        for (std::size_t w = 0; w < config.tam_widths.size(); ++w) {
+          const FrontierPoint& point =
+              *by_width.at(config.tam_widths[w]);
+          SweepRow row =
+              make_row(soc, config.tam_widths[w], w_time, config);
+          row.wall_ms = point.wall_ms;
+          if (point.ok()) {
+            row.best_label = point.best.label;
+            row.best_total = point.best.total;
+            row.c_time = point.best.c_time;
+            row.c_area = point.best.c_area;
+            row.test_time = point.best.test_time;
+            row.t_max = point.t_max;
+            row.evaluations = point.evaluations;
+            row.total_combinations = point.total_combinations;
+            OptimizationResult reduction;
+            reduction.evaluations = point.evaluations;
+            reduction.total_combinations = point.total_combinations;
+            row.evaluation_reduction_percent =
+                reduction.evaluation_reduction_percent();
+          } else {
+            row.error = point.error;
+          }
+          result.rows[row_index(w)] = std::move(row);
+        }
+      } catch (const InfeasibleError& e) {
+        // Unsatisfiable input is a legitimate sweep outcome and lands
+        // in every row of the series.  LogicError — a library
+        // invariant violation — must NOT become a soft row: it
+        // propagates (via ThreadPool::wait) and fails the whole sweep.
+        fill_series_error(e.what());
+      } catch (const ParseError& e) {
+        fill_series_error(e.what());
+      }
     });
   }
   pool.wait();
+  if (cache.has_value()) cache->flush();
   result.total_wall_ms = elapsed_ms(start);
   return result;
 }
@@ -163,13 +198,13 @@ std::string SweepResult::to_csv() const {
                       "wall_ms", "error"});
   for (const SweepRow& r : rows) {
     csv.write_row({r.soc_name, std::to_string(r.tam_width),
-                   fmt_double(r.w_time), r.algorithm, r.best_label,
-                   fmt_double(r.best_total), fmt_double(r.c_time),
-                   fmt_double(r.c_area), std::to_string(r.test_time),
+                   round_trip_double(r.w_time), r.algorithm, r.best_label,
+                   round_trip_double(r.best_total), round_trip_double(r.c_time),
+                   round_trip_double(r.c_area), std::to_string(r.test_time),
                    std::to_string(r.t_max), std::to_string(r.evaluations),
                    std::to_string(r.total_combinations),
-                   fmt_double(r.evaluation_reduction_percent),
-                   fmt_double(r.wall_ms), r.error});
+                   round_trip_double(r.evaluation_reduction_percent),
+                   round_trip_double(r.wall_ms), r.error});
   }
   return out.str();
 }
@@ -179,32 +214,32 @@ std::string SweepResult::to_json() const {
   os << "{\n"
      << "  \"schema\": \"msoc-sweep-v1\",\n"
      << "  \"exhaustive\": " << (exhaustive ? "true" : "false") << ",\n"
-     << "  \"epsilon\": " << fmt_double(epsilon) << ",\n"
+     << "  \"epsilon\": " << round_trip_double(epsilon) << ",\n"
      << "  \"jobs\": " << jobs << ",\n"
-     << "  \"total_wall_ms\": " << fmt_double(total_wall_ms) << ",\n"
+     << "  \"total_wall_ms\": " << round_trip_double(total_wall_ms) << ",\n"
      << "  \"cases\": [";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
     os << (i == 0 ? "\n" : ",\n");
     os << "    {\"soc\": \"" << json_escape(r.soc_name) << "\", "
        << "\"tam_width\": " << r.tam_width << ", "
-       << "\"w_time\": " << fmt_double(r.w_time) << ", "
+       << "\"w_time\": " << round_trip_double(r.w_time) << ", "
        << "\"algorithm\": \"" << json_escape(r.algorithm) << "\", "
-       << "\"wall_ms\": " << fmt_double(r.wall_ms) << ", ";
+       << "\"wall_ms\": " << round_trip_double(r.wall_ms) << ", ";
     if (!r.ok()) {
       os << "\"error\": \"" << json_escape(r.error) << "\"}";
       continue;
     }
     os << "\"best\": {\"label\": \"" << json_escape(r.best_label) << "\", "
-       << "\"total\": " << fmt_double(r.best_total) << ", "
-       << "\"c_time\": " << fmt_double(r.c_time) << ", "
-       << "\"c_area\": " << fmt_double(r.c_area) << ", "
+       << "\"total\": " << round_trip_double(r.best_total) << ", "
+       << "\"c_time\": " << round_trip_double(r.c_time) << ", "
+       << "\"c_area\": " << round_trip_double(r.c_area) << ", "
        << "\"test_time\": " << r.test_time << ", "
        << "\"t_max\": " << r.t_max << "}, "
        << "\"evaluations\": " << r.evaluations << ", "
        << "\"total_combinations\": " << r.total_combinations << ", "
        << "\"evaluation_reduction_percent\": "
-       << fmt_double(r.evaluation_reduction_percent) << "}";
+       << round_trip_double(r.evaluation_reduction_percent) << "}";
   }
   os << "\n  ]\n}\n";
   return os.str();

@@ -1,0 +1,46 @@
+#pragma once
+// Content-addressed SOC digests for the persistent planning-result
+// cache (msoc-cache-v1).
+//
+// Two SOCs get the same digest exactly when every planning-relevant
+// quantity matches: the multiset of digital core descriptions and the
+// multiset of analog core descriptions.  Deliberately EXCLUDED so the
+// digest is stable under cosmetic edits:
+//
+//   * the SOC name and core names/descriptions — labels only; neither
+//     wrapper design, packing, nor the Eq. 1/2 costs read them;
+//   * core declaration order — per-core digests are sorted before the
+//     final combine, so reordering modules in a .soc file (or renaming
+//     the SOC) hits the same cache entries.
+//
+// Everything else is INCLUDED: I/O counts, scan chains (in order),
+// pattern counts, and each analog test's band, sampling frequency,
+// cycle count, TAM width, and resolution.  Doubles are hashed via their
+// shortest round-trip decimal rendering (17 significant digits).
+//
+// Hash: 64-bit FNV-1a with domain separation between digital and
+// analog cores.  Not cryptographic — it guards against stale cache
+// reuse, not against an adversary crafting collisions.
+
+#include <cstdint>
+#include <string>
+
+#include "msoc/soc/soc.hpp"
+
+namespace msoc::soc {
+
+/// 64-bit FNV-1a over a core's canonical planning-relevant description
+/// (names excluded).  Cores with tests_equivalent suites and equal
+/// widths hash identically — the symmetry the cache exploits to share
+/// entries between relabeled partitions.
+[[nodiscard]] std::uint64_t core_digest(const DigitalCore& core);
+[[nodiscard]] std::uint64_t core_digest(const AnalogCore& core);
+
+/// Whole-SOC digest: order-independent combine of the per-core digests.
+[[nodiscard]] std::uint64_t digest(const Soc& soc);
+
+/// digest() rendered as 16 lowercase hex characters — the cache file
+/// basename.
+[[nodiscard]] std::string digest_hex(const Soc& soc);
+
+}  // namespace msoc::soc

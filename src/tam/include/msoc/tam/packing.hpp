@@ -18,6 +18,7 @@
 
 #include "msoc/soc/soc.hpp"
 #include "msoc/tam/schedule.hpp"
+#include "msoc/wrapper/wrapper_design.hpp"
 
 namespace msoc::tam {
 
@@ -40,6 +41,23 @@ enum class PlacementOrder {
   kAnalogFirst,      ///< All analog groups, then digital cores.
   kDeclaration,      ///< SOC declaration order (ablation baseline).
 };
+
+/// Per-core Pareto staircases precomputed at one maximum width.  The
+/// staircase at any width W <= max_width is exactly the max_width table
+/// filtered to points with width <= W (pareto_widths is a running-min
+/// scan, so membership never depends on the cap), which lets callers
+/// that pack the same SOC at many widths — plan::FrontierEngine, the
+/// sweep runner — compute each core's staircase once instead of once
+/// per schedule_soc call.
+struct ParetoTables {
+  int max_width = 0;
+  /// One table per digital core, in soc.digital_cores() order.
+  std::vector<std::vector<wrapper::ParetoPoint>> by_core;
+};
+
+/// Computes every digital core's staircase at `max_width`.
+[[nodiscard]] ParetoTables compute_pareto_tables(const soc::Soc& soc,
+                                                 int max_width);
 
 struct PackingOptions {
   /// Assign concrete wire ids by interval coloring (costs a sort).
@@ -74,6 +92,15 @@ struct PackingOptions {
   /// schedule_soc over the all-share partition of the same SOC, width and
   /// options (tam_width and test count are sanity-checked).
   const Schedule* serialized_hint = nullptr;
+  /// Precomputed Pareto staircases reused instead of calling
+  /// wrapper::pareto_widths per digital core — bit-identical schedules,
+  /// because the sliced tables equal the per-width ones (see
+  /// ParetoTables).  Borrowed, not owned; MUST come from
+  /// compute_pareto_tables over the SAME SOC.  Only the core count and
+  /// max_width >= tam_width are validated — a table from a different
+  /// SOC with the same digital core count is the caller's bug and
+  /// produces wrong schedules undetected.
+  const ParetoTables* pareto_hint = nullptr;
 };
 
 /// Schedules all tests of `soc` on a `tam_width`-wire TAM.
@@ -84,8 +111,11 @@ struct PackingOptions {
 
 /// Lower bound on digital test time at `tam_width`: every core at its
 /// fastest feasible width, perfectly packed (area bound) — and no core
-/// can beat its own single-test minimum.
-[[nodiscard]] Cycles digital_lower_bound(const soc::Soc& soc, int tam_width);
+/// can beat its own single-test minimum.  `pareto_hint` (optional)
+/// reuses precomputed staircases exactly as in PackingOptions.
+[[nodiscard]] Cycles digital_lower_bound(
+    const soc::Soc& soc, int tam_width,
+    const ParetoTables* pareto_hint = nullptr);
 
 /// Lower bound on analog test time under `partition`: the busiest shared
 /// wrapper (tests on one wrapper are serial).

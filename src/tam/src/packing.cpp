@@ -407,7 +407,41 @@ Schedule pack_best(const std::vector<DigitalItem>& digital,
   return best;
 }
 
+/// The `tam_width` staircase from a max_width table: the prefix with
+/// width <= tam_width (see ParetoTables for why this is exact).
+std::vector<wrapper::ParetoPoint> slice_pareto(
+    const std::vector<wrapper::ParetoPoint>& table, int tam_width) {
+  std::vector<wrapper::ParetoPoint> points;
+  for (const wrapper::ParetoPoint& p : table) {
+    if (p.width > tam_width) break;  // tables are ascending in width
+    points.push_back(p);
+  }
+  check_invariant(!points.empty(),
+                  "pareto table missing the width-1 point");
+  return points;
+}
+
+/// Validates a caller-provided ParetoTables hint against this pack.
+void require_pareto_hint_matches(const ParetoTables& hint,
+                                 const soc::Soc& soc, int tam_width) {
+  require(hint.by_core.size() == soc.digital_count(),
+          "pareto_hint does not cover this SOC's digital cores");
+  require(hint.max_width >= tam_width,
+          "pareto_hint computed at a narrower width than this pack");
+}
+
 }  // namespace
+
+ParetoTables compute_pareto_tables(const soc::Soc& soc, int max_width) {
+  require(max_width >= 1, "max width must be >= 1");
+  ParetoTables tables;
+  tables.max_width = max_width;
+  tables.by_core.reserve(soc.digital_count());
+  for (const soc::DigitalCore& core : soc.digital_cores()) {
+    tables.by_core.push_back(wrapper::pareto_widths(core, max_width));
+  }
+  return tables;
+}
 
 AnalogPartition singleton_partition(const soc::Soc& soc) {
   AnalogPartition p;
@@ -446,11 +480,20 @@ Schedule schedule_soc(const soc::Soc& soc, int tam_width,
           "partition must cover every analog core exactly once");
 
   // --- Build items. ---
+  if (options.pareto_hint != nullptr) {
+    require_pareto_hint_matches(*options.pareto_hint, soc, tam_width);
+  }
   std::vector<DigitalItem> digital;
+  std::size_t core_index = 0;
   for (const soc::DigitalCore& core : soc.digital_cores()) {
     DigitalItem item;
     item.core = &core;
-    item.pareto = wrapper::pareto_widths(core, tam_width);
+    item.pareto =
+        options.pareto_hint != nullptr
+            ? slice_pareto(options.pareto_hint->by_core[core_index],
+                           tam_width)
+            : wrapper::pareto_widths(core, tam_width);
+    ++core_index;
     if (!options.flexible_width) {
       // Ablation: only the widest Pareto point is allowed.
       item.pareto = {item.pareto.back()};
@@ -539,13 +582,22 @@ Schedule schedule_soc(const soc::Soc& soc, int tam_width,
   return best;
 }
 
-Cycles digital_lower_bound(const soc::Soc& soc, int tam_width) {
+Cycles digital_lower_bound(const soc::Soc& soc, int tam_width,
+                           const ParetoTables* pareto_hint) {
   require(tam_width >= 1, "TAM width must be >= 1");
+  if (pareto_hint != nullptr) {
+    require_pareto_hint_matches(*pareto_hint, soc, tam_width);
+  }
   Cycles area = 0;
   Cycles longest_single = 0;
+  std::size_t core_index = 0;
   for (const soc::DigitalCore& core : soc.digital_cores()) {
     const std::vector<wrapper::ParetoPoint> pareto =
-        wrapper::pareto_widths(core, tam_width);
+        pareto_hint != nullptr
+            ? slice_pareto(pareto_hint->by_core[core_index],
+                           tam_width)
+            : wrapper::pareto_widths(core, tam_width);
+    ++core_index;
     const wrapper::ParetoPoint& widest = pareto.back();
     // Area bound uses the most wire-efficient point (smallest w*t).
     Cycles best_area = 0;

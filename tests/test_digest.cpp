@@ -1,0 +1,124 @@
+#include "msoc/soc/digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "msoc/soc/benchmarks.hpp"
+
+namespace msoc::soc {
+namespace {
+
+/// The same SOC with both core lists reversed (and a different name).
+Soc reversed(const Soc& soc) {
+  Soc out("reversed_" + soc.name());
+  const auto& digital = soc.digital_cores();
+  for (auto it = digital.rbegin(); it != digital.rend(); ++it) {
+    out.add_digital(*it);
+  }
+  const auto& analog = soc.analog_cores();
+  for (auto it = analog.rbegin(); it != analog.rend(); ++it) {
+    out.add_analog(*it);
+  }
+  return out;
+}
+
+TEST(Digest, DeterministicAcrossCalls) {
+  EXPECT_EQ(digest(make_d695m()), digest(make_d695m()));
+  EXPECT_EQ(digest_hex(make_p93791m()), digest_hex(make_p93791m()));
+}
+
+TEST(Digest, StableAcrossCoreReordering) {
+  const Soc original = make_d695m();
+  const Soc shuffled = reversed(original);
+  ASSERT_EQ(original.digital_count(), shuffled.digital_count());
+  ASSERT_EQ(original.analog_count(), shuffled.analog_count());
+  EXPECT_EQ(digest(original), digest(shuffled));
+}
+
+TEST(Digest, IgnoresSocAndCoreNames) {
+  Soc renamed = make_d695m();
+  renamed.set_name("totally_different");
+  EXPECT_EQ(digest(make_d695m()), digest(renamed));
+
+  // Core names are labels, not planning inputs.
+  const Soc original = make_d695m();
+  Soc relabeled("relabeled");
+  for (const DigitalCore& core : original.digital_cores()) {
+    DigitalCore copy = core;
+    copy.name = "renamed_" + copy.name;
+    relabeled.add_digital(copy);
+  }
+  for (const AnalogCore& core : original.analog_cores()) {
+    AnalogCore copy = core;
+    copy.name = copy.name + "'";
+    relabeled.add_analog(copy);
+  }
+  EXPECT_EQ(digest(make_d695m()), digest(relabeled));
+}
+
+TEST(Digest, SensitiveToAnalogTestContent) {
+  const Soc original = make_d695m();
+  Soc tweaked("tweaked");
+  for (const DigitalCore& core : original.digital_cores()) {
+    tweaked.add_digital(core);
+  }
+  bool bumped = false;
+  for (const AnalogCore& core : original.analog_cores()) {
+    AnalogCore copy = core;
+    if (!bumped) {
+      copy.tests.front().cycles += 1;
+      bumped = true;
+    }
+    tweaked.add_analog(copy);
+  }
+  ASSERT_TRUE(bumped);
+  EXPECT_NE(digest(make_d695m()), digest(tweaked));
+}
+
+TEST(Digest, SensitiveToDigitalCoreContent) {
+  const Soc original = make_d695m();
+  Soc tweaked("tweaked");
+  bool bumped = false;
+  for (const DigitalCore& core : original.digital_cores()) {
+    DigitalCore copy = core;
+    if (!bumped) {
+      copy.patterns += 1;
+      bumped = true;
+    }
+    tweaked.add_digital(copy);
+  }
+  for (const AnalogCore& core : original.analog_cores()) {
+    tweaked.add_analog(core);
+  }
+  ASSERT_TRUE(bumped);
+  EXPECT_NE(digest(make_d695m()), digest(tweaked));
+}
+
+TEST(Digest, DistinctBenchmarksDiffer) {
+  EXPECT_NE(digest(make_d695m()), digest(make_p93791m()));
+  EXPECT_NE(digest(make_d695()), digest(make_d695m()));
+}
+
+TEST(Digest, HexIsSixteenLowercaseHexChars) {
+  const std::string hex = digest_hex(make_d695m());
+  ASSERT_EQ(hex.size(), 16u);
+  for (const char c : hex) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)));
+    EXPECT_FALSE(std::isupper(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(Digest, EquivalentCoresShareCoreDigest) {
+  // A and B are the paper's interchangeable I-Q pair: same tests, so
+  // the per-core content digest must coincide (the symmetry the cache
+  // exploits), while distinct cores must not.
+  const std::vector<AnalogCore> cores = table2_analog_cores();
+  ASSERT_GE(cores.size(), 3u);
+  ASSERT_TRUE(cores[0].tests_equivalent(cores[1]));
+  EXPECT_EQ(core_digest(cores[0]), core_digest(cores[1]));
+  EXPECT_NE(core_digest(cores[0]), core_digest(cores[2]));
+}
+
+}  // namespace
+}  // namespace msoc::soc

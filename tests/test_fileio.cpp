@@ -1,0 +1,84 @@
+#include "msoc/common/fileio.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "msoc/common/error.hpp"
+
+namespace msoc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Per-process scratch dir: gtest's TempDir is plain /tmp on Linux, so
+/// concurrent suite runs (e.g. two build trees) must not share names.
+std::string unique_dir(const char* name) {
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       ("msoc_fileio_" + std::to_string(::getpid())) /
+                       name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+TEST(FileIo, ReadMissingFileReturnsNullopt) {
+  EXPECT_EQ(read_file_if_exists("/no/such/file.json"), std::nullopt);
+  EXPECT_THROW((void)read_file("/no/such/file.json"), Error);
+}
+
+TEST(FileIo, ReadDirectoryReturnsNullopt) {
+  EXPECT_EQ(read_file_if_exists(::testing::TempDir()), std::nullopt);
+}
+
+TEST(FileIo, WriteReadRoundTrip) {
+  const std::string dir = unique_dir("fileio_roundtrip");
+  ensure_directory(dir);
+  const std::string path = dir + "/doc.json";
+  const std::string content = "line one\nline two\n\x01 binary-ish\n";
+  write_file_atomic(path, content);
+  EXPECT_EQ(read_file(path), content);
+  EXPECT_EQ(read_file_if_exists(path), content);
+
+  // Overwrite is atomic replacement, not append.
+  write_file_atomic(path, "shorter");
+  EXPECT_EQ(read_file(path), "shorter");
+}
+
+TEST(FileIo, AtomicWriteLeavesNoTempFiles) {
+  const std::string dir = unique_dir("fileio_notemp");
+  ensure_directory(dir);
+  write_file_atomic(dir + "/a.json", "a");
+  write_file_atomic(dir + "/a.json", "b");
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ++files;
+    EXPECT_EQ(entry.path().filename().string(), "a.json");
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST(FileIo, WriteIntoMissingDirectoryThrows) {
+  const std::string dir = unique_dir("fileio_missing");
+  EXPECT_THROW(write_file_atomic(dir + "/sub/doc.json", "x"), Error);
+}
+
+TEST(FileIo, EnsureDirectoryCreatesNestedAndIsIdempotent) {
+  const std::string dir = unique_dir("fileio_nested");
+  const std::string nested = dir + "/a/b/c";
+  ensure_directory(nested);
+  EXPECT_TRUE(fs::is_directory(nested));
+  ensure_directory(nested);  // second call is a no-op
+  EXPECT_TRUE(fs::is_directory(nested));
+}
+
+TEST(FileIo, EnsureDirectoryOverFileThrows) {
+  const std::string dir = unique_dir("fileio_overfile");
+  ensure_directory(dir);
+  write_file_atomic(dir + "/taken", "x");
+  EXPECT_THROW(ensure_directory(dir + "/taken"), Error);
+}
+
+}  // namespace
+}  // namespace msoc

@@ -1,0 +1,117 @@
+#include "msoc/common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "msoc/common/error.hpp"
+
+namespace msoc {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedDocuments) {
+  const JsonValue doc = parse_json(R"({
+    "schema": "msoc-cache-v1",
+    "entries": [
+      {"width": 16, "test_time": 636113},
+      {"width": 24, "test_time": 424076}
+    ],
+    "empty_obj": {},
+    "empty_arr": []
+  })");
+  EXPECT_EQ(doc.at("schema").as_string(), "msoc-cache-v1");
+  const JsonValue::Array& entries = doc.at("entries").as_array();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(entries[0].at("width").as_number(), 16.0);
+  EXPECT_DOUBLE_EQ(entries[1].at("test_time").as_number(), 424076.0);
+  EXPECT_TRUE(doc.at("empty_obj").as_object().empty());
+  EXPECT_TRUE(doc.at("empty_arr").as_array().empty());
+}
+
+TEST(Json, FindAndAt) {
+  const JsonValue doc = parse_json(R"({"a": 1})");
+  EXPECT_NE(doc.find("a"), nullptr);
+  EXPECT_EQ(doc.find("b"), nullptr);
+  EXPECT_THROW((void)doc.at("b"), ParseError);
+  EXPECT_THROW((void)parse_json("[]").find("a"), ParseError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  EXPECT_THROW((void)parse_json("1").as_string(), ParseError);
+  EXPECT_THROW((void)parse_json("\"x\"").as_number(), ParseError);
+  EXPECT_THROW((void)parse_json("{}").as_array(), ParseError);
+}
+
+TEST(Json, DecodesEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(parse_json(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("\u00e9")").as_string(), "\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parse_json(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_json(""), ParseError);
+  EXPECT_THROW((void)parse_json("{"), ParseError);
+  EXPECT_THROW((void)parse_json("[1,]"), ParseError);
+  EXPECT_THROW((void)parse_json("{\"a\":}"), ParseError);
+  EXPECT_THROW((void)parse_json("{\"a\" 1}"), ParseError);
+  EXPECT_THROW((void)parse_json("{1: 2}"), ParseError);
+  EXPECT_THROW((void)parse_json("tru"), ParseError);
+  EXPECT_THROW((void)parse_json("nan"), ParseError);
+  EXPECT_THROW((void)parse_json("1 2"), ParseError);
+  EXPECT_THROW((void)parse_json("\"unterminated"), ParseError);
+  EXPECT_THROW((void)parse_json("\"bad\\q\""), ParseError);
+  EXPECT_THROW((void)parse_json("\"\\ud83d\""), ParseError);  // lone high
+  EXPECT_THROW((void)parse_json("\"ctrl\x01\""), ParseError);
+  EXPECT_THROW((void)parse_json("1."), ParseError);
+  EXPECT_THROW((void)parse_json("1e"), ParseError);
+  EXPECT_THROW((void)parse_json("-"), ParseError);
+}
+
+TEST(Json, RejectsTruncatedCacheDocument) {
+  const std::string whole = R"({"schema": "msoc-cache-v1", "entries": [
+    {"width": 16, "test_time": 636113}]})";
+  EXPECT_EQ(parse_json(whole).at("schema").as_string(), "msoc-cache-v1");
+  for (const std::size_t cut : {whole.size() - 1, whole.size() / 2,
+                                std::size_t{1}}) {
+    EXPECT_THROW((void)parse_json(whole.substr(0, cut)), ParseError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Json, RejectsOverDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  EXPECT_THROW((void)parse_json(deep), ParseError);
+}
+
+TEST(Json, ErrorsCarrySourceAndLine) {
+  try {
+    (void)parse_json("{\n  \"a\": bogus\n}", "cache.json");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.file(), "cache.json");
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Json, EscapeRoundTripsThroughParse) {
+  const std::string nasty = "quote\" slash\\ tab\t nl\n ctrl\x01 plain";
+  const JsonValue parsed =
+      parse_json("\"" + json_escape(nasty) + "\"");
+  EXPECT_EQ(parsed.as_string(), nasty);
+}
+
+}  // namespace
+}  // namespace msoc

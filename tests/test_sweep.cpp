@@ -1,6 +1,9 @@
 #include "msoc/plan/sweep.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
 
 #include "msoc/common/error.hpp"
 #include "msoc/soc/benchmarks.hpp"
@@ -118,6 +121,38 @@ TEST(Sweep, JsonCarriesSchemaAndCases) {
   EXPECT_FALSE(in_string);
   EXPECT_EQ(braces, 0);
   EXPECT_EQ(brackets, 0);
+}
+
+TEST(Sweep, CacheDirMakesSecondSweepEvaluationFree) {
+  // Per-process dir: gtest's TempDir is plain /tmp on Linux, and
+  // concurrent suite runs (e.g. two build trees) must not share it.
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      ("msoc_sweep_cache_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  SweepConfig config = small_config();
+  config.cache_dir = dir.string();
+  const SweepResult cold = run_sweep(config);
+  const SweepResult warm = run_sweep(config);
+  ASSERT_EQ(cold.rows.size(), warm.rows.size());
+  int cold_evaluations = 0;
+  for (std::size_t i = 0; i < cold.rows.size(); ++i) {
+    cold_evaluations += cold.rows[i].evaluations;
+    EXPECT_EQ(warm.rows[i].evaluations, 0);  // every cell was cached
+    EXPECT_EQ(warm.rows[i].best_label, cold.rows[i].best_label);
+    EXPECT_EQ(warm.rows[i].best_total, cold.rows[i].best_total);
+    EXPECT_EQ(warm.rows[i].test_time, cold.rows[i].test_time);
+    EXPECT_EQ(warm.rows[i].t_max, cold.rows[i].t_max);
+  }
+  EXPECT_GT(cold_evaluations, 0);
+  // The store is one msoc-cache-v1 file per SOC digest.
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().extension(), ".json");
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);  // small_config sweeps one SOC
 }
 
 TEST(Sweep, DefaultBenchmarkSweepShape) {

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Checks that every relative Markdown link in README.md and docs/
+# resolves to an existing file or directory.  External (http/https/
+# mailto) links and pure-anchor links are skipped — this is a
+# repo-consistency gate, not a network crawler.
+#
+# Usage: tools/check_links.sh [file.md ...]   (default: README.md docs/*.md)
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  files=(README.md)
+  while IFS= read -r f; do files+=("$f"); done \
+    < <(find docs -name '*.md' 2>/dev/null | sort)
+fi
+
+broken=0
+checked=0
+for file in "${files[@]}"; do
+  if [ ! -f "$file" ]; then
+    echo "missing input file: $file"
+    broken=$((broken + 1))
+    continue
+  fi
+  dir=$(dirname "$file")
+  # Markdown inline links: [text](target). Targets with spaces or
+  # nested parens don't occur in this repo's docs.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path=${target%%#*}   # drop any anchor
+    [ -z "$path" ] && continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ]; then
+      echo "$file: broken link -> $target"
+      broken=$((broken + 1))
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+echo "checked $checked relative links in ${#files[@]} files, $broken broken"
+[ "$broken" -eq 0 ]

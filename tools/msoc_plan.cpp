@@ -4,7 +4,12 @@
 //   msoc_plan [options]
 //     --soc FILE       ITC'02-style .soc description (default: built-in
 //                      p93791m benchmark)
-//     --width N        TAM width (default 32)
+//     --bench NAME     built-in benchmark SOC instead of --soc
+//                      (p93791m, d695m, p93791, d695)
+//     --width N        TAM width (default 32; narrows --sweep/--frontier
+//                      to one width)
+//     --widths LIST    comma-separated TAM widths for --sweep/--frontier
+//                      (default 16,24,32,48,64)
 //     --wt X           test-time weight w_T in [0,1] (default 0.5;
 //                      w_A = 1 - w_T)
 //     --exhaustive     evaluate every combination (default: Cost_Optimizer)
@@ -12,10 +17,15 @@
 //     --jobs N         evaluation threads (default 1; 0 = all cores)
 //     --sweep          run the benchmark sweep (SOCs x widths x weights)
 //                      instead of a single plan
-//     --json FILE      write results as msoc-sweep-v1 JSON
+//     --frontier       enumerate the (width, time, cost) Pareto frontier
+//                      through plan::FrontierEngine
+//     --cache-dir DIR  persistent msoc-cache-v1 result cache for
+//                      --sweep/--frontier
+//     --json FILE      write results as JSON (msoc-sweep-v1, or
+//                      msoc-frontier-v1 with --frontier)
 //     --gantt          print the schedule as an ASCII Gantt chart
-//     --csv FILE       export the schedule (or, with --sweep, the result
-//                      table) as CSV
+//     --csv FILE       export the schedule (or, with --sweep/--frontier,
+//                      the result table) as CSV
 //     --validate       replay the schedule through the cycle-level checker
 //     --help           this text
 
@@ -26,10 +36,12 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "msoc/common/error.hpp"
 #include "msoc/common/parallel.hpp"
 #include "msoc/common/strings.hpp"
+#include "msoc/plan/frontier.hpp"
 #include "msoc/plan/optimizer.hpp"
 #include "msoc/plan/sweep.hpp"
 #include "msoc/soc/benchmarks.hpp"
@@ -40,12 +52,16 @@ namespace {
 
 struct Options {
   std::optional<std::string> soc_file;
+  std::optional<std::string> bench;  ///< Built-in benchmark name.
   std::optional<int> width;      ///< Default 32 (single) / sweep ladder.
+  std::optional<std::vector<int>> widths;  ///< Explicit sweep ladder.
   std::optional<double> w_time;  ///< Default 0.5 (single) / sweep set.
   bool exhaustive = false;
   double epsilon = 0.0;
   int jobs = 1;
   bool sweep = false;
+  bool frontier = false;
+  std::optional<std::string> cache_dir;
   std::optional<std::string> json_file;
   bool gantt = false;
   std::optional<std::string> csv_file;
@@ -56,18 +72,41 @@ struct Options {
 void print_usage() {
   std::puts(
       "msoc_plan — mixed-signal SOC test planner (DATE'05 reproduction)\n"
-      "  --soc FILE     .soc description (default: built-in p93791m)\n"
-      "  --width N      TAM width (default 32; narrows --sweep to one width)\n"
-      "  --wt X         test-time weight w_T (default 0.5; narrows --sweep)\n"
-      "  --exhaustive   exhaustive search instead of Cost_Optimizer\n"
-      "  --epsilon X    heuristic elimination slack (default 0)\n"
-      "  --jobs N       evaluation threads (default 1; 0 = all cores)\n"
-      "  --sweep        benchmark sweep (SOCs x widths x weights)\n"
-      "  --json FILE    write results as msoc-sweep-v1 JSON\n"
-      "  --gantt        print an ASCII Gantt chart\n"
-      "  --csv FILE     export schedule CSV (result table with --sweep)\n"
-      "  --validate     replay-check the schedule\n"
-      "  --help         this text");
+      "  --soc FILE       .soc description (default: built-in p93791m)\n"
+      "  --bench NAME     built-in benchmark SOC: p93791m, d695m, p93791,\n"
+      "                   d695 (instead of --soc)\n"
+      "  --width N        TAM width (default 32; narrows --sweep/--frontier\n"
+      "                   to one width)\n"
+      "  --widths LIST    comma-separated widths for --sweep/--frontier\n"
+      "                   (default 16,24,32,48,64)\n"
+      "  --wt X           test-time weight w_T in [0,1] (default 0.5;\n"
+      "                   w_A = 1 - w_T)\n"
+      "  --exhaustive     exhaustive search instead of Cost_Optimizer\n"
+      "  --epsilon X      heuristic elimination slack (default 0)\n"
+      "  --jobs N         evaluation threads (default 1; 0 = all cores)\n"
+      "  --sweep          benchmark sweep (SOCs x widths x weights)\n"
+      "  --frontier       (width, time, cost) Pareto frontier in one run\n"
+      "  --cache-dir DIR  persistent result cache (msoc-cache-v1) for\n"
+      "                   --sweep/--frontier\n"
+      "  --json FILE      write results as JSON (msoc-sweep-v1;\n"
+      "                   msoc-frontier-v1 with --frontier)\n"
+      "  --gantt          print an ASCII Gantt chart\n"
+      "  --csv FILE       export schedule CSV (result table with\n"
+      "                   --sweep/--frontier)\n"
+      "  --validate       replay-check the schedule\n"
+      "  --help           this text");
+}
+
+std::vector<int> parse_width_list(const std::string& text) {
+  std::vector<int> widths;
+  for (const std::string_view field : msoc::split_fields(text, ",")) {
+    const auto v = msoc::parse_int(field);
+    msoc::require(v.has_value() && *v >= 1,
+                  "--widths needs comma-separated integers >= 1");
+    widths.push_back(static_cast<int>(*v));
+  }
+  msoc::require(!widths.empty(), "--widths needs at least one width");
+  return widths;
 }
 
 Options parse_args(int argc, char** argv) {
@@ -82,10 +121,13 @@ Options parse_args(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") options.help = true;
     else if (arg == "--soc") options.soc_file = value(i, "--soc");
+    else if (arg == "--bench") options.bench = value(i, "--bench");
     else if (arg == "--width") {
       const auto v = msoc::parse_int(value(i, "--width"));
       msoc::require(v.has_value() && *v >= 1, "--width needs an integer >= 1");
       options.width = static_cast<int>(*v);
+    } else if (arg == "--widths") {
+      options.widths = parse_width_list(value(i, "--widths"));
     } else if (arg == "--wt") {
       const auto v = msoc::parse_double(value(i, "--wt"));
       msoc::require(v.has_value() && *v >= 0.0 && *v <= 1.0,
@@ -101,6 +143,8 @@ Options parse_args(int argc, char** argv) {
       msoc::require(v.has_value() && *v >= 0, "--jobs needs an integer >= 0");
       options.jobs = static_cast<int>(*v);
     } else if (arg == "--sweep") options.sweep = true;
+    else if (arg == "--frontier") options.frontier = true;
+    else if (arg == "--cache-dir") options.cache_dir = value(i, "--cache-dir");
     else if (arg == "--json") options.json_file = value(i, "--json");
     else if (arg == "--gantt") options.gantt = true;
     else if (arg == "--csv") options.csv_file = value(i, "--csv");
@@ -109,7 +153,32 @@ Options parse_args(int argc, char** argv) {
       throw msoc::InfeasibleError("unknown argument: " + arg);
     }
   }
+  msoc::require(!(options.sweep && options.frontier),
+                "--sweep and --frontier are mutually exclusive");
+  msoc::require(!(options.soc_file && options.bench),
+                "--soc and --bench are mutually exclusive");
+  msoc::require(!(options.width && options.widths),
+                "--width and --widths are mutually exclusive");
+  msoc::require(!options.cache_dir || options.sweep || options.frontier,
+                "--cache-dir needs --sweep or --frontier");
   return options;
+}
+
+msoc::soc::Soc make_bench(const std::string& name) {
+  using namespace msoc::soc;
+  if (name == "p93791m") return make_p93791m();
+  if (name == "d695m") return make_d695m();
+  if (name == "p93791") return make_p93791();
+  if (name == "d695") return make_d695();
+  throw msoc::InfeasibleError(
+      "unknown --bench name: " + name +
+      " (expected p93791m, d695m, p93791 or d695)");
+}
+
+msoc::soc::Soc load_soc(const Options& options) {
+  if (options.soc_file) return msoc::soc::load_soc_file(*options.soc_file);
+  if (options.bench) return make_bench(*options.bench);
+  return msoc::soc::make_p93791m();
 }
 
 void write_file(const std::string& path, const std::string& content,
@@ -120,29 +189,113 @@ void write_file(const std::string& path, const std::string& content,
   out << content;
 }
 
+std::vector<int> width_ladder(const Options& options) {
+  if (options.widths) return *options.widths;
+  if (options.width) return {*options.width};
+  return {16, 24, 32, 48, 64};
+}
+
+int run_frontier_mode(const Options& options) {
+  using namespace msoc;
+  require(!options.gantt && !options.validate,
+          "--gantt/--validate need a single plan; drop them or --frontier");
+  const soc::Soc soc = load_soc(options);
+
+  std::optional<plan::ResultCache> cache;
+  if (options.cache_dir) cache.emplace(*options.cache_dir);
+
+  plan::FrontierOptions frontier;
+  frontier.widths = width_ladder(options);
+  const double w_time = options.w_time.value_or(0.5);
+  frontier.weights = {w_time, 1.0 - w_time};
+  frontier.exhaustive = options.exhaustive;
+  frontier.epsilon = options.epsilon;
+  frontier.jobs = options.jobs;
+  frontier.cache = cache.has_value() ? &*cache : nullptr;
+
+  plan::FrontierEngine engine(soc, frontier);
+  std::printf("frontier: SOC %s (digest %s), %zu widths, %s, w_T=%.2f, "
+              "jobs=%d\n",
+              soc.name().c_str(), engine.digest().c_str(),
+              frontier.widths.size(),
+              options.exhaustive ? "exhaustive" : "Cost_Optimizer", w_time,
+              options.jobs);
+  const plan::FrontierResult result = engine.run();
+  if (cache.has_value()) cache->flush();
+
+  int failures = 0;
+  for (const plan::FrontierPoint& p : result.points) {
+    if (p.ok()) {
+      std::printf("  W=%-3d  T=%8llu cycles  C=%8.2f  %-24s N=%-3d "
+                  "hits=%-3d pruned=%-3d%s\n",
+                  p.tam_width,
+                  static_cast<unsigned long long>(p.best.test_time),
+                  p.best.total, p.best.label.c_str(), p.evaluations,
+                  p.cache_hits, p.pruned, p.pareto ? "  *" : "");
+    } else {
+      ++failures;
+      std::printf("  W=%-3d  infeasible: %s\n", p.tam_width,
+                  p.error.c_str());
+    }
+  }
+  std::printf("TAM-optimizer evaluations: %d (cache hits %d, pruned %d, "
+              "%zu combinations/width)\n",
+              result.evaluations, result.cache_hits, result.pruned,
+              result.points.empty()
+                  ? static_cast<std::size_t>(0)
+                  : static_cast<std::size_t>(
+                        result.points.front().total_combinations));
+  std::printf("test-time frontier is %s across widths\n",
+              result.time_monotone ? "monotone non-increasing"
+                                   : "NOT monotone (packer anomaly)");
+  if (cache.has_value()) {
+    std::printf("cache: %s (%lld hits, %lld new results%s)\n",
+                cache->directory().c_str(), cache->hits(),
+                cache->records(),
+                cache->corrupt_files() > 0 ? ", corrupt file ignored" : "");
+  }
+  if (options.json_file) {
+    write_file(*options.json_file, result.to_json(), "JSON");
+    std::printf("results written to %s\n", options.json_file->c_str());
+  }
+  if (options.csv_file) {
+    write_file(*options.csv_file, result.to_csv(), "CSV");
+    std::printf("result table written to %s\n", options.csv_file->c_str());
+  }
+  if (failures == static_cast<int>(result.points.size())) {
+    std::fprintf(stderr, "error: every frontier width was infeasible\n");
+    return 1;
+  }
+  return 0;
+}
+
 int run_sweep_mode(const Options& options) {
   using namespace msoc;
   require(!options.gantt && !options.validate,
           "--gantt/--validate need a single plan; drop them or --sweep");
   plan::SweepConfig config;
-  if (options.soc_file) {
-    config.socs.push_back(soc::load_soc_file(*options.soc_file));
+  if (options.soc_file || options.bench) {
+    config.socs.push_back(load_soc(options));
   } else {
     config = plan::default_benchmark_sweep();
   }
-  // An explicit --width / --wt narrows the sweep to that single value.
-  if (options.width) config.tam_widths = {*options.width};
+  // An explicit --width / --widths / --wt narrows the sweep.
+  if (options.width || options.widths) {
+    config.tam_widths = width_ladder(options);
+  }
   if (options.w_time) config.time_weights = {*options.w_time};
   config.exhaustive = options.exhaustive;
   config.epsilon = options.epsilon;
   config.jobs = options.jobs;
+  if (options.cache_dir) config.cache_dir = *options.cache_dir;
 
   std::printf("sweep: %zu SOCs x %zu widths x %zu weights = %zu cases "
-              "(%s, jobs=%d)\n",
+              "(%s, jobs=%d%s%s)\n",
               config.socs.size(), config.tam_widths.size(),
               config.time_weights.size(), config.case_count(),
               config.exhaustive ? "exhaustive" : "Cost_Optimizer",
-              config.jobs);
+              config.jobs, config.cache_dir.empty() ? "" : ", cache ",
+              config.cache_dir.c_str());
   const plan::SweepResult result = plan::run_sweep(config);
 
   int failures = 0;
@@ -186,12 +339,11 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (options.sweep) return run_sweep_mode(options);
+    if (options.frontier) return run_frontier_mode(options);
 
     const int width = options.width.value_or(32);
     const double w_time = options.w_time.value_or(0.5);
-    const soc::Soc soc = options.soc_file
-                             ? soc::load_soc_file(*options.soc_file)
-                             : soc::make_p93791m();
+    const soc::Soc soc = load_soc(options);
     std::printf("SOC %s: %zu digital, %zu analog cores; TAM width %d; "
                 "w_T=%.2f w_A=%.2f; %s; jobs %d\n",
                 soc.name().c_str(), soc.digital_count(), soc.analog_count(),
