@@ -43,6 +43,13 @@ namespace msoc::plan {
 struct FrontierOptions {
   /// Width budgets to solve (duplicates collapse; solved ascending).
   std::vector<int> widths = {16, 24, 32, 48, 64};
+  /// Power budgets to solve, each resolved against the SOC the way
+  /// tam::PackingOptions::max_power is: < 0 = inherit Soc::max_power,
+  /// 0 = unconstrained, > 0 explicit.  After resolution duplicates
+  /// collapse; rungs are solved unconstrained first, then tightening
+  /// (descending) budgets.  The default ladder is one inherit rung, so
+  /// an undeclared SOC reproduces the pre-power engine exactly.
+  std::vector<double> max_powers = {-1.0};
   CostWeights weights;
   /// Evaluate every combination instead of the Fig. 3 heuristic.
   bool exhaustive = false;
@@ -69,9 +76,10 @@ struct FrontierOptions {
   tam::PackingOptions packing;
 };
 
-/// One width budget's outcome.
+/// One (width, power) budget cell's outcome.
 struct FrontierPoint {
   int tam_width = 0;
+  double max_power = 0.0;     ///< Effective power budget; 0 = unlimited.
   CombinationCost best;
   Cycles t_max = 0;
   int evaluations = 0;        ///< TAM-optimizer runs at this width.
@@ -92,18 +100,22 @@ struct FrontierResult {
   std::string digest;         ///< soc::digest_hex of the SOC.
   std::string algorithm;      ///< "exhaustive" or "cost_optimizer".
   double w_time = 0.0;
-  std::vector<FrontierPoint> points;  ///< Ascending unique widths.
+  /// One point per (power rung, width): rungs in solve order, widths
+  /// ascending within each rung.
+  std::vector<FrontierPoint> points;
   int evaluations = 0;        ///< Total TAM-optimizer runs.
   int cache_hits = 0;
   int pruned = 0;
-  /// Test time never increases with width over the feasible points —
-  /// the sanity the paper's Tables 3-4 rely on.
+  /// Test time never increases with width over the feasible points of
+  /// EVERY power rung — the sanity the paper's Tables 3-4 rely on.
   bool time_monotone = true;
   double wall_ms = 0.0;       ///< Whole run, setup included.
 
-  /// "msoc-frontier-v1" JSON document.
+  /// "msoc-frontier-v1" JSON document, or "msoc-frontier-v2" (adding
+  /// per-point max_power) when any rung is power-constrained.
   [[nodiscard]] std::string to_json() const;
-  /// RFC-4180 CSV, one row per width.
+  /// RFC-4180 CSV, one row per (power rung, width) cell; a max_power
+  /// column appears when any rung is power-constrained.
   [[nodiscard]] std::string to_csv() const;
 };
 
@@ -130,8 +142,9 @@ class FrontierEngine {
   struct Combo;
   struct Group;
 
-  [[nodiscard]] FrontierPoint solve_width(int width);
-  [[nodiscard]] FrontierPoint solve_width_attempt(int width,
+  [[nodiscard]] FrontierPoint solve_point(int width, double max_power);
+  [[nodiscard]] FrontierPoint solve_point_attempt(int width,
+                                                  double max_power,
                                                   bool trust_cache);
 
   const soc::Soc& soc_;
@@ -144,7 +157,9 @@ class FrontierEngine {
   tam::ParetoTables own_pareto_tables_;        ///< Empty when borrowed.
   const tam::ParetoTables* pareto_tables_ = nullptr;
   std::vector<int> widths_;  ///< Ascending, unique.
+  std::vector<double> powers_;  ///< Resolved rungs, solve order.
   int max_analog_width_ = 0;
+  double peak_test_power_ = 0.0;
 };
 
 }  // namespace msoc::plan

@@ -12,6 +12,11 @@
 //   * soc::digest_hex — which SOC (stable under core reordering and
 //     renames);
 //   * TAM width;
+//   * the effective power budget (0 = unconstrained), so
+//     power-constrained makespans can never collide with unconstrained
+//     ones.  Unconstrained entries keep their pre-power keys and the
+//     msoc-cache-v1 file schema; a store holding any constrained entry
+//     is written as msoc-cache-v2 (readers accept both);
 //   * a fingerprint of the PackingOptions fields that influence the
 //     makespan (placement racing, flexible width, improvement rounds,
 //     granularity, serialized fallback);
@@ -44,7 +49,9 @@ namespace msoc::plan {
 
 /// Fingerprint (16 hex chars) of the PackingOptions fields a makespan
 /// depends on.  Excluded: assign_wires (wire coloring never moves a
-/// test) and the borrowed hint pointers (runtime plumbing).
+/// test), the borrowed hint pointers (runtime plumbing), and max_power
+/// — the effective budget is an explicit lookup/record key segment, so
+/// fingerprinting it too would double-count it.
 [[nodiscard]] std::string packing_fingerprint(
     const tam::PackingOptions& options);
 
@@ -74,16 +81,18 @@ class ResultCache {
   void open(const std::string& digest, const std::string& soc_name = "");
 
   /// Snapshot lookup; nullopt on miss (or when the digest was never
-  /// opened).  Thread-safe.
+  /// opened).  `max_power` is the EFFECTIVE budget of the pack (0 =
+  /// unconstrained; inherit-from-SOC must be resolved by the caller).
+  /// Thread-safe.
   [[nodiscard]] std::optional<Cycles> lookup(const std::string& digest,
-                                             int tam_width,
+                                             int tam_width, double max_power,
                                              const std::string& fingerprint,
                                              const std::string& key) const;
 
   /// Records a computed makespan in the overlay (visible to lookups
   /// only after the next flush; last writer wins on duplicates).
   /// Thread-safe.
-  void record(const std::string& digest, int tam_width,
+  void record(const std::string& digest, int tam_width, double max_power,
               const std::string& fingerprint, const std::string& key,
               const std::string& label, Cycles test_time);
 

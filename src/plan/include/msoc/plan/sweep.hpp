@@ -23,6 +23,11 @@ namespace msoc::plan {
 struct SweepConfig {
   std::vector<soc::Soc> socs;
   std::vector<int> tam_widths = {16, 24, 32, 48, 64};
+  /// Power-budget ladder, resolved per SOC like
+  /// tam::PackingOptions::max_power (< 0 = inherit Soc::max_power, 0 =
+  /// unconstrained, > 0 explicit).  The default single inherit rung
+  /// reproduces the pre-power sweep exactly on undeclared SOCs.
+  std::vector<double> max_powers = {-1.0};
   std::vector<double> time_weights = {0.25, 0.5, 0.75};
   bool exhaustive = false;  ///< Cost_Optimizer when false.
   double epsilon = 0.0;     ///< Heuristic elimination slack.
@@ -50,6 +55,7 @@ struct SweepConfig {
 struct SweepRow {
   std::string soc_name;
   int tam_width = 0;
+  double max_power = 0.0;  ///< Effective power budget; 0 = unlimited.
   double w_time = 0.0;
   std::string algorithm;  ///< "exhaustive" or "cost_optimizer".
   std::string best_label;
@@ -71,16 +77,20 @@ struct SweepRow {
 };
 
 struct SweepResult {
-  std::vector<SweepRow> rows;  ///< One per case, in cross-product order.
+  /// One per case, in cross-product order: socs x widths x powers x
+  /// weights (a single default power rung keeps the pre-power order).
+  std::vector<SweepRow> rows;
   double total_wall_ms = 0.0;  ///< Whole sweep, fan-out included.
   int jobs = 1;                ///< Worker threads the sweep actually used.
   bool exhaustive = false;
   double epsilon = 0.0;
 
-  /// RFC-4180 CSV with a header row.
+  /// RFC-4180 CSV with a header row (a max_power column appears when
+  /// any case ran power-constrained).
   [[nodiscard]] std::string to_csv() const;
 
-  /// "msoc-sweep-v1" JSON document.
+  /// "msoc-sweep-v1" JSON document, or "msoc-sweep-v2" (adding
+  /// per-case max_power) when any case ran power-constrained.
   [[nodiscard]] std::string to_json() const;
 };
 

@@ -32,6 +32,10 @@ double elapsed_ms(Clock::time_point since) {
 constexpr const char* kTooNarrow =
     "analog wrapper needs more TAM wires than the SOC has";
 
+/// Likewise for a power budget no schedule can satisfy (a single test
+/// hotter than the whole budget).
+constexpr const char* kTooHot = "test power exceeds the SOC power budget";
+
 /// Raised internally when a parseable cache entry contradicts a
 /// freshly-packed baseline (stale or tampered store): the width is
 /// re-solved from scratch without trusting the cache.  Never escapes
@@ -66,12 +70,28 @@ FrontierEngine::FrontierEngine(const soc::Soc& soc, FrontierOptions options)
   std::sort(widths_.begin(), widths_.end());
   widths_.erase(std::unique(widths_.begin(), widths_.end()), widths_.end());
 
+  // Resolve the power ladder against the SOC, collapse duplicates, and
+  // order the rungs: unconstrained first, then descending (tightening)
+  // budgets.  With the default one-inherit-rung ladder on an
+  // unconstrained SOC this is exactly the pre-power single solve.
+  require(!options_.max_powers.empty(),
+          "frontier needs at least one power budget");
+  for (const double budget : options_.max_powers) {
+    powers_.push_back(budget < 0.0 ? soc_.max_power() : budget);
+  }
+  std::sort(powers_.begin(), powers_.end(), [](double a, double b) {
+    if ((a == 0.0) != (b == 0.0)) return a == 0.0;  // unconstrained first
+    return a > b;                                   // then tightening
+  });
+  powers_.erase(std::unique(powers_.begin(), powers_.end()), powers_.end());
+
   digest_ = soc::digest_hex(soc_);
   fingerprint_ = packing_fingerprint(options_.packing);
   names_ = mswrap::core_names(soc_.analog_cores());
   for (const soc::AnalogCore& core : soc_.analog_cores()) {
     max_analog_width_ = std::max(max_analog_width_, core.tam_width());
   }
+  peak_test_power_ = soc_.peak_test_power();
 
   // --- Width-independent combination work, done exactly once. ---
   std::vector<mswrap::SharingEvaluation> all = mswrap::evaluate_combinations(
@@ -132,25 +152,27 @@ FrontierEngine::FrontierEngine(const soc::Soc& soc, FrontierOptions options)
   }
 }
 
-FrontierPoint FrontierEngine::solve_width(int width) {
+FrontierPoint FrontierEngine::solve_point(int width, double max_power) {
   try {
-    return solve_width_attempt(width, /*trust_cache=*/true);
+    return solve_point_attempt(width, max_power, /*trust_cache=*/true);
   } catch (const StaleCacheError&) {
     // A parseable entry contradicted the packer (stale or tampered
     // store).  Per the cache contract this must never fail the run:
-    // re-solve the width ignoring cached values; the fresh results are
+    // re-solve the cell ignoring cached values; the fresh results are
     // recorded and overwrite the stale cells on flush.
     log_warn("cache entries for width ", width, " of ", digest_,
              " are stale; recomputing");
-    return solve_width_attempt(width, /*trust_cache=*/false);
+    return solve_point_attempt(width, max_power, /*trust_cache=*/false);
   }
 }
 
-FrontierPoint FrontierEngine::solve_width_attempt(int width,
+FrontierPoint FrontierEngine::solve_point_attempt(int width,
+                                                  double max_power,
                                                   bool trust_cache) {
   const Clock::time_point started = Clock::now();
   FrontierPoint point;
   point.tam_width = width;
+  point.max_power = max_power;
   point.total_combinations = static_cast<int>(combos_.size());
 
   if (width < 1) {
@@ -160,6 +182,11 @@ FrontierPoint FrontierEngine::solve_width_attempt(int width,
   }
   if (max_analog_width_ > width) {
     point.error = kTooNarrow;
+    point.wall_ms = elapsed_ms(started);
+    return point;
+  }
+  if (max_power > 0.0 && peak_test_power_ > max_power) {
+    point.error = kTooHot;
     point.wall_ms = elapsed_ms(started);
     return point;
   }
@@ -180,6 +207,8 @@ FrontierPoint FrontierEngine::solve_width_attempt(int width,
       problem.enumeration = options_.enumeration;
       problem.packing = options_.packing;
       problem.packing.pareto_hint = pareto_tables_;
+      // Already resolved against the SOC; never the inherit sentinel.
+      problem.packing.max_power = max_power;
       model.emplace(problem);
     }
     return *model;
@@ -196,7 +225,8 @@ FrontierPoint FrontierEngine::solve_width_attempt(int width,
   Cycles t_max = 0;
   std::optional<Cycles> cached_t_max;
   if (read_cache) {
-    cached_t_max = cache->lookup(digest_, width, fingerprint_, all_share_key);
+    cached_t_max =
+        cache->lookup(digest_, width, max_power, fingerprint_, all_share_key);
   }
   if (cached_t_max.has_value()) {
     // Loading validated test_time >= 1, so the baseline is usable as a
@@ -206,7 +236,7 @@ FrontierPoint FrontierEngine::solve_width_attempt(int width,
   } else {
     t_max = ensure_model().t_max();
     if (cache != nullptr) {
-      cache->record(digest_, width, fingerprint_, all_share_key,
+      cache->record(digest_, width, max_power, fingerprint_, all_share_key,
                     all_share.to_string(names_, true), t_max);
     }
   }
@@ -241,8 +271,9 @@ FrontierPoint FrontierEngine::solve_width_attempt(int width,
     for (const std::size_t index : indices) {
       if (time_of[index].has_value()) continue;
       if (read_cache) {
-        const std::optional<Cycles> hit = cache->lookup(
-            digest_, width, fingerprint_, combos_[index].cache_key);
+        const std::optional<Cycles> hit =
+            cache->lookup(digest_, width, max_power, fingerprint_,
+                          combos_[index].cache_key);
         // A stored time above the baseline contradicts the packer's
         // serialized-fallback guarantee: the store is stale for this
         // width, so stop trusting it and recompute.
@@ -273,7 +304,7 @@ FrontierPoint FrontierEngine::solve_width_attempt(int width,
     for (std::size_t i = 0; i < misses.size(); ++i) {
       time_of[misses[i]] = packed[i];
       if (cache != nullptr) {
-        cache->record(digest_, width, fingerprint_,
+        cache->record(digest_, width, max_power, fingerprint_,
                       combos_[misses[i]].cache_key,
                       combos_[misses[i]].evaluation.label, packed[i]);
       }
@@ -376,33 +407,39 @@ FrontierResult FrontierEngine::run() {
   result.algorithm = options_.exhaustive ? "exhaustive" : "cost_optimizer";
   result.w_time = options_.weights.time;
 
-  for (const int width : widths_) {
-    FrontierPoint point;
-    try {
-      point = solve_width(width);
-    } catch (const InfeasibleError& e) {
-      point.tam_width = width;
-      point.total_combinations = static_cast<int>(combos_.size());
-      point.error = e.what();
+  for (const double max_power : powers_) {
+    const std::size_t rung_begin = result.points.size();
+    for (const int width : widths_) {
+      FrontierPoint point;
+      try {
+        point = solve_point(width, max_power);
+      } catch (const InfeasibleError& e) {
+        point.tam_width = width;
+        point.max_power = max_power;
+        point.total_combinations = static_cast<int>(combos_.size());
+        point.error = e.what();
+      }
+      result.evaluations += point.evaluations;
+      result.cache_hits += point.cache_hits;
+      result.pruned += point.pruned;
+      result.points.push_back(std::move(point));
     }
-    result.evaluations += point.evaluations;
-    result.cache_hits += point.cache_hits;
-    result.pruned += point.pruned;
-    result.points.push_back(std::move(point));
-  }
 
-  // Monotonicity and Pareto membership over the feasible points.
-  bool have_min = false;
-  Cycles running_min = 0;
-  for (FrontierPoint& point : result.points) {
-    if (!point.ok()) continue;
-    if (have_min && point.best.test_time > running_min) {
-      result.time_monotone = false;
-    }
-    point.pareto = !have_min || point.best.test_time < running_min;
-    if (!have_min || point.best.test_time < running_min) {
-      running_min = point.best.test_time;
-      have_min = true;
+    // Monotonicity and Pareto membership over this rung's feasible
+    // points: every budget's width curve must be sane on its own.
+    bool have_min = false;
+    Cycles running_min = 0;
+    for (std::size_t i = rung_begin; i < result.points.size(); ++i) {
+      FrontierPoint& point = result.points[i];
+      if (!point.ok()) continue;
+      if (have_min && point.best.test_time > running_min) {
+        result.time_monotone = false;
+      }
+      point.pareto = !have_min || point.best.test_time < running_min;
+      if (!have_min || point.best.test_time < running_min) {
+        running_min = point.best.test_time;
+        have_min = true;
+      }
     }
   }
 
@@ -410,30 +447,53 @@ FrontierResult FrontierEngine::run() {
   return result;
 }
 
+namespace {
+
+/// True when any point ran under a finite power budget: the signal
+/// that switches serializers to the v2 schemas.  All-unconstrained
+/// results keep emitting the v1 documents byte-for-byte.
+bool any_power_constrained(const std::vector<FrontierPoint>& points) {
+  return std::any_of(points.begin(), points.end(),
+                     [](const FrontierPoint& p) { return p.max_power > 0.0; });
+}
+
+}  // namespace
+
 std::string FrontierResult::to_csv() const {
+  const bool constrained = any_power_constrained(points);
   std::ostringstream out;
-  CsvWriter csv(out, {"soc", "tam_width", "w_time", "algorithm",
-                      "best_label", "best_total", "c_time", "c_area",
-                      "test_time", "t_max", "evaluations",
-                      "total_combinations", "cache_hits", "pruned",
-                      "pareto", "wall_ms", "error"});
+  std::vector<std::string> header = {"soc", "tam_width", "w_time",
+                                     "algorithm", "best_label", "best_total",
+                                     "c_time", "c_area", "test_time",
+                                     "t_max", "evaluations",
+                                     "total_combinations", "cache_hits",
+                                     "pruned", "pareto", "wall_ms", "error"};
+  if (constrained) header.insert(header.begin() + 2, "max_power");
+  CsvWriter csv(out, header);
   for (const FrontierPoint& p : points) {
-    csv.write_row({soc_name, std::to_string(p.tam_width),
-                   round_trip_double(w_time), algorithm, p.best.label,
-                   round_trip_double(p.best.total), round_trip_double(p.best.c_time),
-                   round_trip_double(p.best.c_area), std::to_string(p.best.test_time),
-                   std::to_string(p.t_max), std::to_string(p.evaluations),
-                   std::to_string(p.total_combinations),
-                   std::to_string(p.cache_hits), std::to_string(p.pruned),
-                   p.pareto ? "1" : "0", round_trip_double(p.wall_ms), p.error});
+    std::vector<std::string> row = {
+        soc_name, std::to_string(p.tam_width),
+        round_trip_double(w_time), algorithm, p.best.label,
+        round_trip_double(p.best.total), round_trip_double(p.best.c_time),
+        round_trip_double(p.best.c_area), std::to_string(p.best.test_time),
+        std::to_string(p.t_max), std::to_string(p.evaluations),
+        std::to_string(p.total_combinations),
+        std::to_string(p.cache_hits), std::to_string(p.pruned),
+        p.pareto ? "1" : "0", round_trip_double(p.wall_ms), p.error};
+    if (constrained) {
+      row.insert(row.begin() + 2, round_trip_double(p.max_power));
+    }
+    csv.write_row(row);
   }
   return out.str();
 }
 
 std::string FrontierResult::to_json() const {
+  const bool constrained = any_power_constrained(points);
   std::ostringstream os;
   os << "{\n"
-     << "  \"schema\": \"msoc-frontier-v1\",\n"
+     << "  \"schema\": \"msoc-frontier-" << (constrained ? "v2" : "v1")
+     << "\",\n"
      << "  \"soc\": \"" << json_escape(soc_name) << "\",\n"
      << "  \"digest\": \"" << json_escape(digest) << "\",\n"
      << "  \"algorithm\": \"" << json_escape(algorithm) << "\",\n"
@@ -448,8 +508,11 @@ std::string FrontierResult::to_json() const {
   for (std::size_t i = 0; i < points.size(); ++i) {
     const FrontierPoint& p = points[i];
     os << (i == 0 ? "\n" : ",\n");
-    os << "    {\"tam_width\": " << p.tam_width << ", "
-       << "\"wall_ms\": " << round_trip_double(p.wall_ms) << ", ";
+    os << "    {\"tam_width\": " << p.tam_width << ", ";
+    if (constrained) {
+      os << "\"max_power\": " << round_trip_double(p.max_power) << ", ";
+    }
+    os << "\"wall_ms\": " << round_trip_double(p.wall_ms) << ", ";
     if (!p.ok()) {
       os << "\"error\": \"" << json_escape(p.error) << "\"}";
       continue;

@@ -10,6 +10,7 @@
 
 #include "msoc/common/error.hpp"
 #include "msoc/common/fileio.hpp"
+#include "msoc/common/format.hpp"
 #include "msoc/common/json.hpp"
 #include "msoc/common/logging.hpp"
 #include "msoc/soc/digest.hpp"
@@ -18,7 +19,8 @@ namespace msoc::plan {
 
 namespace {
 
-constexpr const char* kSchema = "msoc-cache-v1";
+constexpr const char* kSchemaV1 = "msoc-cache-v1";
+constexpr const char* kSchemaV2 = "msoc-cache-v2";
 constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
 
 std::string hex64(std::uint64_t v) {
@@ -36,10 +38,15 @@ std::uint64_t fnv1a(std::string_view s) {
   return hash;
 }
 
-/// Full entry key inside one digest's store.
-std::string entry_key(int tam_width, const std::string& fingerprint,
+/// Full entry key inside one digest's store.  The power segment exists
+/// only for constrained entries, so unconstrained keys — and therefore
+/// whole unconstrained stores — are bit-identical to the v1 format.
+std::string entry_key(int tam_width, double max_power,
+                      const std::string& fingerprint,
                       const std::string& key) {
-  return "w" + std::to_string(tam_width) + "|" + fingerprint + "|" + key;
+  std::string head = "w" + std::to_string(tam_width) + "|";
+  if (max_power > 0.0) head += "p" + round_trip_double(max_power) + "|";
+  return head + fingerprint + "|" + key;
 }
 
 /// A JSON number that is a non-negative integer representable exactly
@@ -110,7 +117,8 @@ void ResultCache::load_store(const std::string& digest, Store& store) {
         read_file_if_exists(file_path(digest));
     if (!text.has_value()) return;
     const JsonValue doc = parse_json(*text, file_path(digest));
-    if (doc.at("schema").as_string() != kSchema) {
+    const std::string schema = doc.at("schema").as_string();
+    if (schema != kSchemaV1 && schema != kSchemaV2) {
       throw ParseError(file_path(digest), 0, "unexpected schema");
     }
     if (doc.at("digest").as_string() != digest) {
@@ -127,13 +135,23 @@ void ResultCache::load_store(const std::string& digest, Store& store) {
           *time < 1) {
         throw ParseError(file_path(digest), 0, "malformed cache entry");
       }
+      // v2 entries may carry the power budget the pack honored; absent
+      // (every v1 entry) means unconstrained.
+      double max_power = 0.0;
+      if (const JsonValue* budget = item.find("max_power")) {
+        if (budget->type() != JsonValue::Type::kNumber ||
+            !(budget->as_number() > 0.0)) {
+          throw ParseError(file_path(digest), 0, "malformed cache entry");
+        }
+        max_power = budget->as_number();
+      }
       Entry entry;
       entry.test_time = *time;
       if (const JsonValue* label = item.find("label")) {
         entry.label = label->as_string();
       }
       snapshot.insert_or_assign(
-          entry_key(static_cast<int>(*width),
+          entry_key(static_cast<int>(*width), max_power,
                     item.at("packing").as_string(),
                     item.at("partition").as_string()),
           std::move(entry));
@@ -160,14 +178,14 @@ void ResultCache::open(const std::string& digest,
 }
 
 std::optional<Cycles> ResultCache::lookup(const std::string& digest,
-                                          int tam_width,
+                                          int tam_width, double max_power,
                                           const std::string& fingerprint,
                                           const std::string& key) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto store = stores_.find(digest);
   if (store != stores_.end()) {
-    const auto it =
-        store->second.snapshot.find(entry_key(tam_width, fingerprint, key));
+    const auto it = store->second.snapshot.find(
+        entry_key(tam_width, max_power, fingerprint, key));
     if (it != store->second.snapshot.end()) {
       ++hits_;
       return it->second.test_time;
@@ -178,7 +196,7 @@ std::optional<Cycles> ResultCache::lookup(const std::string& digest,
 }
 
 void ResultCache::record(const std::string& digest, int tam_width,
-                         const std::string& fingerprint,
+                         double max_power, const std::string& fingerprint,
                          const std::string& key, const std::string& label,
                          Cycles test_time) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -186,8 +204,8 @@ void ResultCache::record(const std::string& digest, int tam_width,
   Entry entry;
   entry.test_time = test_time;
   entry.label = label;
-  store.overlay.insert_or_assign(entry_key(tam_width, fingerprint, key),
-                                 std::move(entry));
+  store.overlay.insert_or_assign(
+      entry_key(tam_width, max_power, fingerprint, key), std::move(entry));
   ++records_;
 }
 
@@ -202,26 +220,47 @@ void ResultCache::flush() {
     store.overlay.clear();
     if (!disk_backed() || !dirty) continue;
 
+    // A store stays on the v1 schema until it holds a power-constrained
+    // entry, so purely width-constrained caches are byte-compatible
+    // with pre-power readers and goldens.
+    const bool any_power = std::any_of(
+        store.snapshot.begin(), store.snapshot.end(), [](const auto& kv) {
+          const std::size_t bar = kv.first.find('|');
+          return bar != std::string::npos && bar + 1 < kv.first.size() &&
+                 kv.first[bar + 1] == 'p';
+        });
     std::ostringstream os;
     os << "{\n"
-       << "  \"schema\": \"" << kSchema << "\",\n"
+       << "  \"schema\": \"" << (any_power ? kSchemaV2 : kSchemaV1)
+       << "\",\n"
        << "  \"digest\": \"" << json_escape(digest) << "\",\n"
        << "  \"soc_name\": \"" << json_escape(store.soc_name) << "\",\n"
        << "  \"entries\": [";
     bool first = true;
     for (const auto& [key, entry] : store.snapshot) {
-      // entry_key is "w<width>|<fingerprint>|<partition>".
+      // entry_key is "w<width>|[p<max_power>|]<fingerprint>|<partition>".
       const std::size_t bar1 = key.find('|');
-      const std::size_t bar2 = key.find('|', bar1 + 1);
       check_invariant(key.size() > 1 && key[0] == 'w' &&
-                          bar1 != std::string::npos &&
-                          bar2 != std::string::npos,
+                          bar1 != std::string::npos,
+                      "malformed in-memory cache key");
+      std::string max_power;
+      std::size_t rest = bar1 + 1;
+      if (rest < key.size() && key[rest] == 'p') {
+        const std::size_t bar = key.find('|', rest);
+        check_invariant(bar != std::string::npos,
+                        "malformed in-memory cache key");
+        max_power = key.substr(rest + 1, bar - rest - 1);
+        rest = bar + 1;
+      }
+      const std::size_t bar2 = key.find('|', rest);
+      check_invariant(bar2 != std::string::npos,
                       "malformed in-memory cache key");
       os << (first ? "\n" : ",\n");
       first = false;
-      os << "    {\"width\": " << key.substr(1, bar1 - 1) << ", "
-         << "\"packing\": \""
-         << json_escape(key.substr(bar1 + 1, bar2 - bar1 - 1)) << "\", "
+      os << "    {\"width\": " << key.substr(1, bar1 - 1) << ", ";
+      if (!max_power.empty()) os << "\"max_power\": " << max_power << ", ";
+      os << "\"packing\": \""
+         << json_escape(key.substr(rest, bar2 - rest)) << "\", "
          << "\"partition\": \"" << json_escape(key.substr(bar2 + 1))
          << "\", \"label\": \"" << json_escape(entry.label) << "\", "
          << "\"test_time\": " << entry.test_time << "}";

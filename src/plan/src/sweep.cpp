@@ -5,6 +5,7 @@
 #include <map>
 #include <optional>
 #include <sstream>
+#include <utility>
 
 #include "msoc/common/csv.hpp"
 #include "msoc/common/error.hpp"
@@ -32,25 +33,34 @@ struct Series {
   std::size_t weight_index = 0;
 };
 
-SweepRow make_row(const soc::Soc& soc, int tam_width, double w_time,
-                  const SweepConfig& config) {
+SweepRow make_row(const soc::Soc& soc, int tam_width, double max_power,
+                  double w_time, const SweepConfig& config) {
   SweepRow row;
   row.soc_name = soc.name();
   row.tam_width = tam_width;
+  row.max_power = max_power;
   row.w_time = w_time;
   row.algorithm = config.exhaustive ? "exhaustive" : "cost_optimizer";
   return row;
 }
 
+/// The budget a config rung means for one SOC (inherit resolved).
+double resolve_power(double budget, const soc::Soc& soc) {
+  return budget < 0.0 ? soc.max_power() : budget;
+}
+
 }  // namespace
 
 std::size_t SweepConfig::case_count() const {
-  return socs.size() * tam_widths.size() * time_weights.size();
+  return socs.size() * tam_widths.size() * max_powers.size() *
+         time_weights.size();
 }
 
 SweepResult run_sweep(const SweepConfig& config) {
   require(!config.socs.empty(), "sweep needs at least one SOC");
   require(!config.tam_widths.empty(), "sweep needs at least one TAM width");
+  require(!config.max_powers.empty(),
+          "sweep needs at least one power budget");
   require(!config.time_weights.empty(),
           "sweep needs at least one time weight");
 
@@ -111,22 +121,30 @@ SweepResult run_sweep(const SweepConfig& config) {
     pool.submit([&result, &config, &cache, &tables, s, inner] {
       const soc::Soc& soc = config.socs[s.soc_index];
       const double w_time = config.time_weights[s.weight_index];
-      const auto row_index = [&](std::size_t width_index) {
-        return (s.soc_index * config.tam_widths.size() + width_index) *
+      const auto row_index = [&](std::size_t width_index,
+                                 std::size_t power_index) {
+        return ((s.soc_index * config.tam_widths.size() + width_index) *
+                    config.max_powers.size() +
+                power_index) *
                    config.time_weights.size() +
                s.weight_index;
       };
       const auto fill_series_error = [&](const std::string& what) {
         for (std::size_t w = 0; w < config.tam_widths.size(); ++w) {
-          SweepRow row =
-              make_row(soc, config.tam_widths[w], w_time, config);
-          row.error = what;
-          result.rows[row_index(w)] = std::move(row);
+          for (std::size_t p = 0; p < config.max_powers.size(); ++p) {
+            SweepRow row =
+                make_row(soc, config.tam_widths[w],
+                         resolve_power(config.max_powers[p], soc), w_time,
+                         config);
+            row.error = what;
+            result.rows[row_index(w, p)] = std::move(row);
+          }
         }
       };
       try {
         FrontierOptions options;
         options.widths = config.tam_widths;
+        options.max_powers = config.max_powers;
         options.weights = {w_time, 1.0 - w_time};
         options.exhaustive = config.exhaustive;
         options.epsilon = config.epsilon;
@@ -136,34 +154,38 @@ SweepResult run_sweep(const SweepConfig& config) {
         FrontierEngine engine(soc, options);
         const FrontierResult frontier = engine.run();
 
-        std::map<int, const FrontierPoint*> by_width;
+        std::map<std::pair<int, double>, const FrontierPoint*> by_cell;
         for (const FrontierPoint& point : frontier.points) {
-          by_width.emplace(point.tam_width, &point);
+          by_cell.emplace(std::make_pair(point.tam_width, point.max_power),
+                          &point);
         }
         for (std::size_t w = 0; w < config.tam_widths.size(); ++w) {
-          const FrontierPoint& point =
-              *by_width.at(config.tam_widths[w]);
-          SweepRow row =
-              make_row(soc, config.tam_widths[w], w_time, config);
-          row.wall_ms = point.wall_ms;
-          if (point.ok()) {
-            row.best_label = point.best.label;
-            row.best_total = point.best.total;
-            row.c_time = point.best.c_time;
-            row.c_area = point.best.c_area;
-            row.test_time = point.best.test_time;
-            row.t_max = point.t_max;
-            row.evaluations = point.evaluations;
-            row.total_combinations = point.total_combinations;
-            OptimizationResult reduction;
-            reduction.evaluations = point.evaluations;
-            reduction.total_combinations = point.total_combinations;
-            row.evaluation_reduction_percent =
-                reduction.evaluation_reduction_percent();
-          } else {
-            row.error = point.error;
+          for (std::size_t p = 0; p < config.max_powers.size(); ++p) {
+            const double budget = resolve_power(config.max_powers[p], soc);
+            const FrontierPoint& point =
+                *by_cell.at({config.tam_widths[w], budget});
+            SweepRow row = make_row(soc, config.tam_widths[w], budget,
+                                    w_time, config);
+            row.wall_ms = point.wall_ms;
+            if (point.ok()) {
+              row.best_label = point.best.label;
+              row.best_total = point.best.total;
+              row.c_time = point.best.c_time;
+              row.c_area = point.best.c_area;
+              row.test_time = point.best.test_time;
+              row.t_max = point.t_max;
+              row.evaluations = point.evaluations;
+              row.total_combinations = point.total_combinations;
+              OptimizationResult reduction;
+              reduction.evaluations = point.evaluations;
+              reduction.total_combinations = point.total_combinations;
+              row.evaluation_reduction_percent =
+                  reduction.evaluation_reduction_percent();
+            } else {
+              row.error = point.error;
+            }
+            result.rows[row_index(w, p)] = std::move(row);
           }
-          result.rows[row_index(w)] = std::move(row);
         }
       } catch (const InfeasibleError& e) {
         // Unsatisfiable input is a legitimate sweep outcome and lands
@@ -189,30 +211,53 @@ SweepConfig default_benchmark_sweep() {
   return config;
 }
 
+namespace {
+
+/// v2-schema switch, mirroring the frontier serializers: only a sweep
+/// that actually ran power-constrained cases changes its documents.
+bool any_power_constrained(const std::vector<SweepRow>& rows) {
+  return std::any_of(rows.begin(), rows.end(),
+                     [](const SweepRow& r) { return r.max_power > 0.0; });
+}
+
+}  // namespace
+
 std::string SweepResult::to_csv() const {
+  const bool constrained = any_power_constrained(rows);
   std::ostringstream out;
-  CsvWriter csv(out, {"soc", "tam_width", "w_time", "algorithm",
-                      "best_label", "best_total", "c_time", "c_area",
-                      "test_time", "t_max", "evaluations",
-                      "total_combinations", "evaluation_reduction_percent",
-                      "wall_ms", "error"});
+  std::vector<std::string> header = {"soc", "tam_width", "w_time",
+                                     "algorithm", "best_label", "best_total",
+                                     "c_time", "c_area", "test_time",
+                                     "t_max", "evaluations",
+                                     "total_combinations",
+                                     "evaluation_reduction_percent",
+                                     "wall_ms", "error"};
+  if (constrained) header.insert(header.begin() + 2, "max_power");
+  CsvWriter csv(out, header);
   for (const SweepRow& r : rows) {
-    csv.write_row({r.soc_name, std::to_string(r.tam_width),
-                   round_trip_double(r.w_time), r.algorithm, r.best_label,
-                   round_trip_double(r.best_total), round_trip_double(r.c_time),
-                   round_trip_double(r.c_area), std::to_string(r.test_time),
-                   std::to_string(r.t_max), std::to_string(r.evaluations),
-                   std::to_string(r.total_combinations),
-                   round_trip_double(r.evaluation_reduction_percent),
-                   round_trip_double(r.wall_ms), r.error});
+    std::vector<std::string> row = {
+        r.soc_name, std::to_string(r.tam_width),
+        round_trip_double(r.w_time), r.algorithm, r.best_label,
+        round_trip_double(r.best_total), round_trip_double(r.c_time),
+        round_trip_double(r.c_area), std::to_string(r.test_time),
+        std::to_string(r.t_max), std::to_string(r.evaluations),
+        std::to_string(r.total_combinations),
+        round_trip_double(r.evaluation_reduction_percent),
+        round_trip_double(r.wall_ms), r.error};
+    if (constrained) {
+      row.insert(row.begin() + 2, round_trip_double(r.max_power));
+    }
+    csv.write_row(row);
   }
   return out.str();
 }
 
 std::string SweepResult::to_json() const {
+  const bool constrained = any_power_constrained(rows);
   std::ostringstream os;
   os << "{\n"
-     << "  \"schema\": \"msoc-sweep-v1\",\n"
+     << "  \"schema\": \"msoc-sweep-" << (constrained ? "v2" : "v1")
+     << "\",\n"
      << "  \"exhaustive\": " << (exhaustive ? "true" : "false") << ",\n"
      << "  \"epsilon\": " << round_trip_double(epsilon) << ",\n"
      << "  \"jobs\": " << jobs << ",\n"
@@ -222,8 +267,11 @@ std::string SweepResult::to_json() const {
     const SweepRow& r = rows[i];
     os << (i == 0 ? "\n" : ",\n");
     os << "    {\"soc\": \"" << json_escape(r.soc_name) << "\", "
-       << "\"tam_width\": " << r.tam_width << ", "
-       << "\"w_time\": " << round_trip_double(r.w_time) << ", "
+       << "\"tam_width\": " << r.tam_width << ", ";
+    if (constrained) {
+      os << "\"max_power\": " << round_trip_double(r.max_power) << ", ";
+    }
+    os << "\"w_time\": " << round_trip_double(r.w_time) << ", "
        << "\"algorithm\": \"" << json_escape(r.algorithm) << "\", "
        << "\"wall_ms\": " << round_trip_double(r.wall_ms) << ", ";
     if (!r.ok()) {

@@ -51,6 +51,15 @@ struct SyntheticSocParams {
   int max_chain_length = 500;
   long long min_patterns = 10;
   long long max_patterns = 600;
+  /// Per-test power range (digital cores and analog tests alike).
+  /// max_test_power == 0 (default) disables power generation entirely:
+  /// no RNG draws happen, so pre-power seed streams stay bit-identical.
+  double min_test_power = 0.0;
+  double max_test_power = 0.0;
+  /// SOC power budget as a multiple of the generated peak single-test
+  /// power (so the budget always admits every test).  0 leaves the SOC
+  /// unconstrained; 1 is the tightest feasible floor.
+  double power_budget_factor = 0.0;
 };
 
 /// Generates a random-but-reproducible SOC for scaling experiments.

@@ -7,6 +7,14 @@
 // frequency band, a converter sampling frequency, a fixed test length in
 // TAM clock cycles and a TAM width requirement.  Analog test time does
 // not scale with TAM width — the defining asymmetry the paper exploits.
+//
+// Every test additionally declares its power dissipation (arbitrary but
+// SOC-wide consistent units, e.g. mW).  Power is the classic second
+// scheduling axis of SOC test planning: the paper's Eq. 2 model caps
+// only the TAM width, but a real test floor also caps the instantaneous
+// sum of concurrently-running tests' power at Soc::max_power.  A power
+// of 0 (the default everywhere) means "negligible", so purely
+// width-constrained models keep working unchanged.
 
 #include <string>
 #include <vector>
@@ -24,6 +32,7 @@ struct DigitalCore {
   int bidirs = 0;
   std::vector<int> scan_chain_lengths;  ///< Internal scan chains.
   long long patterns = 0;               ///< Scan test patterns.
+  double power = 0.0;  ///< Dissipation while this core's scan test runs.
 
   /// Total internal scan flip-flops.
   [[nodiscard]] long long total_scan_cells() const;
@@ -46,6 +55,7 @@ struct AnalogTestSpec {
   Cycles cycles = 0;      ///< Test length in TAM clock cycles.
   int tam_width = 1;      ///< TAM wires this test needs.
   int resolution_bits = 8;  ///< Converter resolution this test needs.
+  double power = 0.0;     ///< Dissipation while this test runs.
 };
 
 /// An analog embedded core with its test suite.
@@ -65,6 +75,11 @@ struct AnalogCore {
 
   /// Highest resolution requirement over the tests.
   [[nodiscard]] int resolution_bits() const;
+
+  /// Peak power over the tests.  This is what a whole-core rectangle
+  /// dissipates for scheduling purposes: tests run back to back on one
+  /// wrapper, so the rectangle must be admitted at its worst moment.
+  [[nodiscard]] double max_power() const;
 
   /// True when this core's tests equal `other`'s (same multiset of
   /// (cycles, width, fs, resolution)) — the symmetry that lets the paper

@@ -7,14 +7,16 @@
 //
 //   # comment
 //   SocName p93791m
+//   MaxPower 1200                       # optional SOC power budget
 //   Module 1 core_1
 //     Inputs 109
 //     Outputs 32
 //     Bidirs 72
 //     ScanChains 168 168 150 ...        # one length per chain
 //     Patterns 409
+//     Power 310                         # optional test dissipation
 //   AnalogModule A "I-Q transmit path"
-//     Test f_c FLow 45e3 FHigh 55e3 FSample 1.5e6 Cycles 13653 Width 4 Resolution 8
+//     Test f_c FLow 45e3 FHigh 55e3 FSample 1.5e6 Cycles 13653 Width 4 Resolution 8 Power 95
 //
 // parse_soc accepts any stream; write_soc re-emits a file that parses back
 // to an identical SOC (round-trip property covered by tests).

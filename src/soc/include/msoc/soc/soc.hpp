@@ -16,6 +16,19 @@ class Soc {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
+  /// Peak instantaneous power the test floor may dissipate (same units
+  /// as the per-test powers); 0 means unconstrained — the paper's
+  /// original, width-only model.
+  [[nodiscard]] double max_power() const noexcept { return max_power_; }
+
+  /// Sets the power budget; throws InfeasibleError when negative.
+  void set_max_power(double max_power);
+
+  /// True when a finite power budget is declared.
+  [[nodiscard]] bool power_constrained() const noexcept {
+    return max_power_ > 0.0;
+  }
+
   /// Adds a digital core (validated); returns its index.
   std::size_t add_digital(DigitalCore core);
 
@@ -46,10 +59,15 @@ class Soc {
   /// Total scan test patterns across digital cores (reporting).
   [[nodiscard]] long long total_patterns() const;
 
+  /// Highest single-test power over all cores: the smallest budget that
+  /// could ever admit every test (0 when no test declares power).
+  [[nodiscard]] double peak_test_power() const;
+
  private:
   std::string name_;
   std::vector<DigitalCore> digital_;
   std::vector<AnalogCore> analog_;
+  double max_power_ = 0.0;
 };
 
 }  // namespace msoc::soc

@@ -225,6 +225,12 @@ Soc make_synthetic_soc(const SyntheticSocParams& params) {
   require(params.max_patterns >= params.min_patterns &&
               params.min_patterns >= 0,
           "bad pattern range");
+  require(params.max_test_power >= params.min_test_power &&
+              params.min_test_power >= 0.0,
+          "bad test power range");
+  require(params.power_budget_factor >= 0.0,
+          "power budget factor must be non-negative");
+  const bool with_power = params.max_test_power > 0.0;
   Rng rng(params.seed);
   Soc soc("synthetic_" + std::to_string(params.seed));
   for (int i = 1; i <= params.digital_cores; ++i) {
@@ -248,6 +254,9 @@ Soc make_synthetic_soc(const SyntheticSocParams& params) {
     core.patterns = static_cast<long long>(rng.uniform_u64(
         static_cast<std::uint64_t>(params.min_patterns),
         static_cast<std::uint64_t>(params.max_patterns)));
+    if (with_power) {
+      core.power = rng.uniform(params.min_test_power, params.max_test_power);
+    }
     soc.add_digital(std::move(core));
   }
   // Analog cores: random subsets of the Table-2 templates, renamed.
@@ -261,8 +270,14 @@ Soc make_synthetic_soc(const SyntheticSocParams& params) {
       const double k = rng.uniform(0.6, 1.6);
       t.cycles = static_cast<Cycles>(
           std::max<double>(100.0, static_cast<double>(t.cycles) * k));
+      if (with_power) {
+        t.power = rng.uniform(params.min_test_power, params.max_test_power);
+      }
     }
     soc.add_analog(std::move(core));
+  }
+  if (with_power && params.power_budget_factor > 0.0) {
+    soc.set_max_power(soc.peak_test_power() * params.power_budget_factor);
   }
   return soc;
 }

@@ -17,6 +17,7 @@ void DigitalCore::validate() const {
   require(inputs >= 0 && outputs >= 0 && bidirs >= 0,
           "I/O counts must be non-negative: core " + name);
   require(patterns >= 0, "pattern count must be non-negative: core " + name);
+  require(power >= 0.0, "test power must be non-negative: core " + name);
   for (int len : scan_chain_lengths) {
     require(len > 0, "scan chain lengths must be positive: core " + name);
   }
@@ -48,15 +49,23 @@ int AnalogCore::resolution_bits() const {
   return b;
 }
 
+double AnalogCore::max_power() const {
+  double p = 0.0;
+  for (const AnalogTestSpec& t : tests) p = std::max(p, t.power);
+  return p;
+}
+
 bool AnalogCore::tests_equivalent(const AnalogCore& other) const {
   if (tests.size() != other.tests.size()) return false;
-  using Key = std::tuple<Cycles, int, double, int>;
+  // Power joins the key: under a power budget two cores with identical
+  // timing but different dissipation are NOT interchangeable.
+  using Key = std::tuple<Cycles, int, double, int, double>;
   const auto keys = [](const AnalogCore& c) {
     std::vector<Key> out;
     out.reserve(c.tests.size());
     for (const AnalogTestSpec& t : c.tests) {
       out.emplace_back(t.cycles, t.tam_width, t.f_sample.hz(),
-                       t.resolution_bits);
+                       t.resolution_bits, t.power);
     }
     std::sort(out.begin(), out.end());
     return out;
@@ -77,6 +86,8 @@ void AnalogCore::validate() const {
                                        name + "." + t.name);
     require(t.f_low <= t.f_high, "band edges out of order: " + name + "." +
                                      t.name);
+    require(t.power >= 0.0,
+            "test power must be non-negative: " + name + "." + t.name);
   }
 }
 

@@ -53,6 +53,13 @@ std::uint64_t core_digest(const DigitalCore& core) {
   // wrapper design treats the lengths as a multiset anyway (Best Fit
   // Decreasing sorts internally), so hashing in order costs nothing.
   for (const int length : core.scan_chain_lengths) h.integer(length);
+  // Power joins the digest only when declared: the zero-power (pure
+  // width-constrained) description must keep its pre-power digest so
+  // existing cache stores and golden digests stay valid.
+  if (core.power != 0.0) {
+    h.text("power;");
+    h.real(core.power);
+  }
   return h.value();
 }
 
@@ -66,6 +73,11 @@ std::uint64_t core_digest(const AnalogCore& core) {
     h.integer(static_cast<long long>(test.cycles));
     h.integer(test.tam_width);
     h.integer(test.resolution_bits);
+    // Gated like the digital power: zero-power tests hash as before.
+    if (test.power != 0.0) {
+      h.text("power;");
+      h.real(test.power);
+    }
   }
   return h.value();
 }
@@ -95,6 +107,13 @@ std::uint64_t digest(const Soc& soc) {
   h.text("analog;");
   h.integer(static_cast<long long>(analog.size()));
   for (const std::uint64_t d : analog) h.bytes(&d, sizeof d);
+  // The SOC-level budget changes every feasible schedule, so two SOCs
+  // differing only in MaxPower must not share cache files.  Gated so an
+  // unconstrained SOC keeps its pre-power digest.
+  if (soc.power_constrained()) {
+    h.text("maxpower;");
+    h.real(soc.max_power());
+  }
   return h.value();
 }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "msoc/common/error.hpp"
+#include "msoc/common/format.hpp"
 #include "msoc/common/strings.hpp"
 
 namespace msoc::soc {
@@ -59,6 +60,13 @@ class Parser {
     if (key == "socname") {
       if (tok.size() != 2) fail("SocName takes exactly one value");
       soc.set_name(std::string(tok[1]));
+    } else if (key == "maxpower") {
+      if (tok.size() != 2) fail("MaxPower takes exactly one value");
+      if (have_max_power_) fail("duplicate MaxPower");
+      const double budget = expect_double(tok[1], "MaxPower");
+      if (budget < 0.0) fail("MaxPower must be non-negative");
+      soc.set_max_power(budget);
+      have_max_power_ = true;
     } else if (key == "module") {
       finish_pending(soc);
       if (tok.size() < 2) fail("Module needs an id");
@@ -94,6 +102,12 @@ class Parser {
       if (!digital_) fail("Patterns outside a Module section");
       if (tok.size() != 2) fail("Patterns takes exactly one value");
       digital_->patterns = expect_int(tok[1], "patterns");
+    } else if (key == "power") {
+      if (!digital_ || !in_digital_) fail("Power outside a Module section");
+      if (tok.size() != 2) fail("Power takes exactly one value");
+      const double power = expect_double(tok[1], "Power");
+      if (power < 0.0) fail("Power must be non-negative");
+      digital_->power = power;
     } else if (key == "scanchains") {
       if (!digital_) fail("ScanChains outside a Module section");
       digital_->scan_chain_lengths.clear();
@@ -136,6 +150,9 @@ class Parser {
         t.tam_width = static_cast<int>(expect_int(v, "Width"));
       } else if (k == "resolution") {
         t.resolution_bits = static_cast<int>(expect_int(v, "Resolution"));
+      } else if (k == "power") {
+        t.power = expect_double(v, "Power");
+        if (t.power < 0.0) fail("Power must be non-negative");
       } else {
         fail("unknown test attribute '" + k + "'");
       }
@@ -158,6 +175,7 @@ class Parser {
   std::string source_;
   int line_ = 0;
   bool in_digital_ = false;
+  bool have_max_power_ = false;
   std::optional<DigitalCore> digital_;
   std::optional<AnalogCore> analog_;
 };
@@ -192,6 +210,11 @@ Soc load_soc_file(const std::string& path) {
 void write_soc(std::ostream& out, const Soc& soc) {
   out << "# msoc test-planning SOC description (ITC'02-style)\n";
   out << "SocName " << soc.name() << '\n';
+  // Power fields are emitted only when set: an unconstrained SOC writes
+  // the exact pre-power dialect, so golden files and digests survive.
+  if (soc.power_constrained()) {
+    out << "MaxPower " << round_trip_double(soc.max_power()) << '\n';
+  }
   for (const DigitalCore& c : soc.digital_cores()) {
     out << "\nModule " << c.id << ' ' << c.name << '\n';
     out << "  Inputs " << c.inputs << '\n';
@@ -203,6 +226,9 @@ void write_soc(std::ostream& out, const Soc& soc) {
       out << '\n';
     }
     out << "  Patterns " << c.patterns << '\n';
+    if (c.power != 0.0) {
+      out << "  Power " << round_trip_double(c.power) << '\n';
+    }
   }
   for (const AnalogCore& c : soc.analog_cores()) {
     out << "\nAnalogModule " << c.name;
@@ -212,7 +238,9 @@ void write_soc(std::ostream& out, const Soc& soc) {
       out << "  Test " << t.name << " FLow " << t.f_low.hz() << " FHigh "
           << t.f_high.hz() << " FSample " << t.f_sample.hz() << " Cycles "
           << t.cycles << " Width " << t.tam_width << " Resolution "
-          << t.resolution_bits << '\n';
+          << t.resolution_bits;
+      if (t.power != 0.0) out << " Power " << round_trip_double(t.power);
+      out << '\n';
     }
   }
 }

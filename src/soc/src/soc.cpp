@@ -4,6 +4,18 @@
 
 namespace msoc::soc {
 
+void Soc::set_max_power(double max_power) {
+  require(max_power >= 0.0, "SOC power budget must be non-negative");
+  max_power_ = max_power;
+}
+
+double Soc::peak_test_power() const {
+  double peak = 0.0;
+  for (const DigitalCore& c : digital_) peak = std::max(peak, c.power);
+  for (const AnalogCore& c : analog_) peak = std::max(peak, c.max_power());
+  return peak;
+}
+
 std::size_t Soc::add_digital(DigitalCore core) {
   core.validate();
   digital_.push_back(std::move(core));

@@ -11,7 +11,10 @@
 //
 // The packer is a deterministic greedy: items are placed in descending
 // area order; each item picks the (width, start) pair minimizing its
-// completion time over the current wire-usage profile.
+// completion time over the current wire-usage profile — and, when the
+// SOC (or PackingOptions) declares a power budget, over the companion
+// instantaneous-power profile: no placement may push the power sum of
+// everything running past the budget.
 
 #include <string>
 #include <vector>
@@ -60,6 +63,14 @@ struct ParetoTables {
                                                  int max_width);
 
 struct PackingOptions {
+  /// Instantaneous power budget for the schedule:
+  ///   < 0 (default) — inherit the SOC's declared Soc::max_power;
+  ///     0           — unconstrained, even if the SOC declares a budget;
+  ///   > 0           — explicit budget in the SOC's power units.
+  /// Under a finite budget the packer admits a placement only when the
+  /// power sum of everything running stays within it (PowerProfile),
+  /// exactly as wire usage must stay within tam_width.
+  double max_power = -1.0;
   /// Assign concrete wire ids by interval coloring (costs a sort).
   bool assign_wires = true;
   /// Race all placement orders and keep the shortest schedule (default).
@@ -103,8 +114,16 @@ struct PackingOptions {
   const ParetoTables* pareto_hint = nullptr;
 };
 
+/// The power budget a pack over `soc` with `options` actually enforces
+/// (resolving the options' inherit-from-SOC default); 0 = unlimited.
+[[nodiscard]] double effective_max_power(const soc::Soc& soc,
+                                         const PackingOptions& options);
+
 /// Schedules all tests of `soc` on a `tam_width`-wire TAM.
-/// `partition` groups the analog cores into shared wrappers.
+/// `partition` groups the analog cores into shared wrappers.  Throws
+/// InfeasibleError when an analog wrapper needs more wires than
+/// `tam_width`, or when any single test dissipates more than the
+/// effective power budget (no schedule could ever admit it).
 [[nodiscard]] Schedule schedule_soc(const soc::Soc& soc, int tam_width,
                                     const AnalogPartition& partition,
                                     const PackingOptions& options = {});

@@ -1,0 +1,91 @@
+#pragma once
+// Instantaneous-power profile over time for the rectangle packer: the
+// PowerProfile companion to UsageProfile.  Wires are a discrete pool;
+// power is a continuous budget — the packer must satisfy both, so this
+// class mirrors UsageProfile's piecewise-constant delta-map design and
+// its retry-time contract (on failure, report the earliest later time
+// worth probing) but carries double loads and a double capacity.
+//
+// Exposed in a header for the same reason UsageProfile is: the retry
+// logic is where placement bugs hide, and hand-built profiles make it
+// unit-testable without running the whole packer.
+
+#include <map>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/units.hpp"
+
+namespace msoc::tam {
+
+class PowerProfile {
+ public:
+  /// `budget` is the SOC's peak instantaneous power (> 0; an
+  /// unconstrained schedule simply never builds a PowerProfile).
+  explicit PowerProfile(double budget)
+      : budget_(budget),
+        // Accumulating +/- deltas in floating point leaves residue on
+        // the order of 1 ulp per event; the slack absorbs it so a
+        // fully-drained profile never spuriously rejects a test whose
+        // power exactly equals the budget.
+        slack_(1e-9 * (budget < 1.0 ? 1.0 : budget)) {
+    check_invariant(budget > 0.0, "power budget must be positive");
+  }
+
+  /// True when instantaneous power stays within budget for a `power`
+  /// load over [start, start+duration).  On failure *retry_at is the
+  /// next event where enough budget frees up.
+  [[nodiscard]] bool window_free(Cycles start, double power, Cycles duration,
+                                 Cycles* retry_at) const {
+    double usage = 0.0;
+    auto it = delta_.begin();
+    for (; it != delta_.end() && it->first <= start; ++it) {
+      usage += it->second;
+    }
+    if (!fits(usage, power)) {
+      *retry_at = next_drop(it, usage, power);
+      return false;
+    }
+    for (; it != delta_.end() && it->first < start + duration; ++it) {
+      usage += it->second;
+      if (!fits(usage, power)) {
+        auto jt = std::next(it);
+        *retry_at = next_drop(jt, usage, power, it->first);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void reserve(Cycles start, Cycles duration, double power) {
+    delta_[start] += power;
+    delta_[start + duration] -= power;
+  }
+
+  [[nodiscard]] double budget() const noexcept { return budget_; }
+
+ private:
+  [[nodiscard]] bool fits(double usage, double power) const {
+    return usage + power <= budget_ + slack_;
+  }
+
+  /// First event at/after `it` where usage drops enough for `power`.
+  Cycles next_drop(std::map<Cycles, double>::const_iterator it, double usage,
+                   double power, Cycles fallback = 0) const {
+    Cycles last = fallback;
+    for (; it != delta_.end(); ++it) {
+      usage += it->second;
+      last = it->first;
+      if (fits(usage, power)) return it->first;
+    }
+    // The profile drains to ~0 past its last event, so a pre-checked
+    // load (power <= budget) always fits eventually.
+    check_invariant(false, "power usage never drops below the budget");
+    return last;
+  }
+
+  double budget_;
+  double slack_;
+  std::map<Cycles, double> delta_;
+};
+
+}  // namespace msoc::tam

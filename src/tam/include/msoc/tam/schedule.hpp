@@ -1,12 +1,14 @@
 #pragma once
 // Test schedules on a flexible-width TAM.
 //
-// A schedule assigns every core test a start time, a duration and a TAM
-// wire allocation.  The flexible-width architecture treats the W wires as
-// a pool: a test needs `width` wires for its whole duration; validation
-// checks the instantaneous usage never exceeds W and that tests of cores
-// sharing one analog wrapper never overlap (the paper's serialization
-// constraint).
+// A schedule assigns every core test a start time, a duration, a TAM
+// wire allocation and a power load.  The flexible-width architecture
+// treats the W wires as a pool: a test needs `width` wires for its whole
+// duration; validation checks the instantaneous usage never exceeds W,
+// that tests of cores sharing one analog wrapper never overlap (the
+// paper's serialization constraint), and — when the schedule carries a
+// power budget — that the instantaneous power sum of the running tests
+// never exceeds it.
 
 #include <string>
 #include <vector>
@@ -26,6 +28,7 @@ struct ScheduledTest {
   Cycles start = 0;
   Cycles duration = 0;
   int width = 0;
+  double power = 0.0;      ///< Dissipation while this test runs.
   std::vector<int> wires;  ///< Assigned wire ids (size == width).
 
   [[nodiscard]] Cycles end() const { return start + duration; }
@@ -33,10 +36,14 @@ struct ScheduledTest {
 
 struct Schedule {
   int tam_width = 0;
+  double max_power = 0.0;  ///< Budget this schedule honors; 0 = unlimited.
   std::vector<ScheduledTest> tests;
 
   /// Completion time of the last test.
   [[nodiscard]] Cycles makespan() const;
+
+  /// Highest instantaneous power sum over the timeline.
+  [[nodiscard]] double peak_power() const;
 
   /// Idle wire-cycles: W * makespan - used wire-cycles.
   [[nodiscard]] Cycles idle_area() const;
@@ -50,8 +57,18 @@ struct ScheduleViolation {
   std::string message;
 };
 
-/// Checks capacity, wire-assignment consistency and analog wrapper
-/// serialization.  Returns all violations (empty == valid).
+/// Re-walks a schedule against the three scheduling invariants every
+/// producer must honor: instantaneous TAM usage <= tam_width, tests of
+/// one analog wrapper never overlap, and (when max_power > 0)
+/// instantaneous power <= max_power.  Returns all violations (empty ==
+/// valid).  This is the reusable validity oracle the property suites
+/// run over every schedule they see; schedule_soc runs it on its own
+/// output whenever a power budget is active.
+[[nodiscard]] std::vector<ScheduleViolation> check_schedule(
+    const Schedule& schedule);
+
+/// check_schedule plus per-test structural checks and wire-assignment
+/// consistency.  Returns all violations (empty == valid).
 [[nodiscard]] std::vector<ScheduleViolation> validate_schedule(
     const Schedule& schedule);
 

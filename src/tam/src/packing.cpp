@@ -4,11 +4,13 @@
 #include <array>
 #include <limits>
 #include <map>
+#include <optional>
 #include <queue>
 #include <set>
 #include <utility>
 
 #include "msoc/common/error.hpp"
+#include "msoc/tam/power_profile.hpp"
 #include "msoc/tam/usage_profile.hpp"
 #include "msoc/wrapper/wrapper_design.hpp"
 
@@ -22,6 +24,7 @@ struct DigitalItem {
   const soc::DigitalCore* core = nullptr;
   std::vector<wrapper::ParetoPoint> pareto;  ///< widths <= W, ascending.
   Cycles area = 0;  ///< width*time at the widest feasible point.
+  double power = 0.0;
 };
 
 /// One rigid analog rectangle: a whole core's test suite (per-core
@@ -32,6 +35,7 @@ struct AnalogRect {
   std::string test_name;  ///< Empty at per-core granularity.
   int width = 0;
   Cycles duration = 0;
+  double power = 0.0;  ///< Core peak at per-core granularity.
 };
 
 struct AnalogGroupItem {
@@ -51,11 +55,33 @@ struct Placement {
 /// Secondary placement criterion when the makespan increase ties.
 enum class WidthPreference { kNarrow, kWide };
 
+/// Earliest start from `not_before` satisfying wires, blocked intervals
+/// AND the power budget (when one is active).  Alternates the two
+/// profiles' retry times to a fixpoint: each probe strictly advances,
+/// and past the horizon both profiles are empty, so a pre-checked load
+/// (power <= budget, width <= capacity) always terminates.
+Cycles earliest_feasible(const UsageProfile& profile,
+                         const PowerProfile* power_profile, int width,
+                         double power, Cycles duration,
+                         const std::vector<Interval>& blocked) {
+  Cycles candidate = profile.earliest_start(width, duration, 0, blocked);
+  if (power_profile == nullptr) return candidate;
+  while (true) {
+    Cycles retry = 0;
+    if (power_profile->window_free(candidate, power, duration, &retry)) {
+      return candidate;
+    }
+    check_invariant(retry > candidate, "power packer failed to advance");
+    candidate = profile.earliest_start(width, duration, retry, blocked);
+  }
+}
+
 /// Picks the (start, width) pair minimizing (makespan increase, wire
 /// area, start); `widths` pairs each width with its duration.  For a
 /// fixed width the earliest feasible start is optimal under this cost,
 /// so only one candidate start per width needs to be examined.
 Placement choose_placement(const UsageProfile& profile,
+                           const PowerProfile* power_profile, double power,
                            const std::vector<std::pair<int, Cycles>>& widths,
                            const std::vector<Interval>& blocked,
                            Cycles current_makespan,
@@ -65,7 +91,8 @@ Placement choose_placement(const UsageProfile& profile,
 
   for (const auto& [width, duration] : widths) {
     {
-      const Cycles s = profile.earliest_start(width, duration, 0, blocked);
+      const Cycles s = earliest_feasible(profile, power_profile, width,
+                                         power, duration, blocked);
       const Cycles makespan =
           std::max(current_makespan, s + duration);
       const Cycles area = static_cast<Cycles>(width) * duration;
@@ -205,13 +232,18 @@ void improve_schedule(Schedule& schedule,
     std::set<std::size_t> removed(order.begin(),
                                   order.begin() + static_cast<long>(k));
 
-    // Profile of the surviving tests.
+    // Profiles of the surviving tests (power only when budgeted).
     UsageProfile profile(schedule.tam_width);
+    std::optional<PowerProfile> power_profile;
+    if (schedule.max_power > 0.0) power_profile.emplace(schedule.max_power);
     Cycles rest_makespan = 0;
     for (std::size_t i = 0; i < schedule.tests.size(); ++i) {
       if (removed.count(i)) continue;
       const ScheduledTest& t = schedule.tests[i];
       profile.reserve(t.start, t.duration, t.width);
+      if (power_profile.has_value()) {
+        power_profile->reserve(t.start, t.duration, t.power);
+      }
       rest_makespan = std::max(rest_makespan, t.end());
     }
 
@@ -257,9 +289,13 @@ void improve_schedule(Schedule& schedule,
           }
         }
       }
-      const Placement p =
-        choose_placement(profile, widths, group_busy, new_makespan);
+      const Placement p = choose_placement(
+          profile, power_profile.has_value() ? &*power_profile : nullptr,
+          victim.power, widths, group_busy, new_makespan);
       profile.reserve(p.start, p.duration, p.width);
+      if (power_profile.has_value()) {
+        power_profile->reserve(p.start, p.duration, victim.power);
+      }
       new_makespan = std::max(new_makespan, p.start + p.duration);
       ScheduledTest t = victim;
       t.start = p.start;
@@ -313,10 +349,16 @@ Cycles packing_target(const std::vector<DigitalItem>& digital,
 
 Schedule pack_once(const std::vector<DigitalItem>& digital,
                    const std::vector<AnalogGroupItem>& groups, int tam_width,
-                   PlacementOrder order, WidthPreference pref) {
+                   double max_power, PlacementOrder order,
+                   WidthPreference pref) {
   UsageProfile profile(tam_width);
+  std::optional<PowerProfile> power_profile;
+  if (max_power > 0.0) power_profile.emplace(max_power);
+  const PowerProfile* power_ptr =
+      power_profile.has_value() ? &*power_profile : nullptr;
   Schedule schedule;
   schedule.tam_width = tam_width;
+  schedule.max_power = max_power;
   const Cycles target = packing_target(digital, groups, tam_width);
   Cycles makespan = target;
 
@@ -328,9 +370,12 @@ Schedule pack_once(const std::vector<DigitalItem>& digital,
       for (const wrapper::ParetoPoint& p : item.pareto) {
         widths.emplace_back(p.width, p.time);
       }
-      const Placement p =
-          choose_placement(profile, widths, {}, makespan, pref);
+      const Placement p = choose_placement(profile, power_ptr, item.power,
+                                           widths, {}, makespan, pref);
       profile.reserve(p.start, p.duration, p.width);
+      if (power_profile.has_value()) {
+        power_profile->reserve(p.start, p.duration, item.power);
+      }
       makespan = std::max(makespan, p.start + p.duration);
       ScheduledTest t;
       t.kind = TestKind::kDigital;
@@ -338,6 +383,7 @@ Schedule pack_once(const std::vector<DigitalItem>& digital,
       t.start = p.start;
       t.duration = p.duration;
       t.width = p.width;
+      t.power = item.power;
       schedule.tests.push_back(std::move(t));
     } else {
       const AnalogGroupItem& item = groups[ref.index];
@@ -346,9 +392,14 @@ Schedule pack_once(const std::vector<DigitalItem>& digital,
       // letting digital tests and other wrappers use the gaps.
       std::vector<Interval> busy;
       for (const AnalogRect& rect : item.rects) {
-        const Placement p = choose_placement(
-            profile, {{rect.width, rect.duration}}, busy, makespan, pref);
+        const Placement p =
+            choose_placement(profile, power_ptr, rect.power,
+                             {{rect.width, rect.duration}}, busy, makespan,
+                             pref);
         profile.reserve(p.start, p.duration, p.width);
+        if (power_profile.has_value()) {
+          power_profile->reserve(p.start, p.duration, rect.power);
+        }
         makespan = std::max(makespan, p.start + p.duration);
         busy.emplace_back(p.start, p.start + p.duration);
         ScheduledTest t;
@@ -359,6 +410,7 @@ Schedule pack_once(const std::vector<DigitalItem>& digital,
         t.start = p.start;
         t.duration = rect.duration;
         t.width = rect.width;
+        t.power = rect.power;
         schedule.tests.push_back(std::move(t));
       }
     }
@@ -379,7 +431,7 @@ bool rect_before(const AnalogRect& a, const AnalogRect& b) {
 /// iterative repair) and keeps the shortest schedule.
 Schedule pack_best(const std::vector<DigitalItem>& digital,
                    const std::vector<AnalogGroupItem>& groups, int tam_width,
-                   const PackingOptions& options) {
+                   double max_power, const PackingOptions& options) {
   std::vector<PlacementOrder> orders;
   if (options.race_orders) {
     orders = {PlacementOrder::kAreaDescending, PlacementOrder::kDigitalFirst,
@@ -393,7 +445,8 @@ Schedule pack_best(const std::vector<DigitalItem>& digital,
   for (PlacementOrder order : orders) {
     for (WidthPreference pref :
          {WidthPreference::kNarrow, WidthPreference::kWide}) {
-      Schedule candidate = pack_once(digital, groups, tam_width, order, pref);
+      Schedule candidate =
+          pack_once(digital, groups, tam_width, max_power, order, pref);
       if (options.improvement_rounds > 0) {
         improve_schedule(candidate, digital, options.improvement_rounds);
       }
@@ -443,6 +496,12 @@ ParetoTables compute_pareto_tables(const soc::Soc& soc, int max_width) {
   return tables;
 }
 
+double effective_max_power(const soc::Soc& soc,
+                           const PackingOptions& options) {
+  if (options.max_power < 0.0) return soc.max_power();
+  return options.max_power;
+}
+
 AnalogPartition singleton_partition(const soc::Soc& soc) {
   AnalogPartition p;
   for (const soc::AnalogCore& c : soc.analog_cores()) {
@@ -465,6 +524,11 @@ Schedule schedule_soc(const soc::Soc& soc, int tam_width,
                       const AnalogPartition& partition,
                       const PackingOptions& options) {
   require(tam_width >= 1, "TAM width must be >= 1");
+  const double max_power = effective_max_power(soc, options);
+  // A single test hotter than the whole budget can never be admitted —
+  // reject up front so the placement fixpoint always terminates.
+  require(max_power <= 0.0 || soc.peak_test_power() <= max_power,
+          "test power exceeds the SOC power budget");
 
   // --- Validate the partition covers each analog core exactly once. ---
   std::set<std::string> seen;
@@ -500,6 +564,7 @@ Schedule schedule_soc(const soc::Soc& soc, int tam_width,
     }
     const wrapper::ParetoPoint& widest = item.pareto.back();
     item.area = static_cast<Cycles>(widest.width) * widest.time;
+    item.power = core.power;
     digital.push_back(std::move(item));
   }
 
@@ -512,13 +577,16 @@ Schedule schedule_soc(const soc::Soc& soc, int tam_width,
       const soc::AnalogCore& core = soc.analog_by_name(name);
       if (options.analog_per_test) {
         for (const soc::AnalogTestSpec& test : core.tests) {
-          item.rects.push_back(
-              AnalogRect{&core, test.name, test.tam_width, test.cycles});
+          item.rects.push_back(AnalogRect{&core, test.name, test.tam_width,
+                                          test.cycles, test.power});
           item.total_cycles += test.cycles;
         }
       } else {
-        item.rects.push_back(
-            AnalogRect{&core, "", core.tam_width(), core.total_cycles()});
+        // A whole-core rectangle runs its tests back to back, so it
+        // must be admitted at the core's peak dissipation.
+        item.rects.push_back(AnalogRect{&core, "", core.tam_width(),
+                                        core.total_cycles(),
+                                        core.max_power()});
         item.total_cycles += core.total_cycles();
       }
       item.width = std::max(item.width, core.tam_width());
@@ -530,7 +598,7 @@ Schedule schedule_soc(const soc::Soc& soc, int tam_width,
   }
 
   // --- Pack (racing placement orders unless disabled). ---
-  Schedule best = pack_best(digital, groups, tam_width, options);
+  Schedule best = pack_best(digital, groups, tam_width, max_power, options);
 
   // --- Monotonicity guard. ---
   // The greedy packer is anomalous: relaxing serialization constraints
@@ -546,6 +614,7 @@ Schedule schedule_soc(const soc::Soc& soc, int tam_width,
       std::size_t rect_count = 0;
       for (const AnalogGroupItem& g : groups) rect_count += g.rects.size();
       require(options.serialized_hint->tam_width == tam_width &&
+                  options.serialized_hint->max_power == max_power &&
                   options.serialized_hint->tests.size() ==
                       digital.size() + rect_count,
               "serialized_hint does not match this SOC/width");
@@ -559,7 +628,8 @@ Schedule schedule_soc(const soc::Soc& soc, int tam_width,
         merged.width = std::max(merged.width, g.width);
       }
       std::sort(merged.rects.begin(), merged.rects.end(), rect_before);
-      serialized = pack_best(digital, {std::move(merged)}, tam_width, options);
+      serialized = pack_best(digital, {std::move(merged)}, tam_width,
+                             max_power, options);
     }
     if (serialized.makespan() < best.makespan()) {
       // All analog tests in the serialized schedule are pairwise disjoint
@@ -579,6 +649,18 @@ Schedule schedule_soc(const soc::Soc& soc, int tam_width,
   }
 
   if (options.assign_wires) assign_wires(best);
+  // Under a power budget the packer polices itself on every output:
+  // check_schedule re-walks capacity, power and serialization, and any
+  // violation is a packer bug, not a caller error.
+  if (max_power > 0.0) {
+    const std::vector<ScheduleViolation> violations = check_schedule(best);
+    check_invariant(violations.empty(),
+                    violations.empty()
+                        ? std::string("unreachable")
+                        : "power-constrained pack violated its own "
+                          "invariants: " +
+                              violations.front().message);
+  }
   return best;
 }
 

@@ -31,6 +31,94 @@ double Schedule::utilization() const {
   return 1.0 - static_cast<double>(idle_area()) / static_cast<double>(total);
 }
 
+double Schedule::peak_power() const {
+  std::map<Cycles, double> delta;
+  for (const ScheduledTest& t : tests) {
+    delta[t.start] += t.power;
+    delta[t.end()] -= t.power;
+  }
+  double usage = 0.0;
+  double peak = 0.0;
+  for (const auto& [time, d] : delta) {
+    usage += d;
+    peak = std::max(peak, usage);
+  }
+  return peak;
+}
+
+std::vector<ScheduleViolation> check_schedule(const Schedule& schedule) {
+  std::vector<ScheduleViolation> violations;
+  const auto add = [&violations](std::string message) {
+    violations.push_back(ScheduleViolation{std::move(message)});
+  };
+
+  // Capacity: sweep start/end events.
+  std::map<Cycles, long long> delta;
+  for (const ScheduledTest& t : schedule.tests) {
+    delta[t.start] += t.width;
+    delta[t.end()] -= t.width;
+  }
+  long long usage = 0;
+  for (const auto& [time, d] : delta) {
+    usage += d;
+    if (usage > schedule.tam_width) {
+      std::ostringstream os;
+      os << "TAM over-subscribed at cycle " << time << ": " << usage << " > "
+         << schedule.tam_width;
+      add(os.str());
+      break;
+    }
+  }
+
+  // Instantaneous power against the schedule's budget.  The tolerance
+  // matches PowerProfile's: floating-point event accumulation leaves
+  // ulp-sized residue that must not read as a violation.
+  if (schedule.max_power > 0.0) {
+    const double slack =
+        1e-9 * (schedule.max_power < 1.0 ? 1.0 : schedule.max_power);
+    std::map<Cycles, double> power_delta;
+    for (const ScheduledTest& t : schedule.tests) {
+      power_delta[t.start] += t.power;
+      power_delta[t.end()] -= t.power;
+    }
+    double load = 0.0;
+    for (const auto& [time, d] : power_delta) {
+      load += d;
+      if (load > schedule.max_power + slack) {
+        std::ostringstream os;
+        os << "power budget exceeded at cycle " << time << ": " << load
+           << " > " << schedule.max_power;
+        add(os.str());
+        break;
+      }
+    }
+  }
+
+  // Analog wrapper serialization: tests in the same wrapper group must
+  // not overlap in time.
+  std::map<int, std::vector<const ScheduledTest*>> by_group;
+  for (const ScheduledTest& t : schedule.tests) {
+    if (t.kind == TestKind::kAnalog && t.wrapper_group >= 0) {
+      by_group[t.wrapper_group].push_back(&t);
+    }
+  }
+  for (auto& [group, members] : by_group) {
+    std::sort(members.begin(), members.end(),
+              [](const ScheduledTest* a, const ScheduledTest* b) {
+                return a->start < b->start;
+              });
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      if (members[i]->start < members[i - 1]->end()) {
+        std::ostringstream os;
+        os << "analog wrapper " << group << " used concurrently by "
+           << members[i - 1]->core_name << " and " << members[i]->core_name;
+        add(os.str());
+      }
+    }
+  }
+  return violations;
+}
+
 std::vector<ScheduleViolation> validate_schedule(const Schedule& schedule) {
   std::vector<ScheduleViolation> violations;
   const auto add = [&violations](std::string message) {
@@ -62,24 +150,6 @@ std::vector<ScheduleViolation> validate_schedule(const Schedule& schedule) {
     }
   }
 
-  // Capacity: sweep start/end events.
-  std::map<Cycles, long long> delta;
-  for (const ScheduledTest& t : schedule.tests) {
-    delta[t.start] += t.width;
-    delta[t.end()] -= t.width;
-  }
-  long long usage = 0;
-  for (const auto& [time, d] : delta) {
-    usage += d;
-    if (usage > schedule.tam_width) {
-      std::ostringstream os;
-      os << "TAM over-subscribed at cycle " << time << ": " << usage << " > "
-         << schedule.tam_width;
-      add(os.str());
-      break;
-    }
-  }
-
   // Per-wire exclusivity (when wire assignments are present).
   std::map<int, std::vector<const ScheduledTest*>> by_wire;
   for (const ScheduledTest& t : schedule.tests) {
@@ -100,27 +170,9 @@ std::vector<ScheduleViolation> validate_schedule(const Schedule& schedule) {
     }
   }
 
-  // Analog wrapper serialization: tests in the same wrapper group must
-  // not overlap in time.
-  std::map<int, std::vector<const ScheduledTest*>> by_group;
-  for (const ScheduledTest& t : schedule.tests) {
-    if (t.kind == TestKind::kAnalog && t.wrapper_group >= 0) {
-      by_group[t.wrapper_group].push_back(&t);
-    }
-  }
-  for (auto& [group, members] : by_group) {
-    std::sort(members.begin(), members.end(),
-              [](const ScheduledTest* a, const ScheduledTest* b) {
-                return a->start < b->start;
-              });
-    for (std::size_t i = 1; i < members.size(); ++i) {
-      if (members[i]->start < members[i - 1]->end()) {
-        std::ostringstream os;
-        os << "analog wrapper " << group << " used concurrently by "
-           << members[i - 1]->core_name << " and " << members[i]->core_name;
-        add(os.str());
-      }
-    }
+  // Capacity, power and serialization: the shared re-walk.
+  for (ScheduleViolation& v : check_schedule(schedule)) {
+    violations.push_back(std::move(v));
   }
   return violations;
 }

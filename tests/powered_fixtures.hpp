@@ -1,0 +1,36 @@
+#pragma once
+// Shared power-annotated benchmark fixtures for the test suites.  One
+// definition keeps the annotation scheme (which budgets bind, which
+// partitions win) identical across suites — drifting copies would
+// silently test different fixtures.
+
+#include "msoc/soc/benchmarks.hpp"
+#include "msoc/soc/soc.hpp"
+
+namespace msoc::soc {
+
+/// d695m with deterministic powers (digital ramp 20, 35, 50, ...;
+/// analog tests 30, 50, 70, ... per core) and a declared budget of
+/// `factor` times the peak single-test power.
+inline Soc powered_d695m(double factor) {
+  Soc plain = make_d695m();
+  Soc out(plain.name());
+  double p = 20.0;
+  for (DigitalCore core : plain.digital_cores()) {
+    core.power = p;
+    p += 15.0;
+    out.add_digital(std::move(core));
+  }
+  for (AnalogCore core : plain.analog_cores()) {
+    double tp = 30.0;
+    for (AnalogTestSpec& test : core.tests) {
+      test.power = tp;
+      tp += 20.0;
+    }
+    out.add_analog(std::move(core));
+  }
+  out.set_max_power(out.peak_test_power() * factor);
+  return out;
+}
+
+}  // namespace msoc::soc

@@ -149,5 +149,48 @@ TEST(Synthetic, AllCoresValid) {
   }
 }
 
+TEST(Synthetic, PowerGenerationIsGatedAndStreamPreserving) {
+  SyntheticSocParams params;
+  params.digital_cores = 6;
+  params.analog_cores = 2;
+  params.seed = 42;
+  const Soc plain = make_synthetic_soc(params);
+  EXPECT_DOUBLE_EQ(plain.peak_test_power(), 0.0);
+  EXPECT_DOUBLE_EQ(plain.max_power(), 0.0);
+
+  params.min_test_power = 10.0;
+  params.max_test_power = 100.0;
+  params.power_budget_factor = 2.0;
+  const Soc powered = make_synthetic_soc(params);
+  // The first core is drawn before any power value, so its timing
+  // content must match the plain variant exactly.  (Later cores see a
+  // shifted stream — that is why consumers needing an unconstrained
+  // twin strip powers instead of regenerating without them.)
+  EXPECT_EQ(powered.digital_cores()[0].scan_chain_lengths,
+            plain.digital_cores()[0].scan_chain_lengths);
+  EXPECT_EQ(powered.digital_cores()[0].patterns,
+            plain.digital_cores()[0].patterns);
+  EXPECT_GT(powered.peak_test_power(), 0.0);
+  EXPECT_LE(powered.peak_test_power(), 100.0);
+  EXPECT_DOUBLE_EQ(powered.max_power(), powered.peak_test_power() * 2.0);
+  for (const DigitalCore& core : powered.digital_cores()) {
+    EXPECT_GE(core.power, 10.0);
+    EXPECT_LE(core.power, 100.0);
+  }
+}
+
+TEST(Synthetic, BadPowerRangesRejected) {
+  SyntheticSocParams params;
+  params.min_test_power = 5.0;
+  params.max_test_power = 1.0;
+  EXPECT_THROW(make_synthetic_soc(params), InfeasibleError);
+  params.min_test_power = -1.0;
+  params.max_test_power = 0.0;
+  EXPECT_THROW(make_synthetic_soc(params), InfeasibleError);
+  params.min_test_power = 0.0;
+  params.power_budget_factor = -2.0;
+  EXPECT_THROW(make_synthetic_soc(params), InfeasibleError);
+}
+
 }  // namespace
 }  // namespace msoc::soc

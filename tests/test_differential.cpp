@@ -1,0 +1,193 @@
+// Randomized differential-testing harness.
+//
+// Drives make_synthetic_soc over a seed ladder and cross-checks the
+// three optimizer entry points against each other on every SOC, with
+// and without a power budget:
+//
+//   * optimize_exhaustive is the ground truth: the heuristic may never
+//     beat it (it can only tie or lose);
+//   * FrontierEngine per-width results must be bit-identical to the
+//     standalone optimizers — same winner, same test time, same total,
+//     same T_max — in both heuristic and exhaustive modes;
+//   * every schedule the winners imply must survive tam::check_schedule
+//     (TAM capacity, wrapper serialization, instantaneous power).
+//
+// The power variant generates per-test powers and a budget at a seeded
+// multiple of the peak single-test power, so the constraint genuinely
+// binds on some SOCs and is slack on others — both regimes are
+// exercised across the ladder.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "msoc/plan/frontier.hpp"
+#include "msoc/plan/optimizer.hpp"
+#include "msoc/soc/benchmarks.hpp"
+#include "msoc/tam/schedule.hpp"
+
+namespace msoc::plan {
+namespace {
+
+constexpr std::uint64_t kSeeds = 50;
+
+soc::Soc synthetic(std::uint64_t seed, bool with_power) {
+  soc::SyntheticSocParams params;
+  params.seed = seed;
+  params.digital_cores = 4 + static_cast<int>(seed % 3);
+  params.analog_cores = 3 + static_cast<int>(seed % 2);
+  params.max_scan_chains = 8;
+  params.max_chain_length = 200;
+  params.max_patterns = 120;
+  if (with_power) {
+    params.min_test_power = 10.0;
+    params.max_test_power = 100.0;
+    // 1.5x .. 3x the peak single-test power: tight enough to bind on
+    // some seeds, always feasible.
+    params.power_budget_factor = 1.5 + static_cast<double>(seed % 4) * 0.5;
+  }
+  return soc::make_synthetic_soc(params);
+}
+
+/// The TAM width for one seed; always >= the widest Table-2 analog
+/// wrapper (10 wires), so every generated SOC is feasible.
+int width_for(std::uint64_t seed) {
+  return 16 + static_cast<int>(seed % 3) * 8;
+}
+
+PlanningProblem problem_for(const soc::Soc& soc, int width) {
+  PlanningProblem problem;
+  problem.soc = &soc;
+  problem.tam_width = width;
+  return problem;
+}
+
+void expect_same_cost(const CombinationCost& frontier,
+                      const CombinationCost& standalone,
+                      const std::string& what) {
+  EXPECT_EQ(frontier.label, standalone.label) << what;
+  EXPECT_EQ(frontier.test_time, standalone.test_time) << what;
+  EXPECT_EQ(frontier.total, standalone.total) << what;
+  EXPECT_EQ(frontier.c_time, standalone.c_time) << what;
+  EXPECT_EQ(frontier.c_area, standalone.c_area) << what;
+}
+
+void expect_valid_schedule(CostModel& model, const CombinationCost& best,
+                           const std::string& what) {
+  const tam::Schedule schedule = model.schedule_for(best.partition);
+  const std::vector<tam::ScheduleViolation> violations =
+      tam::check_schedule(schedule);
+  EXPECT_TRUE(violations.empty())
+      << what << ": " << (violations.empty() ? "" : violations[0].message);
+  EXPECT_EQ(schedule.makespan(), best.test_time) << what;
+}
+
+void run_differential(std::uint64_t seed, bool with_power) {
+  const soc::Soc soc = synthetic(seed, with_power);
+  const int width = width_for(seed);
+  const std::string what =
+      soc.name() + (with_power ? "+power" : "") + " @W" + std::to_string(width);
+
+  // --- Standalone optimizers. ---
+  CostModel exhaustive_model(problem_for(soc, width));
+  const OptimizationResult exhaustive =
+      optimize_exhaustive(exhaustive_model);
+  CostModel heuristic_model(problem_for(soc, width));
+  const HeuristicResult heuristic =
+      optimize_cost_heuristic(heuristic_model);
+
+  // The exhaustive optimum is the floor: the Fig. 3 heuristic may tie
+  // it (and usually does) but can never beat it.
+  EXPECT_GE(heuristic.best.total, exhaustive.best.total) << what;
+  EXPECT_LE(heuristic.evaluations, exhaustive.evaluations) << what;
+  EXPECT_EQ(exhaustive.evaluations, exhaustive.total_combinations - 1)
+      << what << " (all-share baseline is free)";
+
+  // Winning schedules re-walk cleanly, power budget included.
+  expect_valid_schedule(exhaustive_model, exhaustive.best,
+                        what + " exhaustive");
+  expect_valid_schedule(heuristic_model, heuristic.best, what + " heuristic");
+  if (with_power) {
+    EXPECT_GT(soc.max_power(), 0.0) << what;
+    const tam::Schedule schedule =
+        heuristic_model.schedule_for(heuristic.best.partition);
+    EXPECT_EQ(schedule.max_power, soc.max_power()) << what;
+    EXPECT_LE(schedule.peak_power(),
+              soc.max_power() * (1.0 + 1e-9) + 1e-9)
+        << what;
+  }
+
+  // --- Frontier bit-identity, heuristic mode. ---
+  FrontierOptions options;
+  options.widths = {width};
+  FrontierEngine engine(soc, options);
+  const FrontierResult frontier = engine.run();
+  ASSERT_EQ(frontier.points.size(), 1u) << what;
+  ASSERT_TRUE(frontier.points[0].ok()) << what << ": "
+                                       << frontier.points[0].error;
+  expect_same_cost(frontier.points[0].best, heuristic.best,
+                   what + " frontier/heuristic");
+  EXPECT_EQ(frontier.points[0].t_max, heuristic_model.t_max()) << what;
+  EXPECT_EQ(frontier.points[0].max_power, soc.max_power()) << what;
+
+  // --- Frontier bit-identity, exhaustive mode. ---
+  FrontierOptions exhaustive_options;
+  exhaustive_options.widths = {width};
+  exhaustive_options.exhaustive = true;
+  FrontierEngine exhaustive_engine(soc, exhaustive_options);
+  const FrontierResult exhaustive_frontier = exhaustive_engine.run();
+  ASSERT_EQ(exhaustive_frontier.points.size(), 1u) << what;
+  ASSERT_TRUE(exhaustive_frontier.points[0].ok()) << what;
+  expect_same_cost(exhaustive_frontier.points[0].best, exhaustive.best,
+                   what + " frontier/exhaustive");
+}
+
+TEST(Differential, HeuristicNeverBeatsExhaustiveAcrossSeedLadder) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    run_differential(seed, /*with_power=*/false);
+  }
+}
+
+TEST(Differential, PowerConstrainedLadderHoldsTheSameContracts) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    run_differential(seed, /*with_power=*/true);
+  }
+}
+
+/// The same SOC with every power annotation removed: the only valid
+/// unconstrained twin (regenerating without power would shift the RNG
+/// stream and change the timing content too).
+soc::Soc strip_power(const soc::Soc& soc) {
+  soc::Soc stripped(soc.name());
+  for (soc::DigitalCore core : soc.digital_cores()) {
+    core.power = 0.0;
+    stripped.add_digital(std::move(core));
+  }
+  for (soc::AnalogCore core : soc.analog_cores()) {
+    for (soc::AnalogTestSpec& test : core.tests) test.power = 0.0;
+    stripped.add_analog(std::move(core));
+  }
+  return stripped;
+}
+
+// The power budget must genuinely bind somewhere on the ladder —
+// otherwise the constrained half of the suite silently tests nothing.
+TEST(Differential, PowerBudgetBindsOnAtLeastOneSeed) {
+  int binding = 0;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const soc::Soc constrained = synthetic(seed, true);
+    const soc::Soc unconstrained = strip_power(constrained);
+    const int width = width_for(seed);
+    // Identical timing content, powers stripped: compare the all-share
+    // baseline (the cheapest probe that runs the packer end to end).
+    CostModel plain(problem_for(unconstrained, width));
+    CostModel budgeted(problem_for(constrained, width));
+    if (budgeted.t_max() > plain.t_max()) ++binding;
+  }
+  EXPECT_GT(binding, 0);
+}
+
+}  // namespace
+}  // namespace msoc::plan

@@ -120,5 +120,48 @@ TEST(Digest, EquivalentCoresShareCoreDigest) {
   EXPECT_NE(core_digest(cores[0]), core_digest(cores[2]));
 }
 
+TEST(Digest, ZeroPowerKeepsThePrePowerDigest) {
+  // The gated power hashing must leave every unannotated SOC's digest
+  // untouched — cache stores and committed goldens depend on it.
+  Soc soc = make_d695m();
+  const std::string before = digest_hex(soc);
+  // Setting powers to 0 explicitly is a no-op by construction; setting
+  // a budget of 0 likewise.
+  soc.set_max_power(0.0);
+  EXPECT_EQ(digest_hex(soc), before);
+}
+
+TEST(Digest, PowerAnnotationsChangeTheDigest) {
+  const Soc plain = make_d695m();
+
+  Soc powered_digital("x");
+  for (DigitalCore core : plain.digital_cores()) {
+    core.power = 10.0;
+    powered_digital.add_digital(std::move(core));
+  }
+  for (AnalogCore core : plain.analog_cores()) {
+    powered_digital.add_analog(std::move(core));
+  }
+  EXPECT_NE(digest(powered_digital), digest(plain));
+
+  Soc powered_analog("y");
+  for (DigitalCore core : plain.digital_cores()) {
+    powered_analog.add_digital(std::move(core));
+  }
+  for (AnalogCore core : plain.analog_cores()) {
+    core.tests[0].power = 10.0;
+    powered_analog.add_analog(std::move(core));
+  }
+  EXPECT_NE(digest(powered_analog), digest(plain));
+
+  // A declared budget alone separates SOCs too: makespans depend on it.
+  Soc budgeted = make_d695m();
+  budgeted.set_max_power(500.0);
+  EXPECT_NE(digest(budgeted), digest(plain));
+  Soc other_budget = make_d695m();
+  other_budget.set_max_power(600.0);
+  EXPECT_NE(digest(other_budget), digest(budgeted));
+}
+
 }  // namespace
 }  // namespace msoc::soc

@@ -12,6 +12,7 @@
 #include "msoc/plan/optimizer.hpp"
 #include "msoc/soc/benchmarks.hpp"
 #include "msoc/soc/digest.hpp"
+#include "powered_fixtures.hpp"
 
 namespace msoc::plan {
 namespace {
@@ -386,6 +387,91 @@ TEST(Frontier, JsonAndCsvCarrySchemaAndRows) {
   for (const char c : csv) lines += c == '\n';
   EXPECT_EQ(lines, 1u + result.points.size());
   EXPECT_NE(csv.find("soc,tam_width"), std::string::npos);
+}
+
+// --- Power ladder. ---
+
+using soc::powered_d695m;  // shared fixture (powered_fixtures.hpp)
+
+TEST(FrontierPower, LadderSolvesEveryWidthPowerCell) {
+  const soc::Soc soc = powered_d695m(2.0);
+  FrontierOptions options = d695m_options({16, 32});
+  options.max_powers = {0.0, -1.0, soc.peak_test_power() * 1.2};
+  const FrontierResult result = FrontierEngine(soc, options).run();
+  // 3 distinct rungs x 2 widths; unconstrained rung first.
+  ASSERT_EQ(result.points.size(), 6u);
+  EXPECT_EQ(result.points[0].max_power, 0.0);
+  EXPECT_EQ(result.points[2].max_power, soc.max_power());  // inherit rung
+  for (const FrontierPoint& p : result.points) {
+    ASSERT_TRUE(p.ok()) << p.error;
+    EXPECT_LE(p.best.c_time, 100.0 + 1e-9);
+  }
+  // v2 documents carry the budget; the CSV grows the extra column.
+  EXPECT_NE(result.to_json().find("\"schema\": \"msoc-frontier-v2\""),
+            std::string::npos);
+  EXPECT_NE(result.to_json().find("\"max_power\": "), std::string::npos);
+  EXPECT_NE(result.to_csv().find("soc,tam_width,max_power"),
+            std::string::npos);
+}
+
+TEST(FrontierPower, PerCellResultsBitIdenticalToStandalone) {
+  const soc::Soc soc = powered_d695m(1.5);
+  FrontierOptions options = d695m_options({24});
+  options.max_powers = {-1.0};  // inherit the declared budget
+  const FrontierResult result = FrontierEngine(soc, options).run();
+  ASSERT_EQ(result.points.size(), 1u);
+  ASSERT_TRUE(result.points[0].ok());
+  Cycles t_max = 0;
+  const CombinationCost standalone =
+      heuristic_best(soc, 24, 0.5, false, 0.0, &t_max);
+  EXPECT_EQ(result.points[0].best.partition, standalone.partition);
+  EXPECT_EQ(result.points[0].best.test_time, standalone.test_time);
+  EXPECT_EQ(result.points[0].best.total, standalone.total);
+  EXPECT_EQ(result.points[0].t_max, t_max);
+}
+
+TEST(FrontierPower, BudgetBelowPeakTestPowerIsErrorPointNotFatal) {
+  const soc::Soc soc = powered_d695m(2.0);
+  FrontierOptions options = d695m_options({16});
+  options.max_powers = {soc.peak_test_power() * 0.5};
+  const FrontierResult result = FrontierEngine(soc, options).run();
+  ASSERT_EQ(result.points.size(), 1u);
+  EXPECT_FALSE(result.points[0].ok());
+  EXPECT_NE(result.points[0].error.find("power"), std::string::npos);
+  EXPECT_EQ(result.evaluations, 0);
+}
+
+TEST(FrontierPower, WarmCacheCoversPowerEntriesWithoutCollisions) {
+  const soc::Soc soc = powered_d695m(2.0);
+  const std::string dir = fresh_dir("frontier_power_warm");
+
+  FrontierOptions options = d695m_options({16, 32});
+  options.max_powers = {0.0, soc.max_power()};
+  ResultCache cold_cache(dir);
+  options.cache = &cold_cache;
+  const FrontierResult cold = FrontierEngine(soc, options).run();
+  EXPECT_GT(cold.evaluations, 0);
+  cold_cache.flush();
+
+  // The constrained store is written on the v2 schema.
+  const std::optional<std::string> text = read_file_if_exists(
+      (fs::path(dir) / (soc::digest_hex(soc) + ".json")).string());
+  ASSERT_TRUE(text.has_value());
+  EXPECT_NE(text->find("msoc-cache-v2"), std::string::npos);
+  EXPECT_NE(text->find("\"max_power\": "), std::string::npos);
+
+  ResultCache warm_cache(dir);
+  options.cache = &warm_cache;
+  const FrontierResult warm = FrontierEngine(soc, options).run();
+  EXPECT_EQ(warm.evaluations, 0);
+  ASSERT_EQ(warm.points.size(), cold.points.size());
+  for (std::size_t i = 0; i < warm.points.size(); ++i) {
+    // Constrained and unconstrained cells answer from DISTINCT entries:
+    // identical widths, different budgets, different (correct) times.
+    EXPECT_EQ(warm.points[i].max_power, cold.points[i].max_power);
+    EXPECT_EQ(warm.points[i].best.test_time, cold.points[i].best.test_time);
+    EXPECT_EQ(warm.points[i].t_max, cold.points[i].t_max);
+  }
 }
 
 }  // namespace

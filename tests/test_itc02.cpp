@@ -164,5 +164,107 @@ TEST(Itc02File, DirectoryRejectedWithPathInMessage) {
   }
 }
 
+// --- Power fields: parse, round-trip, reject malformed lines. ---
+
+constexpr const char* kPowerSample = R"(
+SocName powered
+MaxPower 950.5
+Module 1 cpu
+  Inputs 4
+  Outputs 4
+  Patterns 10
+  Power 120.25
+AnalogModule A "hot block"
+  Test f_c FLow 45e3 FHigh 55e3 FSample 1.5e6 Cycles 13653 Width 4 Resolution 8 Power 75.5
+  Test G FLow 1e3 FHigh 1e3 FSample 1e6 Cycles 500 Width 1 Resolution 8
+)";
+
+TEST(Itc02Power, ParsesPowerAndMaxPower) {
+  const Soc soc = parse_soc_string(kPowerSample);
+  EXPECT_DOUBLE_EQ(soc.max_power(), 950.5);
+  EXPECT_TRUE(soc.power_constrained());
+  ASSERT_EQ(soc.digital_count(), 1u);
+  EXPECT_DOUBLE_EQ(soc.digital_cores()[0].power, 120.25);
+  ASSERT_EQ(soc.analog_count(), 1u);
+  EXPECT_DOUBLE_EQ(soc.analog_cores()[0].tests[0].power, 75.5);
+  // Undeclared powers default to 0 (negligible).
+  EXPECT_DOUBLE_EQ(soc.analog_cores()[0].tests[1].power, 0.0);
+  EXPECT_DOUBLE_EQ(soc.analog_cores()[0].max_power(), 75.5);
+  EXPECT_DOUBLE_EQ(soc.peak_test_power(), 120.25);
+}
+
+TEST(Itc02Power, RoundTripPreservesPowerExactly) {
+  const Soc original = parse_soc_string(kPowerSample);
+  const Soc back = parse_soc_string(write_soc_string(original));
+  EXPECT_DOUBLE_EQ(back.max_power(), original.max_power());
+  EXPECT_DOUBLE_EQ(back.digital_cores()[0].power,
+                   original.digital_cores()[0].power);
+  EXPECT_DOUBLE_EQ(back.analog_cores()[0].tests[0].power,
+                   original.analog_cores()[0].tests[0].power);
+  // A full-precision budget survives the shortest-round-trip writer.
+  Soc precise = parse_soc_string(kPowerSample);
+  precise.set_max_power(123.456789012345678);
+  const Soc precise_back = parse_soc_string(write_soc_string(precise));
+  EXPECT_EQ(precise_back.max_power(), precise.max_power());
+}
+
+TEST(Itc02Power, UnconstrainedSocWritesThePrePowerDialect) {
+  // No Power/MaxPower lines may appear for an unannotated SOC — golden
+  // files and digests depend on it.
+  const std::string text = write_soc_string(make_p93791m());
+  EXPECT_EQ(text.find("Power"), std::string::npos);
+}
+
+TEST(Itc02Power, RejectsNegativePowerWithLineNumber) {
+  try {
+    (void)parse_soc_string(
+        "SocName x\nModule 1 m\n  Inputs 1\n  Power -5\n", "bad.soc");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 4);
+    EXPECT_NE(std::string(e.what()).find("non-negative"),
+              std::string::npos);
+  }
+}
+
+TEST(Itc02Power, RejectsNonNumericPowerWithLineNumber) {
+  try {
+    (void)parse_soc_string(
+        "SocName x\nMaxPower lots\n", "bad.soc");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+  // Per-test powers are checked the same way.
+  EXPECT_THROW(
+      (void)parse_soc_string("AnalogModule A\n  Test t FSample 1e6 Cycles 5 "
+                             "Power hot\n"),
+      ParseError);
+  EXPECT_THROW((void)parse_soc_string(
+                   "AnalogModule A\n  Test t FSample 1e6 Cycles 5 "
+                   "Power -1\n"),
+               ParseError);
+}
+
+TEST(Itc02Power, RejectsDuplicateMaxPowerWithLineNumber) {
+  try {
+    (void)parse_soc_string("SocName x\nMaxPower 10\nMaxPower 20\n",
+                           "bad.soc");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("duplicate MaxPower"),
+              std::string::npos);
+  }
+}
+
+TEST(Itc02Power, RejectsNegativeMaxPowerAndPowerOutsideModule) {
+  EXPECT_THROW((void)parse_soc_string("MaxPower -1\n"), ParseError);
+  EXPECT_THROW((void)parse_soc_string("Power 5\n"), ParseError);
+  // Power is a Module keyword, not an AnalogModule one.
+  EXPECT_THROW((void)parse_soc_string("AnalogModule A\n  Power 5\n"),
+               ParseError);
+}
+
 }  // namespace
 }  // namespace msoc::soc

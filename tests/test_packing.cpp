@@ -6,6 +6,8 @@
 
 #include "msoc/common/error.hpp"
 #include "msoc/soc/benchmarks.hpp"
+#include "msoc/tam/power_profile.hpp"
+#include "powered_fixtures.hpp"
 #include "msoc/tam/schedule.hpp"
 #include "msoc/tam/usage_profile.hpp"
 
@@ -268,6 +270,110 @@ TEST(UsageProfileRetry, CapacityAndBlockedInteract) {
   EXPECT_EQ(profile.earliest_start(4, 10, 0, blocked), 120u);
   // Without the blocked interval the capacity drop at 100 is the answer.
   EXPECT_EQ(profile.earliest_start(4, 10, 0, {}), 100u);
+}
+
+// --- PowerProfile: the power companion to UsageProfile. ---
+
+TEST(PowerProfileRetry, WindowAndRetrySemantics) {
+  PowerProfile profile(100.0);
+  profile.reserve(0, 50, 70.0);
+  profile.reserve(50, 50, 40.0);
+  Cycles retry = 0;
+  // 70 + 40 > 100 before t=50; from 50 only 40 is drawn.
+  EXPECT_FALSE(profile.window_free(0, 40.0, 10, &retry));
+  EXPECT_EQ(retry, 50u);
+  EXPECT_TRUE(profile.window_free(50, 40.0, 10, &retry));
+  // A window straddling the 70->40 step fails until the step.
+  retry = 0;
+  EXPECT_FALSE(profile.window_free(40, 60.0, 20, &retry));
+  EXPECT_EQ(retry, 50u);
+  EXPECT_TRUE(profile.window_free(100, 100.0, 10, &retry));
+}
+
+TEST(PowerProfileRetry, ExactBudgetLoadFitsAfterDrain) {
+  // Float residue from +/- accumulation must not block a full-budget
+  // load once everything else ended.
+  PowerProfile profile(100.0);
+  for (int i = 0; i < 100; ++i) {
+    profile.reserve(static_cast<Cycles>(i), 1, 0.1 + i * 0.001);
+  }
+  Cycles retry = 0;
+  EXPECT_TRUE(profile.window_free(200, 100.0, 10, &retry));
+}
+
+// --- Power-constrained packing end to end. ---
+
+using soc::powered_d695m;  // shared fixture (powered_fixtures.hpp)
+
+TEST(PackingPower, BudgetInheritedFromSocAndEnforced) {
+  const soc::Soc s = powered_d695m(1.5);
+  const Schedule sched = schedule_soc(s, 32, singleton_partition(s));
+  EXPECT_EQ(sched.max_power, s.max_power());
+  EXPECT_TRUE(check_schedule(sched).empty());
+  EXPECT_LE(sched.peak_power(), s.max_power() + 1e-6);
+  EXPECT_GT(sched.peak_power(), 0.0);
+}
+
+TEST(PackingPower, OptionsOverrideBeatsTheSocDeclaration) {
+  const soc::Soc s = powered_d695m(1.5);
+  PackingOptions options;
+  options.max_power = s.peak_test_power() * 4.0;  // looser than the SOC's
+  const Schedule sched =
+      schedule_soc(s, 32, singleton_partition(s), options);
+  EXPECT_EQ(sched.max_power, options.max_power);
+  EXPECT_TRUE(check_schedule(sched).empty());
+  // Zero disables the constraint entirely.
+  options.max_power = 0.0;
+  const Schedule unconstrained =
+      schedule_soc(s, 32, singleton_partition(s), options);
+  EXPECT_EQ(unconstrained.max_power, 0.0);
+  EXPECT_EQ(effective_max_power(s, options), 0.0);
+  options.max_power = -1.0;
+  EXPECT_EQ(effective_max_power(s, options), s.max_power());
+}
+
+TEST(PackingPower, TightBudgetCanOnlyLengthenTheAllShareBaseline) {
+  // The all-share pack under a tight budget must stay valid; its
+  // makespan dominates the analog serial chain either way.
+  const soc::Soc s = powered_d695m(1.2);
+  const Schedule sched = schedule_soc(s, 32, all_share_partition(s));
+  EXPECT_TRUE(check_schedule(sched).empty());
+  EXPECT_GE(sched.makespan(),
+            schedule_lower_bound(s, 32, all_share_partition(s)));
+}
+
+TEST(PackingPower, SingleTestHotterThanBudgetIsInfeasible) {
+  soc::Soc s = powered_d695m(1.5);
+  s.set_max_power(s.peak_test_power() * 0.5);
+  EXPECT_THROW(schedule_soc(s, 32, singleton_partition(s)),
+               InfeasibleError);
+}
+
+TEST(PackingPower, PerTestGranularityHonorsTheBudgetToo) {
+  const soc::Soc s = powered_d695m(1.3);
+  PackingOptions options;
+  options.analog_per_test = true;
+  const Schedule sched =
+      schedule_soc(s, 32, singleton_partition(s), options);
+  EXPECT_TRUE(check_schedule(sched).empty());
+  EXPECT_LE(sched.peak_power(), s.max_power() + 1e-6);
+}
+
+TEST(PackingPower, UnannotatedSocIgnoresAnyBudget) {
+  // Zero-power tests fit under every budget: the schedule must be
+  // bit-identical to the unconstrained one.
+  const soc::Soc s = soc::make_d695m();
+  PackingOptions tight;
+  tight.max_power = 1.0;
+  const Schedule constrained =
+      schedule_soc(s, 32, singleton_partition(s), tight);
+  const Schedule plain = schedule_soc(s, 32, singleton_partition(s));
+  EXPECT_EQ(constrained.makespan(), plain.makespan());
+  ASSERT_EQ(constrained.tests.size(), plain.tests.size());
+  for (std::size_t i = 0; i < plain.tests.size(); ++i) {
+    EXPECT_EQ(constrained.tests[i].start, plain.tests[i].start);
+    EXPECT_EQ(constrained.tests[i].width, plain.tests[i].width);
+  }
 }
 
 TEST(LowerBounds, DigitalBoundMonotoneInWidth) {

@@ -132,5 +132,46 @@ TEST(SocModel, DigitalOnlyIsNotMixedSignal) {
   EXPECT_EQ(soc.total_analog_cycles(), 0u);
 }
 
+TEST(SocModel, PowerBudgetAndPeaks) {
+  Soc soc("p");
+  EXPECT_FALSE(soc.power_constrained());
+  EXPECT_DOUBLE_EQ(soc.peak_test_power(), 0.0);
+  soc.set_max_power(250.0);
+  EXPECT_TRUE(soc.power_constrained());
+  EXPECT_DOUBLE_EQ(soc.max_power(), 250.0);
+  EXPECT_THROW(soc.set_max_power(-1.0), InfeasibleError);
+
+  DigitalCore d;
+  d.name = "d";
+  d.inputs = 1;
+  d.power = 120.0;
+  soc.add_digital(d);
+  AnalogCore a = two_test_core();
+  a.tests[0].power = 80.0;
+  a.tests[1].power = 140.0;
+  soc.add_analog(a);
+  EXPECT_DOUBLE_EQ(a.max_power(), 140.0);
+  EXPECT_DOUBLE_EQ(soc.peak_test_power(), 140.0);
+}
+
+TEST(SocModel, NegativePowersRejectedByValidation) {
+  DigitalCore d;
+  d.name = "d";
+  d.inputs = 1;
+  d.power = -0.5;
+  EXPECT_THROW(d.validate(), InfeasibleError);
+  AnalogCore a = two_test_core();
+  a.tests[0].power = -1.0;
+  EXPECT_THROW(a.validate(), InfeasibleError);
+}
+
+TEST(AnalogCoreModel, TestsEquivalentSeesPowerDifference) {
+  AnalogCore a = two_test_core();
+  AnalogCore b = two_test_core();
+  EXPECT_TRUE(a.tests_equivalent(b));
+  b.tests[0].power = 99.0;
+  EXPECT_FALSE(a.tests_equivalent(b));
+}
+
 }  // namespace
 }  // namespace msoc::soc

@@ -7,6 +7,7 @@
 
 #include "msoc/common/error.hpp"
 #include "msoc/soc/benchmarks.hpp"
+#include "powered_fixtures.hpp"
 
 namespace msoc::plan {
 namespace {
@@ -162,6 +163,56 @@ TEST(Sweep, DefaultBenchmarkSweepShape) {
   EXPECT_EQ(config.socs[1].name(), "d695m");
   EXPECT_FALSE(config.tam_widths.empty());
   EXPECT_FALSE(config.time_weights.empty());
+}
+
+// --- Power ladder through the sweep. ---
+
+/// small_config with its SOC swapped for the shared powered fixture.
+SweepConfig powered_config() {
+  SweepConfig config = small_config();
+  config.socs[0] = soc::powered_d695m(1.5);
+  return config;
+}
+
+TEST(SweepPower, PowerLadderMultipliesCasesInOrder) {
+  SweepConfig config = powered_config();
+  config.max_powers = {0.0, -1.0};
+  EXPECT_EQ(config.case_count(), 4u);  // 2 widths x 2 powers x 1 weight
+  const SweepResult result = run_sweep(config);
+  ASSERT_EQ(result.rows.size(), 4u);
+  // socs x widths x powers x weights order.
+  EXPECT_EQ(result.rows[0].tam_width, 24);
+  EXPECT_EQ(result.rows[0].max_power, 0.0);
+  EXPECT_EQ(result.rows[1].tam_width, 24);
+  EXPECT_EQ(result.rows[1].max_power, config.socs[0].max_power());
+  EXPECT_EQ(result.rows[2].tam_width, 32);
+  EXPECT_EQ(result.rows[2].max_power, 0.0);
+  for (const SweepRow& row : result.rows) {
+    ASSERT_TRUE(row.ok()) << row.error;
+    // The constrained rows can only be as fast as the unconstrained
+    // baseline normalizes them to.
+    EXPECT_LE(row.c_time, 100.0 + 1e-9);
+  }
+  // v2 documents; the unconstrained config still writes v1.
+  EXPECT_NE(result.to_json().find("\"schema\": \"msoc-sweep-v2\""),
+            std::string::npos);
+  EXPECT_NE(result.to_csv().find("soc,tam_width,max_power"),
+            std::string::npos);
+  const SweepResult plain = run_sweep(small_config());
+  EXPECT_NE(plain.to_json().find("\"schema\": \"msoc-sweep-v1\""),
+            std::string::npos);
+  EXPECT_EQ(plain.to_json().find("max_power"), std::string::npos);
+}
+
+TEST(SweepPower, InfeasibleBudgetIsSoftPerRow) {
+  SweepConfig config = powered_config();
+  config.max_powers = {1.0};  // below every test's power
+  const SweepResult result = run_sweep(config);
+  ASSERT_EQ(result.rows.size(), 2u);
+  for (const SweepRow& row : result.rows) {
+    EXPECT_FALSE(row.ok());
+    EXPECT_NE(row.error.find("power"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -10,6 +10,11 @@
 //                      to one width)
 //     --widths LIST    comma-separated TAM widths for --sweep/--frontier
 //                      (default 16,24,32,48,64)
+//     --max-power LIST comma-separated power budgets (0 = unconstrained;
+//                      default: the SOC's MaxPower declaration).  A
+//                      single plan takes one value; --sweep/--frontier
+//                      accept a ladder and solve every (width, power)
+//                      cell
 //     --wt X           test-time weight w_T in [0,1] (default 0.5;
 //                      w_A = 1 - w_T)
 //     --exhaustive     evaluate every combination (default: Cost_Optimizer)
@@ -55,6 +60,7 @@ struct Options {
   std::optional<std::string> bench;  ///< Built-in benchmark name.
   std::optional<int> width;      ///< Default 32 (single) / sweep ladder.
   std::optional<std::vector<int>> widths;  ///< Explicit sweep ladder.
+  std::optional<std::vector<double>> max_powers;  ///< Power ladder.
   std::optional<double> w_time;  ///< Default 0.5 (single) / sweep set.
   bool exhaustive = false;
   double epsilon = 0.0;
@@ -79,6 +85,9 @@ void print_usage() {
       "                   to one width)\n"
       "  --widths LIST    comma-separated widths for --sweep/--frontier\n"
       "                   (default 16,24,32,48,64)\n"
+      "  --max-power LIST comma-separated power budgets (0 = unconstrained;\n"
+      "                   default: the SOC's MaxPower).  One value for a\n"
+      "                   single plan; a ladder for --sweep/--frontier\n"
       "  --wt X           test-time weight w_T in [0,1] (default 0.5;\n"
       "                   w_A = 1 - w_T)\n"
       "  --exhaustive     exhaustive search instead of Cost_Optimizer\n"
@@ -109,6 +118,18 @@ std::vector<int> parse_width_list(const std::string& text) {
   return widths;
 }
 
+std::vector<double> parse_power_list(const std::string& text) {
+  std::vector<double> powers;
+  for (const std::string_view field : msoc::split_fields(text, ",")) {
+    const auto v = msoc::parse_double(field);
+    msoc::require(v.has_value() && *v >= 0.0,
+                  "--max-power needs comma-separated numbers >= 0");
+    powers.push_back(*v);
+  }
+  msoc::require(!powers.empty(), "--max-power needs at least one budget");
+  return powers;
+}
+
 Options parse_args(int argc, char** argv) {
   Options options;
   const auto value = [&](int& i, const char* flag) -> std::string {
@@ -128,6 +149,8 @@ Options parse_args(int argc, char** argv) {
       options.width = static_cast<int>(*v);
     } else if (arg == "--widths") {
       options.widths = parse_width_list(value(i, "--widths"));
+    } else if (arg == "--max-power") {
+      options.max_powers = parse_power_list(value(i, "--max-power"));
     } else if (arg == "--wt") {
       const auto v = msoc::parse_double(value(i, "--wt"));
       msoc::require(v.has_value() && *v >= 0.0 && *v <= 1.0,
@@ -161,6 +184,9 @@ Options parse_args(int argc, char** argv) {
                 "--width and --widths are mutually exclusive");
   msoc::require(!options.cache_dir || options.sweep || options.frontier,
                 "--cache-dir needs --sweep or --frontier");
+  msoc::require(!options.max_powers || options.sweep || options.frontier ||
+                    options.max_powers->size() == 1,
+                "a single plan takes exactly one --max-power value");
   return options;
 }
 
@@ -195,6 +221,11 @@ std::vector<int> width_ladder(const Options& options) {
   return {16, 24, 32, 48, 64};
 }
 
+std::vector<double> power_ladder(const Options& options) {
+  if (options.max_powers) return *options.max_powers;
+  return {-1.0};  // inherit the SOC's MaxPower declaration
+}
+
 int run_frontier_mode(const Options& options) {
   using namespace msoc;
   require(!options.gantt && !options.validate,
@@ -206,6 +237,7 @@ int run_frontier_mode(const Options& options) {
 
   plan::FrontierOptions frontier;
   frontier.widths = width_ladder(options);
+  frontier.max_powers = power_ladder(options);
   const double w_time = options.w_time.value_or(0.5);
   frontier.weights = {w_time, 1.0 - w_time};
   frontier.exhaustive = options.exhaustive;
@@ -225,16 +257,20 @@ int run_frontier_mode(const Options& options) {
 
   int failures = 0;
   for (const plan::FrontierPoint& p : result.points) {
+    char power_tag[32] = "";
+    if (p.max_power > 0.0) {
+      std::snprintf(power_tag, sizeof power_tag, "  P=%-8.6g", p.max_power);
+    }
     if (p.ok()) {
-      std::printf("  W=%-3d  T=%8llu cycles  C=%8.2f  %-24s N=%-3d "
+      std::printf("  W=%-3d%s  T=%8llu cycles  C=%8.2f  %-24s N=%-3d "
                   "hits=%-3d pruned=%-3d%s\n",
-                  p.tam_width,
+                  p.tam_width, power_tag,
                   static_cast<unsigned long long>(p.best.test_time),
                   p.best.total, p.best.label.c_str(), p.evaluations,
                   p.cache_hits, p.pruned, p.pareto ? "  *" : "");
     } else {
       ++failures;
-      std::printf("  W=%-3d  infeasible: %s\n", p.tam_width,
+      std::printf("  W=%-3d%s  infeasible: %s\n", p.tam_width, power_tag,
                   p.error.c_str());
     }
   }
@@ -279,19 +315,22 @@ int run_sweep_mode(const Options& options) {
   } else {
     config = plan::default_benchmark_sweep();
   }
-  // An explicit --width / --widths / --wt narrows the sweep.
+  // An explicit --width / --widths / --max-power / --wt narrows (or
+  // fans out) the sweep.
   if (options.width || options.widths) {
     config.tam_widths = width_ladder(options);
   }
+  if (options.max_powers) config.max_powers = *options.max_powers;
   if (options.w_time) config.time_weights = {*options.w_time};
   config.exhaustive = options.exhaustive;
   config.epsilon = options.epsilon;
   config.jobs = options.jobs;
   if (options.cache_dir) config.cache_dir = *options.cache_dir;
 
-  std::printf("sweep: %zu SOCs x %zu widths x %zu weights = %zu cases "
-              "(%s, jobs=%d%s%s)\n",
+  std::printf("sweep: %zu SOCs x %zu widths x %zu powers x %zu weights = "
+              "%zu cases (%s, jobs=%d%s%s)\n",
               config.socs.size(), config.tam_widths.size(),
+              config.max_powers.size(),
               config.time_weights.size(), config.case_count(),
               config.exhaustive ? "exhaustive" : "Cost_Optimizer",
               config.jobs, config.cache_dir.empty() ? "" : ", cache ",
@@ -300,15 +339,21 @@ int run_sweep_mode(const Options& options) {
 
   int failures = 0;
   for (const plan::SweepRow& row : result.rows) {
+    char power_tag[32] = "";
+    if (row.max_power > 0.0) {
+      std::snprintf(power_tag, sizeof power_tag, " P=%-8.6g",
+                    row.max_power);
+    }
     if (row.ok()) {
-      std::printf("  %-10s W=%-3d w_T=%.2f  C=%8.2f  %-24s %6.1f ms\n",
-                  row.soc_name.c_str(), row.tam_width, row.w_time,
-                  row.best_total, row.best_label.c_str(), row.wall_ms);
+      std::printf("  %-10s W=%-3d%s w_T=%.2f  C=%8.2f  %-24s %6.1f ms\n",
+                  row.soc_name.c_str(), row.tam_width, power_tag,
+                  row.w_time, row.best_total, row.best_label.c_str(),
+                  row.wall_ms);
     } else {
       ++failures;
-      std::printf("  %-10s W=%-3d w_T=%.2f  infeasible: %s\n",
-                  row.soc_name.c_str(), row.tam_width, row.w_time,
-                  row.error.c_str());
+      std::printf("  %-10s W=%-3d%s w_T=%.2f  infeasible: %s\n",
+                  row.soc_name.c_str(), row.tam_width, power_tag,
+                  row.w_time, row.error.c_str());
     }
   }
   std::printf("sweep finished in %.1f ms (%d infeasible of %zu cases)\n",
@@ -344,17 +389,28 @@ int main(int argc, char** argv) {
     const int width = options.width.value_or(32);
     const double w_time = options.w_time.value_or(0.5);
     const soc::Soc soc = load_soc(options);
-    std::printf("SOC %s: %zu digital, %zu analog cores; TAM width %d; "
-                "w_T=%.2f w_A=%.2f; %s; jobs %d\n",
-                soc.name().c_str(), soc.digital_count(), soc.analog_count(),
-                width, w_time, 1.0 - w_time,
-                options.exhaustive ? "exhaustive" : "Cost_Optimizer",
-                options.jobs);
 
     plan::PlanningProblem problem;
     problem.soc = &soc;
     problem.tam_width = width;
     problem.weights = {w_time, 1.0 - w_time};
+    if (options.max_powers) {
+      problem.packing.max_power = options.max_powers->front();
+    }
+    const double max_power = tam::effective_max_power(soc, problem.packing);
+
+    char power_note[48] = "";
+    if (max_power > 0.0) {
+      std::snprintf(power_note, sizeof power_note, "; max power %g",
+                    max_power);
+    }
+    std::printf("SOC %s: %zu digital, %zu analog cores; TAM width %d%s; "
+                "w_T=%.2f w_A=%.2f; %s; jobs %d\n",
+                soc.name().c_str(), soc.digital_count(), soc.analog_count(),
+                width, power_note, w_time, 1.0 - w_time,
+                options.exhaustive ? "exhaustive" : "Cost_Optimizer",
+                options.jobs);
+
     plan::CostModel model(problem);
 
     plan::OptimizationResult result;
@@ -392,6 +448,7 @@ int main(int argc, char** argv) {
       plan::SweepRow row;
       row.soc_name = soc.name();
       row.tam_width = width;
+      row.max_power = max_power;
       row.w_time = w_time;
       row.algorithm = options.exhaustive ? "exhaustive" : "cost_optimizer";
       row.best_label = best.label;

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Regenerates the golden regression corpus under tests/data/.
+#
+# The corpus pins the exact JSON documents (modulo wall-clock fields,
+# normalized to 0) that msoc_plan produces for:
+#   * the d695m frontier across the paper's width ladder (v1 schema);
+#   * a narrowed d695m sweep (3 widths x 3 weights, v1 schema);
+#   * a power-constrained frontier over the committed
+#     tests/data/d695m_power.soc fixture (v2 schema: 3 budgets x 2
+#     widths).
+# Every field except wall_ms is deterministic for every --jobs value,
+# so a golden mismatch means behaviour changed, not scheduling noise.
+#
+# Run after an intentional behaviour change, then commit the diff:
+#   tools/regen_golden.sh [build_dir]
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build}"
+plan="$build/tools/msoc_plan"
+data="$root/tests/data"
+
+if [[ ! -x "$plan" ]]; then
+  echo "error: $plan not built (pass the build dir as \$1?)" >&2
+  exit 1
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+normalize() {
+  sed -E 's/"(total_)?wall_ms": -?[0-9.eE+-]+/"\1wall_ms": 0/g' "$1" > "$2"
+}
+
+"$plan" --frontier --bench d695m --json "$tmp/frontier.json" > /dev/null
+normalize "$tmp/frontier.json" "$data/d695m_frontier_golden.json"
+
+"$plan" --sweep --bench d695m --widths 16,32,64 \
+  --json "$tmp/sweep.json" > /dev/null
+normalize "$tmp/sweep.json" "$data/d695m_sweep_golden.json"
+
+"$plan" --frontier --soc "$data/d695m_power.soc" --widths 16,32 \
+  --max-power 0,400,250 --json "$tmp/power.json" > /dev/null
+normalize "$tmp/power.json" "$data/d695m_power_frontier_golden.json"
+
+echo "golden corpus regenerated under $data"
