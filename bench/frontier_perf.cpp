@@ -52,7 +52,7 @@ bool same_frontier(const msoc::plan::FrontierResult& a,
 
 int main(int argc, char** argv) {
   using namespace msoc;
-  const std::string out_path = argc > 1 ? argv[1] : "frontier_perf.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_frontier.json";
   const std::string cache_dir =
       argc > 2 ? argv[2] : "frontier_perf_cache";
 

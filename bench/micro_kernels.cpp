@@ -1,6 +1,7 @@
 // Google-benchmark microbenchmarks for the library's hot kernels:
-// FFT, Goertzel, wrapper design (BFD), Pareto-set computation, rectangle
-// packing and partition enumeration.
+// FFT, Goertzel, wrapper design (BFD), Pareto-set computation, the
+// packer's interval-set/skyline structures, rectangle packing and
+// partition enumeration.
 
 #include <benchmark/benchmark.h>
 
@@ -10,7 +11,11 @@
 #include "msoc/dsp/multitone.hpp"
 #include "msoc/mswrap/partition.hpp"
 #include "msoc/soc/benchmarks.hpp"
+#include "msoc/tam/counters.hpp"
+#include "msoc/tam/interval_set.hpp"
 #include "msoc/tam/packing.hpp"
+#include "msoc/tam/skyline.hpp"
+#include "msoc/tam/usage_profile.hpp"
 #include "msoc/wrapper/wrapper_design.hpp"
 
 namespace {
@@ -63,6 +68,94 @@ void BM_ParetoWidths(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ParetoWidths)->Arg(32)->Arg(64);
+
+void BM_IntervalSetInsert(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  Rng rng(static_cast<std::uint64_t>(n));
+  std::vector<tam::IntervalSet::Interval> inserts;
+  inserts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Cycles start = rng.uniform_u64(0, static_cast<Cycles>(n) * 20);
+    inserts.emplace_back(start, start + rng.uniform_u64(1, 40));
+  }
+  for (auto _ : state) {
+    tam::IntervalSet set;
+    for (const auto& [b, e] : inserts) set.insert(b, e);
+    benchmark::DoNotOptimize(set.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IntervalSetInsert)->RangeMultiplier(4)->Range(64, 4096)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_IntervalSetFirstFit(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  Rng rng(static_cast<std::uint64_t>(n) + 1);
+  tam::IntervalSet set;
+  for (int i = 0; i < n; ++i) {
+    const Cycles start = rng.uniform_u64(0, static_cast<Cycles>(n) * 20);
+    set.insert(start, start + rng.uniform_u64(1, 15));
+  }
+  Cycles probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.first_fit(probe, 30));
+    probe = (probe + 97) % (static_cast<Cycles>(n) * 20);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IntervalSetFirstFit)->RangeMultiplier(4)->Range(64, 4096)
+    ->Complexity(benchmark::oLogN);
+
+void BM_SkylineAdd(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  Rng rng(static_cast<std::uint64_t>(n) + 2);
+  std::vector<std::pair<Cycles, Cycles>> adds;
+  adds.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Cycles start = rng.uniform_u64(0, static_cast<Cycles>(n) * 10);
+    adds.emplace_back(start, start + rng.uniform_u64(1, 50));
+  }
+  for (auto _ : state) {
+    tam::Skyline<long long> sky;
+    for (const auto& [b, e] : adds) sky.add(b, e, 4);
+    benchmark::DoNotOptimize(sky.segment_count());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SkylineAdd)->RangeMultiplier(4)->Range(64, 4096)
+    ->Complexity(benchmark::oNLogN);
+
+// The packer's admission probe against a populated profile, reported
+// with the deterministic per-op counter (skyline events per check) so
+// the number CI gates on is visible right next to the wall time.
+void BM_UsageWindowFree(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  constexpr int kCapacity = 32;
+  Rng rng(static_cast<std::uint64_t>(n) + 3);
+  tam::UsageProfile profile(kCapacity);
+  for (int i = 0; i < n; ++i) {
+    profile.reserve(rng.uniform_u64(0, static_cast<Cycles>(n) * 10),
+                    rng.uniform_u64(10, 200), rng.uniform_int(1, 12));
+  }
+  const tam::IntervalSet no_blocks;
+  tam::reset_pack_counters();
+  Cycles probe = 0;
+  for (auto _ : state) {
+    Cycles retry = 0;
+    benchmark::DoNotOptimize(
+        profile.window_free(probe, 8, 64, no_blocks, &retry));
+    probe = (probe + 131) % (static_cast<Cycles>(n) * 10);
+  }
+  const tam::PackCounterSnapshot snap = tam::snapshot_pack_counters();
+  state.counters["events_per_check"] = benchmark::Counter(
+      snap.admission_checks == 0
+          ? 0.0
+          : static_cast<double>(snap.events_visited) /
+                static_cast<double>(snap.admission_checks));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_UsageWindowFree)->RangeMultiplier(4)->Range(64, 4096)
+    ->Complexity(benchmark::oLogN);
 
 void BM_SchedulePack(benchmark::State& state) {
   const soc::Soc soc = soc::make_p93791m();

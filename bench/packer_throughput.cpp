@@ -1,0 +1,149 @@
+// Packer scaling trajectory on synthetic SOCs.
+//
+// Packs seeded synthetic SOCs from ~100 to ~1000 cores through
+// tam::schedule_soc and records the deterministic kernel counters
+// (admission checks, skyline events visited, retries, reservations)
+// alongside wall time.  The point of the ladder is the per-probe cost:
+// with the coalescing skyline an admission check touches only the
+// segments its window crosses, so events-per-check must stay nearly
+// flat while the schedule grows 10x — a linear re-walk of the timeline
+// would scale it with the test count.  The bench fails (exit 1) when
+// the largest SOC's events-per-check exceeds half the size ratio, i.e.
+// when per-probe cost starts tracking n instead of log n.
+//
+// Counters are exactly reproducible for a fixed ladder, which makes
+// this the anchor of the BENCH_packer.json perf-trajectory gate: CI
+// reruns the bench and tools/check_bench.py diffs the counters against
+// the committed baseline (wall_ms is recorded but never gated).
+//
+// Usage: packer_throughput [output.json]
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "msoc/soc/benchmarks.hpp"
+#include "msoc/tam/counters.hpp"
+#include "msoc/tam/packing.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  int digital_cores = 0;
+  int analog_cores = 0;
+  std::size_t tests = 0;
+  msoc::Cycles makespan = 0;
+  msoc::tam::PackCounterSnapshot counters;
+  double avg_events_per_check = 0.0;
+  double wall_ms = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msoc;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_packer.json";
+
+  constexpr int kTamWidth = 32;
+  const std::vector<int> ladder = {100, 200, 400, 700, 1000};
+
+  // One options block for every rung: no order racing and a short
+  // improvement budget keep the large rungs tractable in CI while still
+  // driving every kernel (usage + power skylines, analog busy sets).
+  tam::PackingOptions options;
+  options.race_orders = false;
+  options.improvement_rounds = 8;
+
+  std::vector<Row> rows;
+  std::printf("packer throughput, synthetic SOCs at TAM width %d\n",
+              kTamWidth);
+  for (const int digital : ladder) {
+    soc::SyntheticSocParams params;
+    params.digital_cores = digital;
+    params.analog_cores = digital / 20;  // a fixed 5% analog fraction
+    params.seed = 42;
+    params.min_test_power = 1.0;
+    params.max_test_power = 40.0;
+    params.power_budget_factor = 3.0;
+    const soc::Soc soc = soc::make_synthetic_soc(params);
+    const tam::AnalogPartition partition = tam::singleton_partition(soc);
+
+    tam::reset_pack_counters();
+    const Clock::time_point start = Clock::now();
+    const tam::Schedule schedule =
+        tam::schedule_soc(soc, kTamWidth, partition, options);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+
+    Row row;
+    row.digital_cores = digital;
+    row.analog_cores = params.analog_cores;
+    row.tests = schedule.tests.size();
+    row.makespan = schedule.makespan();
+    row.counters = tam::snapshot_pack_counters();
+    row.avg_events_per_check =
+        row.counters.admission_checks == 0
+            ? 0.0
+            : static_cast<double>(row.counters.events_visited) /
+                  static_cast<double>(row.counters.admission_checks);
+    row.wall_ms = wall_ms;
+    rows.push_back(row);
+
+    std::printf("  %4d cores  %5zu tests  makespan %9llu  "
+                "checks %9llu  events/check %6.2f  %8.1f ms\n",
+                digital, row.tests,
+                static_cast<unsigned long long>(row.makespan),
+                static_cast<unsigned long long>(row.counters.admission_checks),
+                row.avg_events_per_check, wall_ms);
+  }
+
+  // The scaling gate: events-per-check at the top rung vs the bottom.
+  // A linear kernel would scale it ~10x here; the skyline keeps it
+  // near-flat.  Half the size ratio is a deliberately loose ceiling —
+  // it only trips when per-probe cost genuinely tracks n again.
+  const Row& small = rows.front();
+  const Row& large = rows.back();
+  const double size_ratio = static_cast<double>(large.tests) /
+                            static_cast<double>(small.tests);
+  const double cost_ratio =
+      small.avg_events_per_check > 0.0
+          ? large.avg_events_per_check / small.avg_events_per_check
+          : 0.0;
+  const bool sublinear = cost_ratio < size_ratio / 2.0;
+  std::printf("size ratio %.1fx, events/check ratio %.2fx -> %s\n",
+              size_ratio, cost_ratio,
+              sublinear ? "sublinear (OK)" : "LINEAR REGRESSION");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"schema\": \"msoc-packer-throughput-v1\",\n"
+      << "  \"tam_width\": " << kTamWidth << ",\n"
+      << "  \"size_ratio\": " << size_ratio << ",\n"
+      << "  \"events_per_check_ratio\": " << cost_ratio << ",\n"
+      << "  \"sublinear\": " << (sublinear ? "true" : "false") << ",\n"
+      << "  \"rungs\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"digital_cores\": "
+        << r.digital_cores << ", \"analog_cores\": " << r.analog_cores
+        << ", \"tests\": " << r.tests << ", \"makespan\": " << r.makespan
+        << ", \"admission_checks\": " << r.counters.admission_checks
+        << ", \"events_visited\": " << r.counters.events_visited
+        << ", \"retries\": " << r.counters.retries
+        << ", \"reservations\": " << r.counters.reservations
+        << ", \"wall_ms\": " << r.wall_ms << "}";
+  }
+  out << "\n  ]\n}\n";
+  out.close();
+  std::printf("trajectory written to %s\n", out_path.c_str());
+
+  return sublinear ? 0 : 1;
+}

@@ -59,7 +59,7 @@ msoc::soc::Soc make_power_annotated_d695m() {
 
 int main(int argc, char** argv) {
   using namespace msoc;
-  const std::string out_path = argc > 1 ? argv[1] : "power_ladder.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_power.json";
 
   const soc::Soc soc = make_power_annotated_d695m();
   const double peak = soc.peak_test_power();

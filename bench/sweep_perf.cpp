@@ -53,7 +53,7 @@ bool same_result(const msoc::plan::OptimizationResult& a,
 
 int main(int argc, char** argv) {
   using namespace msoc;
-  const std::string out_path = argc > 1 ? argv[1] : "sweep_perf.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sweep.json";
 
   const soc::Soc soc = soc::make_p93791m();
   plan::PlanningProblem problem;

@@ -1,0 +1,99 @@
+#pragma once
+// Coalescing set of half-open [start, end) intervals over the schedule
+// timeline, in the style of the interval sets that storage and proxy
+// systems use for extent tracking: an ordered map start -> end where
+// overlapping OR adjacent inserts merge, so the map always holds the
+// minimal sorted sequence of maximal disjoint intervals.
+//
+// The packer uses it for the blocked windows of a shared analog wrapper.
+// Because the set stores the *union* of its inserts, the earliest start
+// at which a duration-d window avoids every blocked interval is a single
+// ordered walk from the interval covering the probe — no fixpoint over an
+// unsorted vector, and the answer is provably the same: a window is
+// conflict-free against a collection of intervals iff it is disjoint
+// from their union, and the old fixpoint (advance past every overlapping
+// interval until none overlap) converges to exactly the first gap of the
+// union wide enough for the window.
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/units.hpp"
+
+namespace msoc::tam {
+
+class IntervalSet {
+ public:
+  using Interval = std::pair<Cycles, Cycles>;  ///< [start, end).
+  using Map = std::map<Cycles, Cycles>;        ///< start -> end.
+  using const_iterator = Map::const_iterator;
+
+  /// Inserts [start, end), merging every interval it overlaps or touches.
+  /// Amortized O(log n): each merge erases an interval that can never be
+  /// merged again.
+  void insert(Cycles start, Cycles end) {
+    check_invariant(start < end, "interval set insert must be non-empty");
+    // First candidate to absorb: the predecessor when it reaches (or
+    // touches) `start`, else the first interval starting at/after it.
+    auto it = intervals_.lower_bound(start);
+    if (it != intervals_.begin() && std::prev(it)->second >= start) {
+      --it;
+    }
+    while (it != intervals_.end() && it->first <= end) {
+      if (it->first < start) start = it->first;
+      if (it->second > end) end = it->second;
+      it = intervals_.erase(it);
+    }
+    intervals_.emplace_hint(it, start, end);
+  }
+
+  /// Earliest t >= from such that [t, t + duration) is disjoint from the
+  /// set.  O(log n + intervals skipped); returns `from` itself when the
+  /// window is already free.
+  [[nodiscard]] Cycles first_fit(Cycles from, Cycles duration) const {
+    Cycles t = from;
+    auto it = intervals_.upper_bound(t);
+    if (it != intervals_.begin() && std::prev(it)->second > t) {
+      --it;  // the predecessor still covers `t`
+    }
+    for (; it != intervals_.end() && it->first < t + duration; ++it) {
+      // Maximal disjoint intervals: every later interval starts at or
+      // after the previous one's end, so advancing to it->second keeps
+      // t monotone and each interval is examined at most once.
+      if (it->second > t) t = it->second;
+    }
+    return t;
+  }
+
+  /// True when t lies inside some interval.
+  [[nodiscard]] bool contains(Cycles t) const {
+    auto it = intervals_.upper_bound(t);
+    return it != intervals_.begin() && std::prev(it)->second > t;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return intervals_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return intervals_.size();
+  }
+  void clear() noexcept { intervals_.clear(); }
+
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return intervals_.begin();
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return intervals_.end();
+  }
+
+  /// The coalesced intervals in ascending order (test/debug helper).
+  [[nodiscard]] std::vector<Interval> to_vector() const {
+    return {intervals_.begin(), intervals_.end()};
+  }
+
+ private:
+  Map intervals_;
+};
+
+}  // namespace msoc::tam

@@ -14,7 +14,11 @@
 // completion time over the current wire-usage profile — and, when the
 // SOC (or PackingOptions) declares a power budget, over the companion
 // instantaneous-power profile: no placement may push the power sum of
-// everything running past the budget.
+// everything running past the budget.  Both profiles are coalescing
+// skylines (usage_profile.hpp / power_profile.hpp) and wrapper busy
+// windows are coalescing interval sets (interval_set.hpp), so every
+// admission probe costs O(log n + segments crossed) instead of a full
+// walk of the timeline.
 
 #include <string>
 #include <vector>

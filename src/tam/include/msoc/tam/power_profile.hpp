@@ -2,18 +2,24 @@
 // Instantaneous-power profile over time for the rectangle packer: the
 // PowerProfile companion to UsageProfile.  Wires are a discrete pool;
 // power is a continuous budget — the packer must satisfy both, so this
-// class mirrors UsageProfile's piecewise-constant delta-map design and
-// its retry-time contract (on failure, report the earliest later time
-// worth probing) but carries double loads and a double capacity.
+// class mirrors UsageProfile's coalescing-skyline design and its
+// retry-time contract (on failure, report the earliest later time worth
+// probing) but carries double loads and a double capacity.
+//
+// The skyline maintains per-segment levels incrementally instead of
+// re-summing +/- deltas per probe; floating-point reassociation can
+// shift a level by a few ulps relative to the old prefix-sum walk,
+// which is exactly the residue the slack below was already sized to
+// absorb.
 //
 // Exposed in a header for the same reason UsageProfile is: the retry
 // logic is where placement bugs hide, and hand-built profiles make it
 // unit-testable without running the whole packer.
 
-#include <map>
-
 #include "msoc/common/error.hpp"
 #include "msoc/common/units.hpp"
+#include "msoc/tam/counters.hpp"
+#include "msoc/tam/skyline.hpp"
 
 namespace msoc::tam {
 
@@ -23,69 +29,84 @@ class PowerProfile {
   /// unconstrained schedule simply never builds a PowerProfile).
   explicit PowerProfile(double budget)
       : budget_(budget),
-        // Accumulating +/- deltas in floating point leaves residue on
-        // the order of 1 ulp per event; the slack absorbs it so a
-        // fully-drained profile never spuriously rejects a test whose
-        // power exactly equals the budget.
+        // Accumulating loads in floating point leaves residue on the
+        // order of 1 ulp per event; the slack absorbs it so a fully-
+        // drained profile never spuriously rejects a test whose power
+        // exactly equals the budget.
         slack_(1e-9 * (budget < 1.0 ? 1.0 : budget)) {
     check_invariant(budget > 0.0, "power budget must be positive");
   }
 
   /// True when instantaneous power stays within budget for a `power`
   /// load over [start, start+duration).  On failure *retry_at is the
-  /// next event where enough budget frees up.
+  /// next segment where enough budget frees up.
   [[nodiscard]] bool window_free(Cycles start, double power, Cycles duration,
                                  Cycles* retry_at) const {
-    double usage = 0.0;
-    auto it = delta_.begin();
-    for (; it != delta_.end() && it->first <= start; ++it) {
-      usage += it->second;
-    }
+    std::uint64_t visited = 0;
+    const bool free =
+        window_free_impl(start, power, duration, retry_at, &visited);
+    PackCounters& counters = pack_counters();
+    counters.admission_checks.fetch_add(1, std::memory_order_relaxed);
+    counters.events_visited.fetch_add(visited, std::memory_order_relaxed);
+    if (!free) counters.retries.fetch_add(1, std::memory_order_relaxed);
+    return free;
+  }
+
+  void reserve(Cycles start, Cycles duration, double power) {
+    load_.add(start, start + duration, power);
+    pack_counters().reservations.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double budget() const noexcept { return budget_; }
+
+  /// The underlying envelope (tests and benches introspect it).
+  [[nodiscard]] const Skyline<double>& skyline() const noexcept {
+    return load_;
+  }
+
+ private:
+  using const_iterator = Skyline<double>::const_iterator;
+
+  [[nodiscard]] bool fits(double usage, double power) const {
+    return usage + power <= budget_ + slack_;
+  }
+
+  bool window_free_impl(Cycles start, double power, Cycles duration,
+                        Cycles* retry_at, std::uint64_t* visited) const {
+    const const_iterator at = load_.floor(start);
+    const double usage = at == load_.end() ? 0.0 : at->second;
+    const_iterator it = at == load_.end() ? load_.begin() : std::next(at);
+    ++*visited;
     if (!fits(usage, power)) {
-      *retry_at = next_drop(it, usage, power);
+      *retry_at = next_drop(it, power, visited);
       return false;
     }
-    for (; it != delta_.end() && it->first < start + duration; ++it) {
-      usage += it->second;
-      if (!fits(usage, power)) {
-        auto jt = std::next(it);
-        *retry_at = next_drop(jt, usage, power, it->first);
+    for (; it != load_.end() && it->first < start + duration; ++it) {
+      ++*visited;
+      if (!fits(it->second, power)) {
+        *retry_at = next_drop(std::next(it), power, visited);
         return false;
       }
     }
     return true;
   }
 
-  void reserve(Cycles start, Cycles duration, double power) {
-    delta_[start] += power;
-    delta_[start + duration] -= power;
-  }
-
-  [[nodiscard]] double budget() const noexcept { return budget_; }
-
- private:
-  [[nodiscard]] bool fits(double usage, double power) const {
-    return usage + power <= budget_ + slack_;
-  }
-
-  /// First event at/after `it` where usage drops enough for `power`.
-  Cycles next_drop(std::map<Cycles, double>::const_iterator it, double usage,
-                   double power, Cycles fallback = 0) const {
-    Cycles last = fallback;
-    for (; it != delta_.end(); ++it) {
-      usage += it->second;
-      last = it->first;
-      if (fits(usage, power)) return it->first;
+  /// First segment at/after `it` whose level admits `power`.
+  Cycles next_drop(const_iterator it, double power,
+                   std::uint64_t* visited) const {
+    for (; it != load_.end(); ++it) {
+      ++*visited;
+      if (fits(it->second, power)) return it->first;
     }
-    // The profile drains to ~0 past its last event, so a pre-checked
-    // load (power <= budget) always fits eventually.
+    // The profile drains to exactly zero past its last segment, so a
+    // pre-checked load (power <= budget) always fits eventually.
     check_invariant(false, "power usage never drops below the budget");
-    return last;
+    return 0;
   }
 
   double budget_;
   double slack_;
-  std::map<Cycles, double> delta_;
+  Skyline<double> load_;
 };
 
 }  // namespace msoc::tam

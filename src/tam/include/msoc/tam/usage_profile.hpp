@@ -1,79 +1,60 @@
 #pragma once
-// Wire-usage profile over time for the rectangle packer: piecewise-
-// constant usage maintained as a sorted map from time to usage delta.
+// Wire-usage profile over time for the rectangle packer, kept as a
+// coalescing Skyline<long long> (piecewise-constant usage levels)
+// instead of the historical delta map.  The admission probe used to sum
+// deltas from the beginning of time — O(n) per check — and now locates
+// the segment containing the window start in O(log n) and walks only
+// the segments the window crosses.  Levels are integers, so every
+// answer (fit/no-fit and the retry time) is bit-identical to the old
+// prefix-sum walk: the skyline's segment starts are exactly the delta
+// map's net-change events, and the tightest retry is always the first
+// level-change where the window fits.
+//
+// Blocked windows (a shared analog wrapper's busy intervals) arrive as a
+// coalescing IntervalSet; the earliest conflict-free start is one
+// ordered walk of the union, which equals the old advance-past-every-
+// overlap fixpoint (see interval_set.hpp).
+//
 // Exposed in a header (rather than buried in packing.cpp) so the
 // retry-time logic — historically a source of subtle placement bugs —
 // stays unit-testable on hand-built profiles.
 
-#include <map>
-#include <utility>
-#include <vector>
-
 #include "msoc/common/error.hpp"
 #include "msoc/common/units.hpp"
+#include "msoc/tam/counters.hpp"
+#include "msoc/tam/interval_set.hpp"
+#include "msoc/tam/skyline.hpp"
 
 namespace msoc::tam {
 
 class UsageProfile {
  public:
-  using Interval = std::pair<Cycles, Cycles>;  ///< [start, end).
+  using Interval = IntervalSet::Interval;  ///< [start, end).
 
   explicit UsageProfile(int capacity) : capacity_(capacity) {}
 
   /// True when usage stays <= capacity - width over [start, start+d) and
   /// the window avoids all `blocked` intervals.  On failure *retry_at is
-  /// the earliest later time worth trying.
-  ///
-  /// Blocked intervals may arrive in any order.  A window overlapping a
-  /// blocked interval [b, e) can only become free at or after e, so the
-  /// minimal valid retry is the fixpoint of advancing past every interval
-  /// the candidate window still overlaps — NOT the end of whichever
-  /// overlapping interval happens to come first in vector order, which
-  /// under-reports the conflict and costs an extra probe per interval.
+  /// the earliest later time worth trying: the first gap of the blocked
+  /// union wide enough for the window, or the first usage drop that
+  /// admits `width`.
   [[nodiscard]] bool window_free(Cycles start, int width, Cycles duration,
-                                 const std::vector<Interval>& blocked,
+                                 const IntervalSet& blocked,
                                  Cycles* retry_at) const {
-    Cycles clear = start;
-    bool conflicted = false;
-    for (bool moved = true; moved;) {
-      moved = false;
-      for (const auto& [b, e] : blocked) {
-        if (clear < e && b < clear + duration) {
-          clear = e;
-          conflicted = true;
-          moved = true;
-        }
-      }
-    }
-    if (conflicted) {
-      *retry_at = clear;
-      return false;
-    }
-    long long usage = 0;
-    auto it = delta_.begin();
-    for (; it != delta_.end() && it->first <= start; ++it) {
-      usage += it->second;
-    }
-    if (usage + width > capacity_) {
-      *retry_at = next_drop(it, usage, width);
-      return false;
-    }
-    for (; it != delta_.end() && it->first < start + duration; ++it) {
-      usage += it->second;
-      if (usage + width > capacity_) {
-        auto jt = std::next(it);
-        long long u = usage;
-        *retry_at = next_drop(jt, u, width, it->first);
-        return false;
-      }
-    }
-    return true;
+    std::uint64_t visited = 0;
+    const bool free = window_free_impl(start, width, duration, blocked,
+                                       retry_at, &visited);
+    PackCounters& counters = pack_counters();
+    counters.admission_checks.fetch_add(1, std::memory_order_relaxed);
+    counters.events_visited.fetch_add(visited, std::memory_order_relaxed);
+    if (!free) counters.retries.fetch_add(1, std::memory_order_relaxed);
+    return free;
   }
 
   /// Earliest start >= `not_before` where the window is free.
-  [[nodiscard]] Cycles earliest_start(
-      int width, Cycles duration, Cycles not_before,
-      const std::vector<Interval>& blocked) const {
+  [[nodiscard]] Cycles earliest_start(int width, Cycles duration,
+                                      Cycles not_before,
+                                      const IntervalSet& blocked) const {
     Cycles candidate = not_before;
     while (true) {
       Cycles retry = 0;
@@ -86,26 +67,59 @@ class UsageProfile {
   }
 
   void reserve(Cycles start, Cycles duration, int width) {
-    delta_[start] += width;
-    delta_[start + duration] -= width;
+    usage_.add(start, start + duration, width);
+    pack_counters().reservations.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] int capacity() const noexcept { return capacity_; }
+
+  /// The underlying envelope (tests and benches introspect it).
+  [[nodiscard]] const Skyline<long long>& skyline() const noexcept {
+    return usage_;
   }
 
  private:
-  /// First event at/after `it` where usage drops enough for `width`.
-  Cycles next_drop(std::map<Cycles, long long>::const_iterator it,
-                   long long usage, int width, Cycles fallback = 0) const {
-    Cycles last = fallback;
-    for (; it != delta_.end(); ++it) {
-      usage += it->second;
-      last = it->first;
-      if (usage + width <= capacity_) return it->first;
+  using const_iterator = Skyline<long long>::const_iterator;
+
+  bool window_free_impl(Cycles start, int width, Cycles duration,
+                        const IntervalSet& blocked, Cycles* retry_at,
+                        std::uint64_t* visited) const {
+    const Cycles clear = blocked.first_fit(start, duration);
+    if (clear != start) {
+      *retry_at = clear;
+      return false;
+    }
+    const const_iterator at = usage_.floor(start);
+    const long long usage = at == usage_.end() ? 0 : at->second;
+    const_iterator it = at == usage_.end() ? usage_.begin() : std::next(at);
+    ++*visited;
+    if (usage + width > capacity_) {
+      *retry_at = next_drop(it, width, visited);
+      return false;
+    }
+    for (; it != usage_.end() && it->first < start + duration; ++it) {
+      ++*visited;
+      if (it->second + width > capacity_) {
+        *retry_at = next_drop(std::next(it), width, visited);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// First segment at/after `it` whose level admits `width`.
+  Cycles next_drop(const_iterator it, int width,
+                   std::uint64_t* visited) const {
+    for (; it != usage_.end(); ++it) {
+      ++*visited;
+      if (it->second + width <= capacity_) return it->first;
     }
     check_invariant(false, "TAM usage never drops below capacity");
-    return last;
+    return 0;
   }
 
   int capacity_;
-  std::map<Cycles, long long> delta_;
+  Skyline<long long> usage_;
 };
 
 }  // namespace msoc::tam

@@ -1,0 +1,28 @@
+#include "msoc/tam/counters.hpp"
+
+namespace msoc::tam {
+
+PackCounters& pack_counters() noexcept {
+  static PackCounters counters;
+  return counters;
+}
+
+PackCounterSnapshot snapshot_pack_counters() noexcept {
+  const PackCounters& c = pack_counters();
+  PackCounterSnapshot s;
+  s.admission_checks = c.admission_checks.load(std::memory_order_relaxed);
+  s.events_visited = c.events_visited.load(std::memory_order_relaxed);
+  s.retries = c.retries.load(std::memory_order_relaxed);
+  s.reservations = c.reservations.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_pack_counters() noexcept {
+  PackCounters& c = pack_counters();
+  c.admission_checks.store(0, std::memory_order_relaxed);
+  c.events_visited.store(0, std::memory_order_relaxed);
+  c.retries.store(0, std::memory_order_relaxed);
+  c.reservations.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace msoc::tam

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "msoc/common/error.hpp"
+#include "msoc/tam/interval_set.hpp"
 #include "msoc/tam/power_profile.hpp"
 #include "msoc/tam/usage_profile.hpp"
 #include "msoc/wrapper/wrapper_design.hpp"
@@ -17,8 +18,6 @@
 namespace msoc::tam {
 
 namespace {
-
-using Interval = UsageProfile::Interval;
 
 struct DigitalItem {
   const soc::DigitalCore* core = nullptr;
@@ -63,7 +62,7 @@ enum class WidthPreference { kNarrow, kWide };
 Cycles earliest_feasible(const UsageProfile& profile,
                          const PowerProfile* power_profile, int width,
                          double power, Cycles duration,
-                         const std::vector<Interval>& blocked) {
+                         const IntervalSet& blocked) {
   Cycles candidate = profile.earliest_start(width, duration, 0, blocked);
   if (power_profile == nullptr) return candidate;
   while (true) {
@@ -83,7 +82,7 @@ Cycles earliest_feasible(const UsageProfile& profile,
 Placement choose_placement(const UsageProfile& profile,
                            const PowerProfile* power_profile, double power,
                            const std::vector<std::pair<int, Cycles>>& widths,
-                           const std::vector<Interval>& blocked,
+                           const IntervalSet& blocked,
                            Cycles current_makespan,
                            WidthPreference pref = WidthPreference::kNarrow) {
   Placement best;
@@ -272,20 +271,20 @@ void improve_schedule(Schedule& schedule,
       }
       // Serialization: block against the same wrapper group, including
       // victims already re-placed in this round.
-      std::vector<Interval> group_busy;
+      IntervalSet group_busy;
       if (victim.kind == TestKind::kAnalog) {
         for (std::size_t i = 0; i < schedule.tests.size(); ++i) {
           if (removed.count(i)) continue;
           const ScheduledTest& t = schedule.tests[i];
           if (t.kind == TestKind::kAnalog &&
               t.wrapper_group == victim.wrapper_group) {
-            group_busy.emplace_back(t.start, t.end());
+            group_busy.insert(t.start, t.end());
           }
         }
         for (const ScheduledTest& t : replaced) {
           if (t.kind == TestKind::kAnalog &&
               t.wrapper_group == victim.wrapper_group) {
-            group_busy.emplace_back(t.start, t.end());
+            group_busy.insert(t.start, t.end());
           }
         }
       }
@@ -390,7 +389,7 @@ Schedule pack_once(const std::vector<DigitalItem>& digital,
       // Rectangles are placed one by one; `busy` enforces the paper's
       // serialization constraint (one test at a time per wrapper) while
       // letting digital tests and other wrappers use the gaps.
-      std::vector<Interval> busy;
+      IntervalSet busy;
       for (const AnalogRect& rect : item.rects) {
         const Placement p =
             choose_placement(profile, power_ptr, rect.power,
@@ -401,7 +400,7 @@ Schedule pack_once(const std::vector<DigitalItem>& digital,
           power_profile->reserve(p.start, p.duration, rect.power);
         }
         makespan = std::max(makespan, p.start + p.duration);
-        busy.emplace_back(p.start, p.start + p.duration);
+        busy.insert(p.start, p.start + p.duration);
         ScheduledTest t;
         t.kind = TestKind::kAnalog;
         t.core_name = rect.core->name;

@@ -7,6 +7,7 @@
 
 #include "msoc/common/csv.hpp"
 #include "msoc/common/error.hpp"
+#include "msoc/tam/skyline.hpp"
 
 namespace msoc::tam {
 
@@ -32,18 +33,12 @@ double Schedule::utilization() const {
 }
 
 double Schedule::peak_power() const {
-  std::map<Cycles, double> delta;
+  Skyline<double> load;
   for (const ScheduledTest& t : tests) {
-    delta[t.start] += t.power;
-    delta[t.end()] -= t.power;
+    // Zero-length or powerless tests contribute nothing to the envelope.
+    if (t.duration > 0 && t.power != 0.0) load.add(t.start, t.end(), t.power);
   }
-  double usage = 0.0;
-  double peak = 0.0;
-  for (const auto& [time, d] : delta) {
-    usage += d;
-    peak = std::max(peak, usage);
-  }
-  return peak;
+  return load.peak();
 }
 
 std::vector<ScheduleViolation> check_schedule(const Schedule& schedule) {
@@ -52,18 +47,17 @@ std::vector<ScheduleViolation> check_schedule(const Schedule& schedule) {
     violations.push_back(ScheduleViolation{std::move(message)});
   };
 
-  // Capacity: sweep start/end events.
-  std::map<Cycles, long long> delta;
+  // Capacity: rebuild the wire-usage skyline and scan its segments.
+  // Segment starts are exactly the net-change events of the schedule, so
+  // the first over-subscribed segment is the first violating cycle.
+  Skyline<long long> usage;
   for (const ScheduledTest& t : schedule.tests) {
-    delta[t.start] += t.width;
-    delta[t.end()] -= t.width;
+    if (t.duration > 0 && t.width != 0) usage.add(t.start, t.end(), t.width);
   }
-  long long usage = 0;
-  for (const auto& [time, d] : delta) {
-    usage += d;
-    if (usage > schedule.tam_width) {
+  for (const auto& [time, level] : usage) {
+    if (level > schedule.tam_width) {
       std::ostringstream os;
-      os << "TAM over-subscribed at cycle " << time << ": " << usage << " > "
+      os << "TAM over-subscribed at cycle " << time << ": " << level << " > "
          << schedule.tam_width;
       add(os.str());
       break;
@@ -71,22 +65,19 @@ std::vector<ScheduleViolation> check_schedule(const Schedule& schedule) {
   }
 
   // Instantaneous power against the schedule's budget.  The tolerance
-  // matches PowerProfile's: floating-point event accumulation leaves
-  // ulp-sized residue that must not read as a violation.
+  // matches PowerProfile's: floating-point accumulation leaves ulp-sized
+  // residue that must not read as a violation.
   if (schedule.max_power > 0.0) {
     const double slack =
         1e-9 * (schedule.max_power < 1.0 ? 1.0 : schedule.max_power);
-    std::map<Cycles, double> power_delta;
+    Skyline<double> load;
     for (const ScheduledTest& t : schedule.tests) {
-      power_delta[t.start] += t.power;
-      power_delta[t.end()] -= t.power;
+      if (t.duration > 0 && t.power != 0.0) load.add(t.start, t.end(), t.power);
     }
-    double load = 0.0;
-    for (const auto& [time, d] : power_delta) {
-      load += d;
-      if (load > schedule.max_power + slack) {
+    for (const auto& [time, level] : load) {
+      if (level > schedule.max_power + slack) {
         std::ostringstream os;
-        os << "power budget exceeded at cycle " << time << ": " << load
+        os << "power budget exceeded at cycle " << time << ": " << level
            << " > " << schedule.max_power;
         add(os.str());
         break;

@@ -6,6 +6,7 @@
 
 #include "msoc/common/error.hpp"
 #include "msoc/soc/benchmarks.hpp"
+#include "msoc/tam/interval_set.hpp"
 #include "msoc/tam/power_profile.hpp"
 #include "powered_fixtures.hpp"
 #include "msoc/tam/schedule.hpp"
@@ -238,25 +239,32 @@ TEST(PackingMonotonicity, FallbackCanBeDisabledForAblation) {
 
 TEST(UsageProfileRetry, OutOfOrderBlockedIntervalsFindTightestRetry) {
   // window_free must clear EVERY overlapping blocked interval, whatever
-  // their vector order: the minimal valid retry for a window of length 10
-  // against {[40,55), [0,20), [18,42)} starting at 5 is 55.
+  // their insertion order: the minimal valid retry for a window of length
+  // 10 against {[40,55), [0,20), [18,42)} starting at 5 is 55.
   UsageProfile profile(8);
-  const std::vector<UsageProfile::Interval> unsorted = {
-      {40, 55}, {0, 20}, {18, 42}};
+  IntervalSet unsorted;
+  unsorted.insert(40, 55);
+  unsorted.insert(0, 20);
+  unsorted.insert(18, 42);
   Cycles retry = 0;
   EXPECT_FALSE(profile.window_free(5, 4, 10, unsorted, &retry));
   EXPECT_EQ(retry, 55u);
 
-  // Same intervals sorted must agree (order independence).
-  const std::vector<UsageProfile::Interval> sorted = {
-      {0, 20}, {18, 42}, {40, 55}};
+  // Same intervals inserted in sorted order must agree (the coalesced
+  // union is identical).
+  IntervalSet sorted;
+  sorted.insert(0, 20);
+  sorted.insert(18, 42);
+  sorted.insert(40, 55);
   retry = 0;
   EXPECT_FALSE(profile.window_free(5, 4, 10, sorted, &retry));
   EXPECT_EQ(retry, 55u);
 
   // A gap big enough for the window is found, not skipped: [20, 40) holds
   // a length-10 window even though a later interval starts at 40.
-  const std::vector<UsageProfile::Interval> gap = {{40, 55}, {0, 20}};
+  IntervalSet gap;
+  gap.insert(40, 55);
+  gap.insert(0, 20);
   EXPECT_EQ(profile.earliest_start(4, 10, 0, gap), 20u);
   retry = 0;
   EXPECT_TRUE(profile.window_free(20, 4, 10, gap, &retry));
@@ -266,7 +274,8 @@ TEST(UsageProfileRetry, CapacityAndBlockedInteract) {
   UsageProfile profile(8);
   profile.reserve(0, 100, 6);  // only 2 wires free until t=100
   // Width 4 cannot fit before 100; blocked interval [100, 120) in front.
-  const std::vector<UsageProfile::Interval> blocked = {{100, 120}};
+  IntervalSet blocked;
+  blocked.insert(100, 120);
   EXPECT_EQ(profile.earliest_start(4, 10, 0, blocked), 120u);
   // Without the blocked interval the capacity drop at 100 is the answer.
   EXPECT_EQ(profile.earliest_start(4, 10, 0, {}), 100u);

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate over BENCH_*.json documents.
+
+Compares the deterministic counters in a freshly generated bench JSON
+against the committed baseline and fails on regressions.  Wall-clock
+fields are never gated — they vary with the machine — but the packer's
+kernel counters (admission checks, skyline events visited, retries,
+reservations), optimizer evaluation counts and result fields (makespan,
+test time) are exact for a fixed workload, so any growth is a real
+algorithmic regression, not noise.
+
+Rules:
+  * A gated counter may grow by at most --tolerance (default 10%).
+    Shrinking is fine (that is an improvement) but gets reported.
+  * Boolean gates ("identical", "sublinear", "time_monotone") must not
+    flip from true to false.
+  * Arrays are compared index by index over their common prefix: the
+    sweep bench appends a rung for machines with more than four
+    hardware threads, so baseline and current may legitimately differ
+    in length.  The skipped tail is reported.
+
+Usage:
+  check_bench.py BASELINE CURRENT [--tolerance 0.10]
+  check_bench.py --self-test BASELINE
+
+The self-test inflates one gated counter of BASELINE by 50% in memory
+and asserts the comparison fails, then asserts an unmodified copy
+passes — CI runs it so a broken comparator cannot silently wave
+regressions through.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+# Leaf keys that are deterministic for a fixed workload and gated on
+# growth.  Everything else (wall_ms, speedup, ratios derived from
+# them) is informational only.
+GATED_COUNTERS = {
+    "admission_checks",
+    "events_visited",
+    "retries",
+    "reservations",
+    "evaluations",
+    "cache_hits",
+    "pruned",
+    "makespan",
+    "test_time",
+    "tests",
+}
+
+# Booleans that must never flip true -> false.
+GATED_FLAGS = {"identical", "sublinear", "time_monotone"}
+
+
+def walk(baseline, current, path, findings):
+    """Recursively diffs gated fields, appending findings in place."""
+    if isinstance(baseline, dict) and isinstance(current, dict):
+        for key, base_value in baseline.items():
+            if key not in current:
+                findings.append(("missing", f"{path}.{key}", base_value, None))
+                continue
+            walk(base_value, current[key], f"{path}.{key}", findings)
+        return
+    if isinstance(baseline, list) and isinstance(current, list):
+        common = min(len(baseline), len(current))
+        if len(baseline) != len(current):
+            findings.append(
+                ("note", path,
+                 f"length {len(baseline)} vs {len(current)}; "
+                 f"comparing first {common}", None))
+        for i in range(common):
+            walk(baseline[i], current[i], f"{path}[{i}]", findings)
+        return
+    key = path.rsplit(".", 1)[-1].split("[", 1)[0]
+    if key in GATED_FLAGS:
+        if baseline is True and current is not True:
+            findings.append(("flag", path, baseline, current))
+        return
+    if key in GATED_COUNTERS and isinstance(baseline, (int, float)):
+        if not isinstance(current, (int, float)):
+            findings.append(("missing", path, baseline, current))
+        return  # numeric comparison happens in compare() for tolerance
+
+
+def numeric_diffs(baseline, current, path, out):
+    """Collects (path, base, cur) for every gated numeric pair."""
+    if isinstance(baseline, dict) and isinstance(current, dict):
+        for key, base_value in baseline.items():
+            if key in current:
+                numeric_diffs(base_value, current[key], f"{path}.{key}", out)
+        return
+    if isinstance(baseline, list) and isinstance(current, list):
+        for i in range(min(len(baseline), len(current))):
+            numeric_diffs(baseline[i], current[i], f"{path}[{i}]", out)
+        return
+    key = path.rsplit(".", 1)[-1].split("[", 1)[0]
+    if (key in GATED_COUNTERS and isinstance(baseline, (int, float))
+            and isinstance(current, (int, float))):
+        out.append((path, float(baseline), float(current)))
+
+
+def compare(baseline, current, tolerance):
+    """Returns (failures, notes) comparing current against baseline."""
+    findings = []
+    walk(baseline, current, "$", findings)
+    failures = []
+    notes = []
+    for kind, path, base, cur in findings:
+        if kind == "missing":
+            failures.append(f"{path}: gated field missing from current run")
+        elif kind == "flag":
+            failures.append(f"{path}: flipped from {base} to {cur}")
+        else:
+            notes.append(f"{path}: {base}")
+    pairs = []
+    numeric_diffs(baseline, current, "$", pairs)
+    for path, base, cur in pairs:
+        if cur > base * (1.0 + tolerance):
+            failures.append(
+                f"{path}: {base:g} -> {cur:g} "
+                f"(+{100.0 * (cur - base) / base:.1f}%, "
+                f"tolerance {100.0 * tolerance:.0f}%)")
+        elif cur < base:
+            notes.append(
+                f"{path}: improved {base:g} -> {cur:g} "
+                f"({100.0 * (cur - base) / base:.1f}%)")
+    return failures, notes
+
+
+def inflate_one_counter(doc):
+    """Multiplies the first gated counter found by 1.5 (for --self-test)."""
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            if key in GATED_COUNTERS and isinstance(value, (int, float)):
+                doc[key] = value * 1.5
+                return f"{key} (x1.5)"
+            injected = inflate_one_counter(value)
+            if injected:
+                return injected
+    elif isinstance(doc, list):
+        for item in doc:
+            injected = inflate_one_counter(item)
+            if injected:
+                return injected
+    return None
+
+
+def self_test(baseline_path, tolerance):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    clean = copy.deepcopy(baseline)
+    failures, _ = compare(baseline, clean, tolerance)
+    if failures:
+        print("self-test FAILED: identical documents were rejected:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    broken = copy.deepcopy(baseline)
+    injected = inflate_one_counter(broken)
+    if injected is None:
+        print(f"self-test FAILED: no gated counter in {baseline_path}")
+        return 1
+    failures, _ = compare(baseline, broken, tolerance)
+    if not failures:
+        print(f"self-test FAILED: injected regression ({injected}) "
+              "was not detected")
+        return 1
+    print(f"self-test OK: injected {injected} tripped the gate "
+          f"({len(failures)} finding(s)); clean copy passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("current", nargs="?",
+                        help="freshly generated BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed counter growth (default 0.10 = 10%%)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate trips on an injected "
+                             "regression of BASELINE")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.baseline, args.tolerance)
+    if args.current is None:
+        parser.error("CURRENT is required unless --self-test")
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+    failures, notes = compare(baseline, current, args.tolerance)
+    for note in notes:
+        print(f"note: {note}")
+    if failures:
+        print(f"{args.current}: {len(failures)} counter regression(s) "
+              f"vs {args.baseline}:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        print("If the change is intentional, regenerate baselines with "
+              "tools/regen_bench.sh and commit them.")
+        return 1
+    print(f"{args.current}: counters within tolerance of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Regenerates the committed BENCH_*.json perf-trajectory baselines at
+# the repo root.
+#
+# The baselines pin the deterministic counters (admission checks,
+# skyline events visited, optimizer evaluations, makespans, ...) that
+# the bench drivers report for their fixed workloads.  CI reruns the
+# benches and tools/check_bench.py fails the build when a counter grew
+# past tolerance — wall-clock fields are normalized to 0 here and never
+# gated, so the baselines are machine-independent.  (The sweep bench's
+# jobs ladder gains a rung on machines with more than four hardware
+# threads; the comparator diffs arrays over their common prefix, so a
+# baseline regenerated on any machine stays valid.)
+#
+# Run after an intentional packer/optimizer behaviour change, then
+# commit the diff:
+#   tools/regen_bench.sh [build_dir]
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build}"
+bench="$build/bench"
+
+for exe in packer_throughput frontier_perf sweep_perf power_ladder; do
+  if [[ ! -x "$bench/$exe" ]]; then
+    echo "error: $bench/$exe not built (pass the build dir as \$1?)" >&2
+    exit 1
+  fi
+done
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Same normalization as tools/regen_golden.sh: zero every wall-clock
+# field (and the ratios derived from one) so reruns diff clean.
+normalize() {
+  sed -E \
+    -e 's/"(total_)?wall_ms": -?[0-9.eE+-]+/"\1wall_ms": 0/g' \
+    -e 's/"speedup": -?[0-9.eE+-]+/"speedup": 0/g' \
+    -e 's/"cold_warm_speedup": -?[0-9.eE+-]+/"cold_warm_speedup": 0/g' \
+    "$1" > "$2"
+}
+
+"$bench/packer_throughput" "$tmp/packer.json" > /dev/null
+normalize "$tmp/packer.json" "$root/BENCH_packer.json"
+
+"$bench/frontier_perf" "$tmp/frontier.json" "$tmp/frontier_cache" \
+  > /dev/null
+normalize "$tmp/frontier.json" "$root/BENCH_frontier.json"
+
+"$bench/sweep_perf" "$tmp/sweep.json" > /dev/null
+normalize "$tmp/sweep.json" "$root/BENCH_sweep.json"
+
+"$bench/power_ladder" "$tmp/power.json" > /dev/null
+normalize "$tmp/power.json" "$root/BENCH_power.json"
+
+echo "bench baselines regenerated:"
+ls -l "$root"/BENCH_*.json
