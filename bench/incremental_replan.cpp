@@ -1,0 +1,303 @@
+// Incremental re-plan trajectory: cold solve vs replan after an ECO.
+//
+// Solves the built-in p93791m benchmark cold into a result-cache
+// store, then replays four single-edit ECO scenarios through
+// plan::FrontierEngine::replan against that baseline:
+//
+//   * power_annotation — one digital core gains a power annotation.
+//     Unconstrained makespans cannot observe power, so the replan must
+//     splice EVERY partition evaluation from the baseline store;
+//   * budget_edit — only Soc::max_power moves.  The budget is an
+//     explicit cache-key coordinate, so again nothing re-packs;
+//   * scan_chain / analog_retune — genuine timing-content edits.
+//     Every sharing partition goes dirty and the replan degrades to a
+//     full re-pack, which must still match the cold solve exactly.
+//
+// For each scenario the mutant is ALSO solved cold (no cache) and the
+// two frontiers are compared bit for bit — the bench doubles as the
+// correctness gate for the splice.  Exits non-zero when any scenario
+// diverges, or when the 1-core power-annotation edit skips fewer than
+// 90% of the cold run's partition evaluations (the incremental-replan
+// acceptance threshold).  Writes the counters as JSON (schema
+// "msoc-bench-incremental-v1") for CI to archive and gate.
+//
+// Usage: incremental_replan [output.json] [cache_dir]
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "msoc/plan/frontier.hpp"
+#include "msoc/soc/benchmarks.hpp"
+#include "msoc/soc/digest.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using msoc::plan::FrontierEngine;
+using msoc::plan::FrontierOptions;
+using msoc::plan::FrontierPoint;
+using msoc::plan::FrontierResult;
+using msoc::plan::ResultCache;
+
+struct Scenario {
+  const char* name = "";
+  std::function<msoc::soc::Soc(const msoc::soc::Soc&)> mutate;
+  bool expect_full_splice = false;  ///< Zero evaluations demanded.
+};
+
+struct Outcome {
+  const char* name = "";
+  double cold_wall_ms = 0.0;
+  double replan_wall_ms = 0.0;
+  int cold_evaluations = 0;
+  int replan_evaluations = 0;
+  int reused = 0;
+  int cache_hits = 0;
+  int dirty_partitions = 0;
+  double skip_percent = 0.0;
+  bool identical = false;
+};
+
+/// Rebuilds `soc` with `edit` applied to its cores (Soc exposes no
+/// mutable core accessors by design).
+msoc::soc::Soc rebuild(const msoc::soc::Soc& soc,
+                       const std::function<void(msoc::soc::DigitalCore&,
+                                                std::size_t)>& digital_edit,
+                       const std::function<void(msoc::soc::AnalogCore&,
+                                                std::size_t)>& analog_edit) {
+  msoc::soc::Soc out(soc.name());
+  out.set_max_power(soc.max_power());
+  for (std::size_t i = 0; i < soc.digital_count(); ++i) {
+    msoc::soc::DigitalCore core = soc.digital_cores()[i];
+    if (digital_edit) digital_edit(core, i);
+    out.add_digital(std::move(core));
+  }
+  for (std::size_t i = 0; i < soc.analog_count(); ++i) {
+    msoc::soc::AnalogCore core = soc.analog_cores()[i];
+    if (analog_edit) analog_edit(core, i);
+    out.add_analog(std::move(core));
+  }
+  return out;
+}
+
+bool same_frontier(const FrontierResult& a, const FrontierResult& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const FrontierPoint& p = a.points[i];
+    const FrontierPoint& q = b.points[i];
+    if (p.tam_width != q.tam_width || p.error != q.error) return false;
+    if (!p.ok()) continue;
+    if (p.best.partition != q.best.partition ||
+        p.best.test_time != q.best.test_time ||
+        p.best.total != q.best.total || p.t_max != q.t_max) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int total_evaluations(const FrontierResult& result) {
+  int total = 0;
+  for (const FrontierPoint& point : result.points) {
+    total += point.evaluations;
+  }
+  return total;
+}
+
+FrontierOptions bench_options(ResultCache* cache) {
+  FrontierOptions options;
+  options.max_powers = {0.0};  // unconstrained: packing-digest keyed
+  options.cache = cache;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msoc;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_incremental.json";
+  const std::string cache_dir =
+      argc > 2 ? argv[2] : "incremental_replan_cache";
+
+  std::error_code ec;
+  std::filesystem::remove_all(cache_dir, ec);  // the baseline must be fresh
+
+  const soc::Soc baseline = soc::make_p93791m();
+  const std::string baseline_digest = soc::digest_hex(baseline);
+
+  std::printf("FrontierEngine replan on %s, widths {16,24,32,48,64}, "
+              "cache %s\n",
+              baseline.name().c_str(), cache_dir.c_str());
+
+  // One cold solve of the baseline seeds the store every ECO replays
+  // against — exactly the CI/nightly artifact an ECO would reuse.
+  double baseline_wall_ms = 0.0;
+  {
+    ResultCache cache(cache_dir);
+    const Clock::time_point start = Clock::now();
+    FrontierEngine engine(baseline, bench_options(&cache));
+    const FrontierResult result = engine.run();
+    cache.flush();
+    baseline_wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    std::printf("  baseline  %8.1f ms  evaluations %-4d\n", baseline_wall_ms,
+                total_evaluations(result));
+    if (total_evaluations(result) == 0) {
+      std::fprintf(stderr, "error: baseline run performed no evaluations — "
+                           "the cache wipe failed\n");
+      return 1;
+    }
+  }
+
+  const std::vector<Scenario> scenarios = {
+      {"power_annotation",
+       [](const soc::Soc& soc) {
+         return rebuild(
+             soc,
+             [](soc::DigitalCore& core, std::size_t i) {
+               if (i == 0) core.power = 25.0;
+             },
+             nullptr);
+       },
+       /*expect_full_splice=*/true},
+      {"budget_edit",
+       [](const soc::Soc& soc) {
+         soc::Soc out = rebuild(soc, nullptr, nullptr);
+         out.set_max_power(1000.0);
+         return out;
+       },
+       /*expect_full_splice=*/true},
+      {"scan_chain",
+       [](const soc::Soc& soc) {
+         return rebuild(
+             soc,
+             [](soc::DigitalCore& core, std::size_t i) {
+               if (i != 0) return;
+               if (core.scan_chain_lengths.empty()) {
+                 core.patterns += 13;
+               } else {
+                 core.scan_chain_lengths[0] += 7;
+               }
+             },
+             nullptr);
+       },
+       /*expect_full_splice=*/false},
+      {"analog_retune",
+       [](const soc::Soc& soc) {
+         return rebuild(soc, nullptr,
+                        [](soc::AnalogCore& core, std::size_t i) {
+                          if (i == 0) core.tests.front().cycles += 500;
+                        });
+       },
+       /*expect_full_splice=*/false},
+  };
+
+  bool ok = true;
+  bool skip_target_met = true;
+  std::vector<Outcome> outcomes;
+  for (const Scenario& scenario : scenarios) {
+    const soc::Soc mutant = scenario.mutate(baseline);
+    Outcome outcome;
+    outcome.name = scenario.name;
+
+    // Cold reference: the mutant solved from scratch, no cache at all.
+    Clock::time_point start = Clock::now();
+    FrontierEngine cold_engine(mutant, bench_options(nullptr));
+    const FrontierResult cold = cold_engine.run();
+    outcome.cold_wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    outcome.cold_evaluations = total_evaluations(cold);
+
+    // The replan: a fresh ResultCache so the baseline inventory comes
+    // back from the flushed v3 file, as it would across processes.
+    ResultCache cache(cache_dir);
+    start = Clock::now();
+    FrontierEngine engine(mutant, bench_options(&cache));
+    const FrontierResult replanned = engine.replan(baseline_digest);
+    outcome.replan_wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    outcome.replan_evaluations = total_evaluations(replanned);
+    outcome.reused = replanned.reused;
+    outcome.cache_hits = replanned.cache_hits;
+    outcome.dirty_partitions = replanned.dirty_partitions;
+    outcome.skip_percent =
+        outcome.cold_evaluations > 0
+            ? 100.0 *
+                  static_cast<double>(outcome.cold_evaluations -
+                                      outcome.replan_evaluations) /
+                  static_cast<double>(outcome.cold_evaluations)
+            : 0.0;
+    outcome.identical = same_frontier(cold, replanned) &&
+                        replanned.replanned_from == baseline_digest;
+
+    std::printf("  %-17s cold %8.1f ms / %-4d evals   replan %8.1f ms / "
+                "%-4d evals   skipped %5.1f%%  reused %-4d dirty %d\n",
+                outcome.name, outcome.cold_wall_ms, outcome.cold_evaluations,
+                outcome.replan_wall_ms, outcome.replan_evaluations,
+                outcome.skip_percent, outcome.reused,
+                outcome.dirty_partitions);
+
+    if (!outcome.identical) {
+      std::fprintf(stderr, "error: %s replan diverged from the cold solve\n",
+                   scenario.name);
+      ok = false;
+    }
+    if (scenario.expect_full_splice && outcome.replan_evaluations != 0) {
+      std::fprintf(stderr,
+                   "error: %s replan still performed %d evaluations\n",
+                   scenario.name, outcome.replan_evaluations);
+      ok = false;
+    }
+    // The acceptance threshold: a 1-core edit must skip >= 90% of the
+    // cold run's partition evaluations.
+    if (scenario.expect_full_splice && outcome.skip_percent < 90.0) {
+      std::fprintf(stderr, "error: %s skipped only %.1f%% of evaluations "
+                           "(threshold 90%%)\n",
+                   scenario.name, outcome.skip_percent);
+      skip_target_met = false;
+    }
+    outcomes.push_back(outcome);
+  }
+  if (!skip_target_met) ok = false;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"schema\": \"msoc-bench-incremental-v1\",\n"
+      << "  \"soc\": \"" << baseline.name() << "\",\n"
+      << "  \"digest\": \"" << baseline_digest << "\",\n"
+      << "  \"baseline\": {\"wall_ms\": " << baseline_wall_ms << "},\n"
+      << "  \"identical\": " << (ok ? "true" : "false") << ",\n"
+      << "  \"skip_target_met\": " << (skip_target_met ? "true" : "false")
+      << ",\n  \"scenarios\": [";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    const double speedup =
+        o.replan_wall_ms > 0.0 ? o.cold_wall_ms / o.replan_wall_ms : 0.0;
+    out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << o.name
+        << "\",\n     \"cold\": {\"evaluations\": " << o.cold_evaluations
+        << ", \"wall_ms\": " << o.cold_wall_ms << "},\n"
+        << "     \"replan\": {\"evaluations\": " << o.replan_evaluations
+        << ", \"reused\": " << o.reused << ", \"cache_hits\": "
+        << o.cache_hits << ", \"dirty_partitions\": " << o.dirty_partitions
+        << ", \"wall_ms\": " << o.replan_wall_ms << "},\n"
+        << "     \"evaluations_skipped_percent\": " << o.skip_percent
+        << ",\n     \"speedup\": " << speedup << ",\n     \"identical\": "
+        << (o.identical ? "true" : "false") << "}";
+  }
+  out << "\n  ]\n}\n";
+  out.close();
+  std::printf("trajectory written to %s\n", out_path.c_str());
+
+  return ok ? 0 : 1;
+}

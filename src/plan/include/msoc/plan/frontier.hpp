@@ -6,8 +6,12 @@
 // Every deployment question around the paper's Tables 3-4 is a curve —
 // how do test time and cost move as the width budget moves — and the
 // per-width optimizer re-derives everything from scratch at each
-// width.  The engine walks the widths in ascending order and shares
-// all the work that is width-independent:
+// width.  The engine is the assembly stage of the staged pipeline
+// (msoc/plan/pipeline.hpp, docs/architecture.md): stage 1 enumerates
+// the partition space once per SOC (PartitionSpace), stage 2 resolves
+// digest-keyed partition makespans per (width, power) cell
+// (PartitionEvaluator), and the engine walks the budget grid sharing
+// everything width-independent:
 //
 //   * the sharing-combination enumeration, each combination's Eq. 3
 //     preliminary cost, area cost, analog lower bound, and the
@@ -17,6 +21,14 @@
 //   * optionally a persistent ResultCache of TAM makespans keyed by
 //     soc::digest(), so repeated sweeps, CI benches and msoc_plan
 //     invocations skip solved cells entirely.
+//
+// Because stage 2 is keyed purely by core-digest content, the engine
+// can also RE-plan: replan(baseline_digest) diffs the current SOC
+// against a previously-flushed store's digest inventory and re-packs
+// only the cells whose digests went dirty, splicing every clean cell
+// from the baseline store — bit-identical to a cold run(), by the
+// same argument that makes the cache sound (docs/reproduction.md,
+// "ECO re-plan workflow").
 //
 // On top of the Fig. 3 elimination it prunes surviving-group members
 // whose cost lower bound — w_T * 100 * max(analog LB, digital LB(W)) /
@@ -30,10 +42,12 @@
 // fan-out, so results (including evaluation counts) are bit-identical
 // for every jobs value.
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "msoc/plan/cost_model.hpp"
+#include "msoc/plan/pipeline.hpp"
 #include "msoc/plan/result_cache.hpp"
 #include "msoc/soc/soc.hpp"
 #include "msoc/tam/packing.hpp"
@@ -85,6 +99,8 @@ struct FrontierPoint {
   int evaluations = 0;        ///< TAM-optimizer runs at this width.
   int total_combinations = 0;
   int cache_hits = 0;         ///< Combinations answered from the cache.
+  int reused = 0;             ///< Combinations spliced from the replan
+                              ///< baseline store (replan() only).
   int pruned = 0;             ///< Members skipped by the lower bound.
   /// On the (width, test time) Pareto frontier: no narrower feasible
   /// budget achieves an equal-or-shorter test time.
@@ -106,16 +122,27 @@ struct FrontierResult {
   int evaluations = 0;        ///< Total TAM-optimizer runs.
   int cache_hits = 0;
   int pruned = 0;
+  /// Replan provenance: the baseline store's SOC digest when this
+  /// result came from replan() with a usable baseline, else empty.
+  std::string replanned_from;
+  int reused = 0;             ///< Total baseline-store splices.
+  /// Partitions whose digests went dirty vs the baseline (replan()
+  /// with a usable baseline only; the worst rung's count).
+  int dirty_partitions = 0;
   /// Test time never increases with width over the feasible points of
   /// EVERY power rung — the sanity the paper's Tables 3-4 rely on.
   bool time_monotone = true;
   double wall_ms = 0.0;       ///< Whole run, setup included.
 
-  /// "msoc-frontier-v1" JSON document, or "msoc-frontier-v2" (adding
-  /// per-point max_power) when any rung is power-constrained.
+  /// "msoc-frontier-v1" JSON document, "msoc-frontier-v2" (adding
+  /// per-point max_power) when any rung is power-constrained, or
+  /// "msoc-frontier-v3" (adding replanned_from / reused /
+  /// dirty_partitions) when the result came from a replan.  Non-replan
+  /// documents are byte-identical to the pre-replan engine's.
   [[nodiscard]] std::string to_json() const;
   /// RFC-4180 CSV, one row per (power rung, width) cell; a max_power
-  /// column appears when any rung is power-constrained.
+  /// column appears when any rung is power-constrained, a reused
+  /// column when the result came from a replan.
   [[nodiscard]] std::string to_csv() const;
 };
 
@@ -127,39 +154,56 @@ struct FrontierResult {
 class FrontierEngine {
  public:
   FrontierEngine(const soc::Soc& soc, FrontierOptions options);
-  ~FrontierEngine();  ///< Out of line: Combo/Group are incomplete here.
 
   FrontierEngine(const FrontierEngine&) = delete;
   FrontierEngine& operator=(const FrontierEngine&) = delete;
 
   [[nodiscard]] FrontierResult run();
 
+  /// Incremental re-plan against the store flushed for
+  /// `baseline_digest` (a previous revision of this SOC).  Diffs the
+  /// baseline store's digest inventory against the current SOC and
+  /// re-packs ONLY the partitions containing a dirty core digest;
+  /// clean partitions splice their makespans from the baseline store
+  /// and are re-recorded under the current digest.  Bit-identical to a
+  /// cold run() — baseline entries are reused only where the makespan
+  /// is provably the same function of the surviving content.  Falls
+  /// back to a plain run() (with a warning, replanned_from empty) when
+  /// the engine has no cache or the baseline store has no inventory
+  /// (missing file or legacy v1/v2 schema).
+  [[nodiscard]] FrontierResult replan(const std::string& baseline_digest);
+
   [[nodiscard]] const std::string& digest() const noexcept {
     return digest_;
   }
 
  private:
-  struct Combo;
-  struct Group;
-
   [[nodiscard]] FrontierPoint solve_point(int width, double max_power);
   [[nodiscard]] FrontierPoint solve_point_attempt(int width,
                                                   double max_power,
                                                   bool trust_cache);
+  [[nodiscard]] FrontierResult run_grid();
 
   const soc::Soc& soc_;
   FrontierOptions options_;
   std::string digest_;
   std::string fingerprint_;
   std::vector<std::string> names_;
-  std::vector<Combo> combos_;
-  std::vector<Group> groups_;
+  std::optional<PartitionSpace> space_;  ///< Engaged by the ctor.
   tam::ParetoTables own_pareto_tables_;        ///< Empty when borrowed.
   const tam::ParetoTables* pareto_tables_ = nullptr;
   std::vector<int> widths_;  ///< Ascending, unique.
   std::vector<double> powers_;  ///< Resolved rungs, solve order.
   int max_analog_width_ = 0;
   double peak_test_power_ = 0.0;
+
+  /// Replan state, engaged only inside replan() with a usable
+  /// baseline: the baseline digest and the per-cell reuse permissions
+  /// in both digest flavors (full for constrained rungs, power-
+  /// stripped for unconstrained ones).
+  std::string replan_baseline_;
+  std::optional<std::vector<bool>> clean_full_;
+  std::optional<std::vector<bool>> clean_packing_;
 };
 
 }  // namespace msoc::plan

@@ -1,6 +1,6 @@
 #pragma once
-// Persistent TAM-optimizer result cache (the msoc-cache-v1 store,
-// documented in docs/formats.md).
+// Persistent TAM-optimizer result cache (the msoc-cache-v3 store,
+// documented in docs/formats.md; v1/v2 stores are still read).
 //
 // What is cached: schedule_soc makespans — the expensive, pure part of
 // a CombinationCost.  Everything else in Eq. 2 (C_A, C_time, the
@@ -11,20 +11,23 @@
 // How entries are keyed (all content-addressed, nothing positional):
 //   * soc::digest_hex — which SOC (stable under core reordering and
 //     renames);
-//   * TAM width;
-//   * the effective power budget (0 = unconstrained), so
-//     power-constrained makespans can never collide with unconstrained
-//     ones.  Unconstrained entries keep their pre-power keys and the
-//     msoc-cache-v1 file schema; a store holding any constrained entry
-//     is written as msoc-cache-v2 (readers accept both);
-//   * a fingerprint of the PackingOptions fields that influence the
-//     makespan (placement racing, flexible width, improvement rounds,
-//     granularity, serialized fallback);
-//   * a partition key built from per-core content digests: each
-//     wrapper group is the sorted list of its members' core_digest
-//     values, groups sorted — so relabeled or reordered cores, and
-//     even symmetric partitions over tests_equivalent cores (the
-//     paper's A/B pair), share one entry.
+//   * an EntryKey value: TAM width, the effective power budget (0 =
+//     unconstrained), a fingerprint of the PackingOptions fields that
+//     influence the makespan, and a partition key built from per-core
+//     content digests — each wrapper group is the sorted list of its
+//     members' digests, groups sorted — so relabeled or reordered
+//     cores, and even symmetric partitions over tests_equivalent cores
+//     (the paper's A/B pair), share one entry.
+//
+// Partition keys are power-CONDITIONAL: constrained entries (budget >
+// 0) key on the full core_digest, while unconstrained entries key on
+// packing_core_digest — the power-stripped description, which is all
+// an unconstrained pack can observe.  That makes unconstrained entries
+// portable across revisions that only touch power annotations: the
+// replan path (plan::FrontierEngine::replan) reuses a baseline store's
+// entries after such an ECO edit even though the enclosing SOC digest
+// changed.  To support that diff without the baseline .soc file, every
+// store persists its SOC's soc::DigestInventory in the file header.
 //
 // Read/write discipline: lookups see only the SNAPSHOT present when the
 // digest was opened; record() lands in an overlay that becomes visible
@@ -42,6 +45,7 @@
 
 #include "msoc/common/units.hpp"
 #include "msoc/mswrap/partition.hpp"
+#include "msoc/soc/delta.hpp"
 #include "msoc/soc/soc.hpp"
 #include "msoc/tam/packing.hpp"
 
@@ -50,19 +54,45 @@ namespace msoc::plan {
 /// Fingerprint (16 hex chars) of the PackingOptions fields a makespan
 /// depends on.  Excluded: assign_wires (wire coloring never moves a
 /// test), the borrowed hint pointers (runtime plumbing), and max_power
-/// — the effective budget is an explicit lookup/record key segment, so
+/// — the effective budget is an explicit EntryKey field, so
 /// fingerprinting it too would double-count it.
 [[nodiscard]] std::string packing_fingerprint(
     const tam::PackingOptions& options);
 
 /// Canonical cache key of a sharing partition over `cores`: per group
-/// the sorted member core_digest values, groups sorted.
+/// the sorted member digests, groups sorted.  `powered` picks the
+/// digest flavor — full core_digest (constrained entries) or the
+/// power-stripped packing_core_digest (unconstrained entries).
+[[nodiscard]] std::string partition_key(
+    const std::vector<soc::AnalogCore>& cores,
+    const mswrap::Partition& partition, bool powered);
+
+/// Full-digest convenience overload (identical to powered = true, and
+/// to every flavor on cores that declare no power).
 [[nodiscard]] std::string partition_key(
     const std::vector<soc::AnalogCore>& cores,
     const mswrap::Partition& partition);
 
 class ResultCache {
  public:
+  /// Typed entry key inside one digest's store — the four coordinates
+  /// a makespan depends on besides the SOC itself.
+  struct EntryKey {
+    int tam_width = 0;
+    double max_power = 0.0;  ///< Effective budget; 0 = unconstrained.
+    std::string fingerprint;
+    std::string partition;
+
+    friend bool operator<(const EntryKey& a, const EntryKey& b) {
+      if (a.tam_width != b.tam_width) return a.tam_width < b.tam_width;
+      if (a.max_power != b.max_power) return a.max_power < b.max_power;
+      if (a.fingerprint != b.fingerprint) {
+        return a.fingerprint < b.fingerprint;
+      }
+      return a.partition < b.partition;
+    }
+  };
+
   /// In-memory cache: empty snapshot, flush() is a no-op.
   ResultCache() = default;
 
@@ -80,20 +110,28 @@ class ResultCache {
   /// corrupt_files().
   void open(const std::string& digest, const std::string& soc_name = "");
 
+  /// open() with the SOC in hand: additionally computes and pins the
+  /// store's soc::DigestInventory (`digest` must be the SOC's own) so
+  /// a flushed store can serve as a replan baseline.
+  void open(const std::string& digest, const soc::Soc& soc);
+
+  /// The inventory of an opened store — from the SOC it was opened
+  /// with, or from the v3 file header; nullopt for never-opened
+  /// digests and legacy v1/v2 files (those cannot seed a replan).
+  [[nodiscard]] std::optional<soc::DigestInventory> inventory(
+      const std::string& digest) const;
+
   /// Snapshot lookup; nullopt on miss (or when the digest was never
-  /// opened).  `max_power` is the EFFECTIVE budget of the pack (0 =
-  /// unconstrained; inherit-from-SOC must be resolved by the caller).
-  /// Thread-safe.
+  /// opened).  `key.max_power` is the EFFECTIVE budget of the pack
+  /// (0 = unconstrained; inherit-from-SOC must be resolved by the
+  /// caller).  Thread-safe.
   [[nodiscard]] std::optional<Cycles> lookup(const std::string& digest,
-                                             int tam_width, double max_power,
-                                             const std::string& fingerprint,
-                                             const std::string& key) const;
+                                             const EntryKey& key) const;
 
   /// Records a computed makespan in the overlay (visible to lookups
   /// only after the next flush; last writer wins on duplicates).
   /// Thread-safe.
-  void record(const std::string& digest, int tam_width, double max_power,
-              const std::string& fingerprint, const std::string& key,
+  void record(const std::string& digest, const EntryKey& key,
               const std::string& label, Cycles test_time);
 
   /// Writes snapshot + overlay back to disk (atomic per file) and
@@ -122,8 +160,9 @@ class ResultCache {
   };
   struct Store {
     std::string soc_name;
-    std::map<std::string, Entry> snapshot;  ///< Visible to lookup().
-    std::map<std::string, Entry> overlay;   ///< Pending record()s.
+    std::optional<soc::DigestInventory> inventory;
+    std::map<EntryKey, Entry> snapshot;  ///< Visible to lookup().
+    std::map<EntryKey, Entry> overlay;   ///< Pending record()s.
   };
 
   [[nodiscard]] std::string file_path(const std::string& digest) const;

@@ -37,12 +37,17 @@ struct SweepConfig {
   /// to the engines' evaluation fan-out.  Both levels are
   /// deterministic, so results never depend on the value.
   int jobs = 1;
-  /// Persistent TAM-makespan cache directory (msoc-cache-v1); empty
-  /// disables caching.  Lookups see only the state loaded at sweep
-  /// start (results computed during the sweep land on flush), so a
-  /// warm re-run skips every solved cell while per-row evaluation
-  /// counts stay scheduling-independent.
+  /// Persistent TAM-makespan cache directory (msoc-cache-v3; v1/v2
+  /// stores are read); empty disables caching.  Lookups see only the
+  /// state loaded at sweep start (results computed during the sweep
+  /// land on flush), so a warm re-run skips every solved cell while
+  /// per-row evaluation counts stay scheduling-independent.
   std::string cache_dir;
+  /// Incremental re-plan baseline: when non-empty, every series calls
+  /// FrontierEngine::replan against the store flushed for this SOC
+  /// digest (a previous revision), re-packing only partitions whose
+  /// core digests went dirty.  Requires cache_dir and exactly one SOC.
+  std::string replan_from;
 
   /// Number of cases the cross product produces.
   [[nodiscard]] std::size_t case_count() const;
@@ -69,6 +74,9 @@ struct SweepRow {
   /// a fully-cached case reports 0.
   int evaluations = 0;
   int total_combinations = 0;
+  /// Combinations spliced from the replan baseline store (replan
+  /// sweeps only; 0 otherwise).
+  int reused = 0;
   double evaluation_reduction_percent = 0.0;
   double wall_ms = 0.0;  ///< Wall-clock of this case, model build included.
   std::string error;     ///< Empty on success.
@@ -84,13 +92,29 @@ struct SweepResult {
   int jobs = 1;                ///< Worker threads the sweep actually used.
   bool exhaustive = false;
   double epsilon = 0.0;
+  /// Result-cache statistics, populated when the sweep ran with a
+  /// cache_dir (cache_used true; all zero otherwise).
+  bool cache_used = false;
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  long long cache_records = 0;
+  int cache_corrupt_files = 0;
+  /// Replan provenance (replan sweeps only): the baseline digest, the
+  /// total baseline-store splices, and the worst series' dirty count.
+  std::string replanned_from;
+  int reused = 0;
+  int dirty_partitions = 0;
 
   /// RFC-4180 CSV with a header row (a max_power column appears when
-  /// any case ran power-constrained).
+  /// any case ran power-constrained, a reused column for replan
+  /// sweeps).
   [[nodiscard]] std::string to_csv() const;
 
-  /// "msoc-sweep-v1" JSON document, or "msoc-sweep-v2" (adding
-  /// per-case max_power) when any case ran power-constrained.
+  /// "msoc-sweep-v1" JSON document; "msoc-sweep-v2" (adding per-case
+  /// max_power) when any case ran power-constrained; "msoc-sweep-v3"
+  /// (adding the cache statistics block and, for replan sweeps, the
+  /// replan provenance) whenever the sweep used a result cache.
+  /// Cacheless sweeps keep emitting the v1/v2 documents byte-for-byte.
   [[nodiscard]] std::string to_json() const;
 };
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
-#include <map>
 #include <optional>
 #include <sstream>
 
@@ -12,7 +11,6 @@
 #include "msoc/common/format.hpp"
 #include "msoc/common/json.hpp"
 #include "msoc/common/logging.hpp"
-#include "msoc/common/parallel.hpp"
 #include "msoc/soc/digest.hpp"
 
 namespace msoc::plan {
@@ -36,27 +34,12 @@ constexpr const char* kTooNarrow =
 /// hotter than the whole budget).
 constexpr const char* kTooHot = "test power exceeds the SOC power budget";
 
-/// Raised internally when a parseable cache entry contradicts a
-/// freshly-packed baseline (stale or tampered store): the width is
-/// re-solved from scratch without trusting the cache.  Never escapes
-/// the engine.
-struct StaleCacheError {};
+int count_dirty(const std::vector<bool>& clean) {
+  return static_cast<int>(
+      std::count(clean.begin(), clean.end(), false));
+}
 
 }  // namespace
-
-struct FrontierEngine::Combo {
-  mswrap::SharingEvaluation evaluation;
-  double prelim = 0.0;     ///< Eq. 3, matches CostModel::preliminary_cost.
-  Cycles analog_lb = 0;    ///< Busiest-wrapper usage (width-independent).
-  std::string cache_key;   ///< Content-addressed partition key.
-};
-
-struct FrontierEngine::Group {
-  std::vector<std::size_t> members;  ///< Combo indices, enumeration order.
-  std::size_t representative = 0;    ///< Best Eq. 3 member.
-};
-
-FrontierEngine::~FrontierEngine() = default;
 
 FrontierEngine::FrontierEngine(const soc::Soc& soc, FrontierOptions options)
     : soc_(soc), options_(std::move(options)) {
@@ -93,44 +76,10 @@ FrontierEngine::FrontierEngine(const soc::Soc& soc, FrontierOptions options)
   }
   peak_test_power_ = soc_.peak_test_power();
 
-  // --- Width-independent combination work, done exactly once. ---
-  std::vector<mswrap::SharingEvaluation> all = mswrap::evaluate_combinations(
-      soc_.analog_cores(), options_.area_model, options_.policy,
-      options_.enumeration);
-  for (mswrap::SharingEvaluation& e : all) {
-    if (!e.feasible) {
-      log_debug("combination ", e.label, " dropped: sharing policy");
-      continue;
-    }
-    Combo combo;
-    combo.prelim = options_.weights.time * e.analog_lb_normalized +
-                   options_.weights.area * e.area_cost;
-    combo.analog_lb = e.analog_lb_cycles;
-    combo.cache_key = partition_key(soc_.analog_cores(), e.partition);
-    combo.evaluation = std::move(e);
-    combos_.push_back(std::move(combo));
-  }
-  require(!combos_.empty(), "no feasible sharing combination");
-
-  // Same grouping and representative choice as optimize_cost_heuristic:
-  // shape groups in sorted-shape order, members in enumeration order,
-  // representative = first Eq. 3 minimum.
-  std::map<std::vector<std::size_t>, std::vector<std::size_t>> by_shape;
-  for (std::size_t i = 0; i < combos_.size(); ++i) {
-    by_shape[combos_[i].evaluation.partition.shape()].push_back(i);
-  }
-  for (const auto& [shape, members] : by_shape) {
-    Group group;
-    group.members = members;
-    double best_prelim = std::numeric_limits<double>::infinity();
-    for (const std::size_t index : members) {
-      if (combos_[index].prelim < best_prelim) {
-        best_prelim = combos_[index].prelim;
-        group.representative = index;
-      }
-    }
-    groups_.push_back(std::move(group));
-  }
+  // --- Stage 1: width-independent combination work, done exactly
+  // once (enumeration, Eq. 3 prelims, shape groups, cache keys). ---
+  space_.emplace(soc_, options_.weights, options_.area_model,
+                 options_.policy, options_.enumeration);
 
   // Invalid widths (< 1) become per-width error points, like widths
   // below the analog minimum, so tables are sized by the widest VALID
@@ -148,7 +97,9 @@ FrontierEngine::FrontierEngine(const soc::Soc& soc, FrontierOptions options)
   }
 
   if (options_.cache != nullptr) {
-    options_.cache->open(digest_, soc_.name());
+    // Opening with the SOC (not just its name) pins the store's digest
+    // inventory, so the flushed file can seed a future replan().
+    options_.cache->open(digest_, soc_);
   }
 }
 
@@ -158,7 +109,7 @@ FrontierPoint FrontierEngine::solve_point(int width, double max_power) {
   } catch (const StaleCacheError&) {
     // A parseable entry contradicted the packer (stale or tampered
     // store).  Per the cache contract this must never fail the run:
-    // re-solve the cell ignoring cached values; the fresh results are
+    // re-solve the cell ignoring stored values; the fresh results are
     // recorded and overwrite the stale cells on flush.
     log_warn("cache entries for width ", width, " of ", digest_,
              " are stale; recomputing");
@@ -173,7 +124,7 @@ FrontierPoint FrontierEngine::solve_point_attempt(int width,
   FrontierPoint point;
   point.tam_width = width;
   point.max_power = max_power;
-  point.total_combinations = static_cast<int>(combos_.size());
+  point.total_combinations = static_cast<int>(space_->cells.size());
 
   if (width < 1) {
     point.error = "TAM width must be >= 1";
@@ -191,10 +142,6 @@ FrontierPoint FrontierEngine::solve_point_attempt(int width,
     return point;
   }
 
-  // Fresh results are always recorded (repairing stale stores); reads
-  // happen only when the cache is still trusted for this width.
-  ResultCache* cache = options_.cache;
-  const bool read_cache = trust_cache && cache != nullptr;
   std::optional<CostModel> model;
   const auto ensure_model = [&]() -> CostModel& {
     if (!model.has_value()) {
@@ -214,101 +161,52 @@ FrontierPoint FrontierEngine::solve_point_attempt(int width,
     return *model;
   };
 
-  // --- T_max: the all-share baseline every cost normalizes by. ---
-  std::vector<std::size_t> everyone(soc_.analog_count());
-  for (std::size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
-  const mswrap::Partition all_share(
-      std::vector<std::vector<std::size_t>>{everyone});
-  const std::string all_share_key =
-      partition_key(soc_.analog_cores(), all_share);
-
-  Cycles t_max = 0;
-  std::optional<Cycles> cached_t_max;
-  if (read_cache) {
-    cached_t_max =
-        cache->lookup(digest_, width, max_power, fingerprint_, all_share_key);
+  // --- Stage 2: digest-keyed makespan resolution for this cell.
+  // When replanning, the budget class picks which digest flavor's
+  // reuse permissions apply: constrained packs observe power
+  // annotations, unconstrained ones provably cannot.
+  const std::vector<bool>* clean = nullptr;
+  if (!replan_baseline_.empty()) {
+    clean = max_power > 0.0 ? &*clean_full_ : &*clean_packing_;
   }
-  if (cached_t_max.has_value()) {
-    // Loading validated test_time >= 1, so the baseline is usable as a
-    // divisor; whether it is *correct* is re-checked against the
-    // packer the moment a model gets built.
-    t_max = *cached_t_max;
-  } else {
-    t_max = ensure_model().t_max();
-    if (cache != nullptr) {
-      cache->record(digest_, width, max_power, fingerprint_, all_share_key,
-                    all_share.to_string(names_, true), t_max);
-    }
-  }
+  PartitionEvaluator evaluator(*space_, options_.cache, digest_,
+                               replan_baseline_, fingerprint_, width,
+                               max_power, trust_cache, clean,
+                               options_.jobs);
 
-  // Uniform cost construction for cached and freshly-packed times —
+  // T_max: the all-share baseline every cost normalizes by.
+  bool t_max_from_store = false;
+  const Cycles t_max = evaluator.begin_cell(
+      [&]() -> Cycles { return ensure_model().t_max(); },
+      space_->all_share.to_string(names_, true), &t_max_from_store);
+
+  // Uniform cost construction for stored and freshly-packed times —
   // the exact expressions CostModel::evaluate uses, so both paths (and
   // therefore frontier vs per-width optimizer runs) are bit-identical.
-  const auto make_cost = [&](const Combo& combo,
+  const auto make_cost = [&](const PartitionCell& cell,
                              Cycles test_time) -> CombinationCost {
     CombinationCost cost;
-    cost.partition = combo.evaluation.partition;
-    cost.label = combo.evaluation.label;
+    cost.partition = cell.evaluation.partition;
+    cost.label = cell.evaluation.label;
     cost.test_time = test_time;
     check_invariant(cost.test_time <= t_max,
                     "partition " + cost.label +
                         " packed worse than the all-share baseline");
     cost.c_time = 100.0 * static_cast<double>(test_time) /
                   static_cast<double>(t_max);
-    cost.c_area = combo.evaluation.area_cost;
+    cost.c_area = cell.evaluation.area_cost;
     cost.total = options_.weights.time * cost.c_time +
                  options_.weights.area * cost.c_area;
     return cost;
   };
 
-  // Resolves `indices` to test times: snapshot cache first, then one
-  // deterministic parallel fan-out over the misses.  Pruning decisions
-  // are made by the caller BEFORE this runs, against thresholds fixed
-  // serially, so jobs never changes results or counts.
-  std::vector<std::optional<Cycles>> time_of(combos_.size());
+  // Pruning decisions are made BEFORE each resolve() fan-out, against
+  // thresholds fixed serially, so jobs never changes results or
+  // counts.
   const auto resolve = [&](const std::vector<std::size_t>& indices) {
-    std::vector<std::size_t> misses;
-    for (const std::size_t index : indices) {
-      if (time_of[index].has_value()) continue;
-      if (read_cache) {
-        const std::optional<Cycles> hit =
-            cache->lookup(digest_, width, max_power, fingerprint_,
-                          combos_[index].cache_key);
-        // A stored time above the baseline contradicts the packer's
-        // serialized-fallback guarantee: the store is stale for this
-        // width, so stop trusting it and recompute.
-        if (hit.has_value() && *hit > t_max) throw StaleCacheError{};
-        if (hit.has_value()) {
-          time_of[index] = *hit;
-          ++point.cache_hits;
-          continue;
-        }
-      }
-      misses.push_back(index);
-    }
-    if (misses.empty()) return;
-    CostModel& the_model = ensure_model();
-    if (cached_t_max.has_value() && the_model.t_max() != t_max) {
-      // The stored baseline disagrees with a fresh pack: every cached
-      // value for this width is suspect, including ones already
-      // consumed by representative/elimination decisions — restart the
-      // width without the cache.
-      throw StaleCacheError{};
-    }
-    std::vector<Cycles> packed(misses.size());
-    parallel_for(misses.size(), options_.jobs, [&](std::size_t i) {
-      packed[i] =
-          the_model.evaluate(combos_[misses[i]].evaluation.partition)
-              .test_time;
+    evaluator.resolve(indices, [&]() -> CostModel& {
+      return ensure_model();
     });
-    for (std::size_t i = 0; i < misses.size(); ++i) {
-      time_of[misses[i]] = packed[i];
-      if (cache != nullptr) {
-        cache->record(digest_, width, max_power, fingerprint_,
-                      combos_[misses[i]].cache_key,
-                      combos_[misses[i]].evaluation.label, packed[i]);
-      }
-    }
   };
 
   bool have_best = false;
@@ -319,34 +217,33 @@ FrontierPoint FrontierEngine::solve_point_attempt(int width,
     }
   };
 
+  const std::vector<PartitionCell>& cells = space_->cells;
   if (options_.exhaustive) {
-    std::vector<std::size_t> everything(combos_.size());
+    std::vector<std::size_t> everything(cells.size());
     for (std::size_t i = 0; i < everything.size(); ++i) everything[i] = i;
     resolve(everything);
-    for (std::size_t i = 0; i < combos_.size(); ++i) {
-      consider(make_cost(combos_[i], *time_of[i]));
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      consider(make_cost(cells[i], *evaluator.time(i)));
     }
   } else {
     // --- Fig. 3 lines 9-13: evaluate group representatives. ---
     std::vector<std::size_t> reps;
-    reps.reserve(groups_.size());
-    for (const Group& group : groups_) {
+    reps.reserve(space_->groups.size());
+    for (const PartitionGroup& group : space_->groups) {
       reps.push_back(group.representative);
     }
     resolve(reps);
-    std::vector<double> rep_total(groups_.size());
+    std::vector<double> rep_total(space_->groups.size());
     double min_rep = std::numeric_limits<double>::infinity();
-    for (std::size_t g = 0; g < groups_.size(); ++g) {
-      rep_total[g] =
-          make_cost(combos_[groups_[g].representative],
-                    *time_of[groups_[g].representative])
-              .total;
+    for (std::size_t g = 0; g < space_->groups.size(); ++g) {
+      const std::size_t rep = space_->groups[g].representative;
+      rep_total[g] = make_cost(cells[rep], *evaluator.time(rep)).total;
       min_rep = std::min(min_rep, rep_total[g]);
     }
 
     // --- Lines 14-17: eliminate groups beyond epsilon of the winner.
-    std::vector<bool> eliminated(groups_.size());
-    for (std::size_t g = 0; g < groups_.size(); ++g) {
+    std::vector<bool> eliminated(space_->groups.size());
+    for (std::size_t g = 0; g < space_->groups.size(); ++g) {
       eliminated[g] = rep_total[g] > min_rep + options_.epsilon;
     }
 
@@ -356,17 +253,17 @@ FrontierPoint FrontierEngine::solve_point_attempt(int width,
     // strict <), so skipping its TAM run cannot change the result.
     const Cycles digital_lb =
         tam::digital_lower_bound(soc_, width, pareto_tables_);
-    std::vector<bool> pruned(combos_.size());
+    std::vector<bool> pruned(cells.size());
     std::vector<std::size_t> survivors;
-    for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (std::size_t g = 0; g < space_->groups.size(); ++g) {
       if (eliminated[g]) continue;
-      for (const std::size_t index : groups_[g].members) {
-        if (time_of[index].has_value()) continue;  // representative
-        const Cycles time_lb = std::max(combos_[index].analog_lb, digital_lb);
+      for (const std::size_t index : space_->groups[g].members) {
+        if (evaluator.time(index).has_value()) continue;  // representative
+        const Cycles time_lb = std::max(cells[index].analog_lb, digital_lb);
         const double total_lb =
             options_.weights.time * (100.0 * static_cast<double>(time_lb) /
                                      static_cast<double>(t_max)) +
-            options_.weights.area * combos_[index].evaluation.area_cost;
+            options_.weights.area * cells[index].evaluation.area_cost;
         if (total_lb > min_rep) {
           pruned[index] = true;
           ++point.pruned;
@@ -380,26 +277,28 @@ FrontierPoint FrontierEngine::solve_point_attempt(int width,
     // Reduce in exactly optimize_cost_heuristic's order: groups in
     // shape order; an eliminated group's representative still
     // competes; surviving members in enumeration order.
-    for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (std::size_t g = 0; g < space_->groups.size(); ++g) {
+      const std::size_t rep = space_->groups[g].representative;
       if (eliminated[g]) {
-        consider(make_cost(combos_[groups_[g].representative],
-                           *time_of[groups_[g].representative]));
+        consider(make_cost(cells[rep], *evaluator.time(rep)));
         continue;
       }
-      for (const std::size_t index : groups_[g].members) {
+      for (const std::size_t index : space_->groups[g].members) {
         if (pruned[index]) continue;
-        consider(make_cost(combos_[index], *time_of[index]));
+        consider(make_cost(cells[index], *evaluator.time(index)));
       }
     }
   }
 
   point.t_max = t_max;
   point.evaluations = model.has_value() ? model->tam_runs() : 0;
+  point.cache_hits = evaluator.cache_hits();
+  point.reused = evaluator.reused();
   point.wall_ms = elapsed_ms(started);
   return point;
 }
 
-FrontierResult FrontierEngine::run() {
+FrontierResult FrontierEngine::run_grid() {
   const Clock::time_point started = Clock::now();
   FrontierResult result;
   result.soc_name = soc_.name();
@@ -416,11 +315,12 @@ FrontierResult FrontierEngine::run() {
       } catch (const InfeasibleError& e) {
         point.tam_width = width;
         point.max_power = max_power;
-        point.total_combinations = static_cast<int>(combos_.size());
+        point.total_combinations = static_cast<int>(space_->cells.size());
         point.error = e.what();
       }
       result.evaluations += point.evaluations;
       result.cache_hits += point.cache_hits;
+      result.reused += point.reused;
       result.pruned += point.pruned;
       result.points.push_back(std::move(point));
     }
@@ -447,6 +347,56 @@ FrontierResult FrontierEngine::run() {
   return result;
 }
 
+FrontierResult FrontierEngine::run() {
+  replan_baseline_.clear();
+  clean_full_.reset();
+  clean_packing_.reset();
+  return run_grid();
+}
+
+FrontierResult FrontierEngine::replan(const std::string& baseline_digest) {
+  ResultCache* cache = options_.cache;
+  if (cache == nullptr) {
+    log_warn("replan from ", baseline_digest,
+             " requested without a result cache; planning cold");
+    return run();
+  }
+  cache->open(baseline_digest);
+  const std::optional<soc::DigestInventory> baseline =
+      cache->inventory(baseline_digest);
+  if (!baseline.has_value()) {
+    log_warn("baseline store ", baseline_digest,
+             " has no digest inventory (missing file or pre-v3 schema); "
+             "planning cold");
+    return run();
+  }
+
+  const soc::DigestDelta delta =
+      soc::diff(*baseline, soc::digest_inventory(soc_));
+  replan_baseline_ = baseline_digest;
+  clean_full_ = space_->classify_clean(soc_, delta, /*packing_flavor=*/false);
+  clean_packing_ =
+      space_->classify_clean(soc_, delta, /*packing_flavor=*/true);
+
+  FrontierResult result = run_grid();
+  result.replanned_from = baseline_digest;
+  // Report the dirty count of the worst rung actually solved: a
+  // constrained rung keys on full digests, an unconstrained one on the
+  // power-stripped flavor.
+  const int dirty_full = count_dirty(*clean_full_);
+  const int dirty_packing = count_dirty(*clean_packing_);
+  for (const double max_power : powers_) {
+    result.dirty_partitions =
+        std::max(result.dirty_partitions,
+                 max_power > 0.0 ? dirty_full : dirty_packing);
+  }
+
+  replan_baseline_.clear();
+  clean_full_.reset();
+  clean_packing_.reset();
+  return result;
+}
+
 namespace {
 
 /// True when any point ran under a finite power budget: the signal
@@ -461,6 +411,7 @@ bool any_power_constrained(const std::vector<FrontierPoint>& points) {
 
 std::string FrontierResult::to_csv() const {
   const bool constrained = any_power_constrained(points);
+  const bool replan = !replanned_from.empty();
   std::ostringstream out;
   std::vector<std::string> header = {"soc", "tam_width", "w_time",
                                      "algorithm", "best_label", "best_total",
@@ -468,6 +419,7 @@ std::string FrontierResult::to_csv() const {
                                      "t_max", "evaluations",
                                      "total_combinations", "cache_hits",
                                      "pruned", "pareto", "wall_ms", "error"};
+  if (replan) header.insert(header.begin() + 14, "reused");
   if (constrained) header.insert(header.begin() + 2, "max_power");
   CsvWriter csv(out, header);
   for (const FrontierPoint& p : points) {
@@ -480,6 +432,7 @@ std::string FrontierResult::to_csv() const {
         std::to_string(p.total_combinations),
         std::to_string(p.cache_hits), std::to_string(p.pruned),
         p.pareto ? "1" : "0", round_trip_double(p.wall_ms), p.error};
+    if (replan) row.insert(row.begin() + 14, std::to_string(p.reused));
     if (constrained) {
       row.insert(row.begin() + 2, round_trip_double(p.max_power));
     }
@@ -490,13 +443,21 @@ std::string FrontierResult::to_csv() const {
 
 std::string FrontierResult::to_json() const {
   const bool constrained = any_power_constrained(points);
+  const bool replan = !replanned_from.empty();
+  const char* schema =
+      replan ? "v3" : (constrained ? "v2" : "v1");
   std::ostringstream os;
   os << "{\n"
-     << "  \"schema\": \"msoc-frontier-" << (constrained ? "v2" : "v1")
-     << "\",\n"
+     << "  \"schema\": \"msoc-frontier-" << schema << "\",\n"
      << "  \"soc\": \"" << json_escape(soc_name) << "\",\n"
-     << "  \"digest\": \"" << json_escape(digest) << "\",\n"
-     << "  \"algorithm\": \"" << json_escape(algorithm) << "\",\n"
+     << "  \"digest\": \"" << json_escape(digest) << "\",\n";
+  if (replan) {
+    os << "  \"replanned_from\": \"" << json_escape(replanned_from)
+       << "\",\n"
+       << "  \"reused\": " << reused << ",\n"
+       << "  \"dirty_partitions\": " << dirty_partitions << ",\n";
+  }
+  os << "  \"algorithm\": \"" << json_escape(algorithm) << "\",\n"
      << "  \"w_time\": " << round_trip_double(w_time) << ",\n"
      << "  \"evaluations\": " << evaluations << ",\n"
      << "  \"cache_hits\": " << cache_hits << ",\n"
@@ -525,8 +486,9 @@ std::string FrontierResult::to_json() const {
        << "\"t_max\": " << p.t_max << "}, "
        << "\"evaluations\": " << p.evaluations << ", "
        << "\"total_combinations\": " << p.total_combinations << ", "
-       << "\"cache_hits\": " << p.cache_hits << ", "
-       << "\"pruned\": " << p.pruned << ", "
+       << "\"cache_hits\": " << p.cache_hits << ", ";
+    if (replan) os << "\"reused\": " << p.reused << ", ";
+    os << "\"pruned\": " << p.pruned << ", "
        << "\"pareto\": " << (p.pareto ? "true" : "false") << "}";
   }
   os << "\n  ]\n}\n";

@@ -1,0 +1,241 @@
+#include "msoc/plan/pipeline.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/logging.hpp"
+#include "msoc/common/parallel.hpp"
+#include "msoc/soc/digest.hpp"
+
+namespace msoc::plan {
+
+// --- Stage 1: partition enumeration. ---
+
+PartitionSpace::PartitionSpace(const soc::Soc& soc,
+                               const CostWeights& weights,
+                               const mswrap::WrapperAreaModel& area_model,
+                               const mswrap::SharingPolicy& policy,
+                               const mswrap::EnumerationOptions& enumeration)
+    : all_share(std::vector<std::vector<std::size_t>>{
+          [&soc] {
+            std::vector<std::size_t> everyone(soc.analog_count());
+            for (std::size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
+            return everyone;
+          }()}) {
+  std::vector<mswrap::SharingEvaluation> all = mswrap::evaluate_combinations(
+      soc.analog_cores(), area_model, policy, enumeration);
+  for (mswrap::SharingEvaluation& e : all) {
+    if (!e.feasible) {
+      log_debug("combination ", e.label, " dropped: sharing policy");
+      continue;
+    }
+    PartitionCell cell;
+    cell.prelim = weights.time * e.analog_lb_normalized +
+                  weights.area * e.area_cost;
+    cell.analog_lb = e.analog_lb_cycles;
+    cell.key_full =
+        partition_key(soc.analog_cores(), e.partition, /*powered=*/true);
+    cell.key_packing =
+        partition_key(soc.analog_cores(), e.partition, /*powered=*/false);
+    cell.evaluation = std::move(e);
+    cells.push_back(std::move(cell));
+  }
+  require(!cells.empty(), "no feasible sharing combination");
+
+  all_share_key_full =
+      partition_key(soc.analog_cores(), all_share, /*powered=*/true);
+  all_share_key_packing =
+      partition_key(soc.analog_cores(), all_share, /*powered=*/false);
+
+  // Same grouping and representative choice as optimize_cost_heuristic:
+  // shape groups in sorted-shape order, members in enumeration order,
+  // representative = first Eq. 3 minimum.
+  std::map<std::vector<std::size_t>, std::vector<std::size_t>> by_shape;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    by_shape[cells[i].evaluation.partition.shape()].push_back(i);
+  }
+  for (const auto& [shape, members] : by_shape) {
+    PartitionGroup group;
+    group.members = members;
+    double best_prelim = std::numeric_limits<double>::infinity();
+    for (const std::size_t index : members) {
+      if (cells[index].prelim < best_prelim) {
+        best_prelim = cells[index].prelim;
+        group.representative = index;
+      }
+    }
+    groups.push_back(std::move(group));
+  }
+}
+
+std::vector<bool> PartitionSpace::classify_clean(
+    const soc::Soc& soc, const soc::DigestDelta& delta,
+    bool packing_flavor) const {
+  const soc::DigestSetDelta& digital =
+      packing_flavor ? delta.digital_packing : delta.digital;
+  const soc::DigestSetDelta& analog =
+      packing_flavor ? delta.analog_packing : delta.analog;
+
+  // Every partition's makespan depends on the full digital test load
+  // (digital and analog tests pack onto the same TAM), so ANY digital
+  // change — edit, add, remove — dirties every cell.  all_clean also
+  // rejects analog add/remove cheaply; without it the per-member check
+  // below would still be sound (keys over different core counts can
+  // never collide), but an all-dirty verdict is the honest one.
+  const bool context_clean = digital.all_clean() &&
+                             analog.dirty_old.size() ==
+                                 analog.dirty_new.size();
+  std::vector<bool> clean(cells.size(), false);
+  if (!context_clean) return clean;
+
+  std::vector<std::uint64_t> member_digest;
+  member_digest.reserve(soc.analog_count());
+  for (const soc::AnalogCore& core : soc.analog_cores()) {
+    member_digest.push_back(packing_flavor ? soc::packing_core_digest(core)
+                                           : soc::core_digest(core));
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    bool cell_clean = true;
+    for (const std::vector<std::size_t>& group :
+         cells[i].evaluation.partition.groups()) {
+      for (const std::size_t index : group) {
+        if (analog.is_dirty(member_digest[index])) {
+          cell_clean = false;
+          break;
+        }
+      }
+      if (!cell_clean) break;
+    }
+    clean[i] = cell_clean;
+  }
+  return clean;
+}
+
+// --- Stage 2: digest-keyed makespan resolution. ---
+
+PartitionEvaluator::PartitionEvaluator(
+    const PartitionSpace& space, ResultCache* cache,
+    const std::string& digest, const std::string& baseline_digest,
+    const std::string& fingerprint, int width, double max_power,
+    bool trust_cache, const std::vector<bool>* clean, int jobs)
+    : space_(space),
+      cache_(cache),
+      digest_(digest),
+      baseline_digest_(baseline_digest),
+      fingerprint_(fingerprint),
+      width_(width),
+      max_power_(max_power),
+      trust_cache_(trust_cache),
+      clean_(clean),
+      jobs_(jobs),
+      time_of_(space.cells.size()) {}
+
+std::optional<Cycles> PartitionEvaluator::lookup(const std::string& key,
+                                                 const std::string& label,
+                                                 bool cell_clean) {
+  if (cache_ == nullptr || !trust_cache_) return std::nullopt;
+  ResultCache::EntryKey entry{width_, max_power_, fingerprint_, key};
+  if (std::optional<Cycles> hit = cache_->lookup(digest_, entry)) {
+    ++cache_hits_;
+    return hit;
+  }
+  if (baseline_digest_.empty() || !cell_clean) return std::nullopt;
+  if (std::optional<Cycles> hit = cache_->lookup(baseline_digest_, entry)) {
+    // The splice: a baseline result valid for this revision is
+    // re-recorded under the CURRENT digest, so one flush materializes
+    // a complete up-to-date store.
+    cache_->record(digest_, entry, label, *hit);
+    ++reused_;
+    return hit;
+  }
+  return std::nullopt;
+}
+
+Cycles PartitionEvaluator::begin_cell(
+    const std::function<Cycles()>& pack_t_max, const std::string& label,
+    bool* from_store) {
+  // The all-share partition contains every analog core, so its entry
+  // may be reused exactly when every cell's may (each cell also covers
+  // all cores — sharing partitions cover the whole core set).
+  const bool all_share_clean =
+      clean_ != nullptr && !clean_->empty() &&
+      std::all_of(clean_->begin(), clean_->end(), [](bool c) { return c; });
+  const std::string& key = space_.all_share_key_for(max_power_);
+  // t_max hits are deliberately not counted in cache_hits/reused — the
+  // baseline is the normalization constant, not a combination
+  // evaluation (matches the paper's evaluation counting).
+  const int hits = cache_hits_;
+  const int reused = reused_;
+  std::optional<Cycles> stored = lookup(key, label, all_share_clean);
+  cache_hits_ = hits;
+  reused_ = reused;
+  if (stored.has_value()) {
+    // Loading validated test_time >= 1, so the baseline is usable as a
+    // divisor; whether it is *correct* is re-checked against the
+    // packer the moment a model gets built (see resolve()).
+    t_max_ = *stored;
+    t_max_from_store_ = true;
+  } else {
+    t_max_ = pack_t_max();
+    t_max_from_store_ = false;
+    if (cache_ != nullptr) {
+      cache_->record(digest_,
+                     ResultCache::EntryKey{width_, max_power_, fingerprint_,
+                                           key},
+                     label, t_max_);
+    }
+  }
+  if (from_store != nullptr) *from_store = t_max_from_store_;
+  return t_max_;
+}
+
+void PartitionEvaluator::resolve(
+    const std::vector<std::size_t>& indices,
+    const std::function<CostModel&()>& model) {
+  std::vector<std::size_t> misses;
+  for (const std::size_t index : indices) {
+    if (time_of_[index].has_value()) continue;
+    const PartitionCell& cell = space_.cells[index];
+    const bool cell_clean = clean_ != nullptr && (*clean_)[index];
+    const std::optional<Cycles> hit =
+        lookup(cell.key_for(max_power_), cell.evaluation.label, cell_clean);
+    // A stored time above the baseline contradicts the packer's
+    // serialized-fallback guarantee: the store is stale for this
+    // width, so stop trusting it and recompute.
+    if (hit.has_value() && *hit > t_max_) throw StaleCacheError{};
+    if (hit.has_value()) {
+      time_of_[index] = *hit;
+      continue;
+    }
+    misses.push_back(index);
+  }
+  if (misses.empty()) return;
+  CostModel& the_model = model();
+  if (t_max_from_store_ && the_model.t_max() != t_max_) {
+    // The stored baseline disagrees with a fresh pack: every stored
+    // value for this width is suspect, including ones already consumed
+    // by representative/elimination decisions — restart the width
+    // without the stores.
+    throw StaleCacheError{};
+  }
+  std::vector<Cycles> packed(misses.size());
+  parallel_for(misses.size(), jobs_, [&](std::size_t i) {
+    packed[i] =
+        the_model.evaluate(space_.cells[misses[i]].evaluation.partition)
+            .test_time;
+  });
+  for (std::size_t i = 0; i < misses.size(); ++i) {
+    time_of_[misses[i]] = packed[i];
+    if (cache_ != nullptr) {
+      const PartitionCell& cell = space_.cells[misses[i]];
+      cache_->record(digest_,
+                     ResultCache::EntryKey{width_, max_power_, fingerprint_,
+                                           cell.key_for(max_power_)},
+                     cell.evaluation.label, packed[i]);
+    }
+  }
+}
+
+}  // namespace msoc::plan

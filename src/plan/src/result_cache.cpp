@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <sstream>
 #include <vector>
@@ -21,6 +22,7 @@ namespace {
 
 constexpr const char* kSchemaV1 = "msoc-cache-v1";
 constexpr const char* kSchemaV2 = "msoc-cache-v2";
+constexpr const char* kSchemaV3 = "msoc-cache-v3";
 constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
 
 std::string hex64(std::uint64_t v) {
@@ -38,17 +40,6 @@ std::uint64_t fnv1a(std::string_view s) {
   return hash;
 }
 
-/// Full entry key inside one digest's store.  The power segment exists
-/// only for constrained entries, so unconstrained keys — and therefore
-/// whole unconstrained stores — are bit-identical to the v1 format.
-std::string entry_key(int tam_width, double max_power,
-                      const std::string& fingerprint,
-                      const std::string& key) {
-  std::string head = "w" + std::to_string(tam_width) + "|";
-  if (max_power > 0.0) head += "p" + round_trip_double(max_power) + "|";
-  return head + fingerprint + "|" + key;
-}
-
 /// A JSON number that is a non-negative integer representable exactly
 /// as a double; nullopt otherwise.
 std::optional<Cycles> as_cycles(const JsonValue& value) {
@@ -58,6 +49,48 @@ std::optional<Cycles> as_cycles(const JsonValue& value) {
     return std::nullopt;
   }
   return static_cast<Cycles>(n);
+}
+
+/// Exactly 16 lowercase hex characters -> value; nullopt otherwise.
+std::optional<std::uint64_t> parse_hex64(const std::string& text) {
+  if (text.size() != 16) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    int nibble = 0;
+    if (c >= '0' && c <= '9') nibble = c - '0';
+    else if (c >= 'a' && c <= 'f') nibble = 10 + (c - 'a');
+    else return std::nullopt;
+    value = (value << 4) | static_cast<std::uint64_t>(nibble);
+  }
+  return value;
+}
+
+/// One inventory side ("digital"/"analog") of the v3 file header.
+std::vector<soc::CoreDigests> parse_inventory_cores(
+    const JsonValue& array, const std::string& path) {
+  std::vector<soc::CoreDigests> cores;
+  for (const JsonValue& item : array.as_array()) {
+    const std::optional<std::uint64_t> full =
+        parse_hex64(item.at("digest").as_string());
+    const std::optional<std::uint64_t> packing =
+        parse_hex64(item.at("packing").as_string());
+    if (!full.has_value() || !packing.has_value()) {
+      throw ParseError(path, 0, "malformed cache inventory");
+    }
+    cores.push_back({*full, *packing});
+  }
+  std::sort(cores.begin(), cores.end());
+  return cores;
+}
+
+void write_inventory_cores(std::ostringstream& os,
+                           const std::vector<soc::CoreDigests>& cores) {
+  os << "[";
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << "{\"digest\": \"" << hex64(cores[i].full)
+       << "\", \"packing\": \"" << hex64(cores[i].packing) << "\"}";
+  }
+  os << "]";
 }
 
 }  // namespace
@@ -74,7 +107,7 @@ std::string packing_fingerprint(const tam::PackingOptions& options) {
 }
 
 std::string partition_key(const std::vector<soc::AnalogCore>& cores,
-                          const mswrap::Partition& partition) {
+                          const mswrap::Partition& partition, bool powered) {
   std::vector<std::string> group_keys;
   group_keys.reserve(partition.groups().size());
   for (const std::vector<std::size_t>& group : partition.groups()) {
@@ -83,7 +116,8 @@ std::string partition_key(const std::vector<soc::AnalogCore>& cores,
     for (const std::size_t index : group) {
       check_invariant(index < cores.size(),
                       "partition index outside the core list");
-      members.push_back(soc::core_digest(cores[index]));
+      members.push_back(powered ? soc::core_digest(cores[index])
+                                : soc::packing_core_digest(cores[index]));
     }
     std::sort(members.begin(), members.end());
     std::string key;
@@ -102,6 +136,11 @@ std::string partition_key(const std::vector<soc::AnalogCore>& cores,
   return joined;
 }
 
+std::string partition_key(const std::vector<soc::AnalogCore>& cores,
+                          const mswrap::Partition& partition) {
+  return partition_key(cores, partition, /*powered=*/true);
+}
+
 ResultCache::ResultCache(std::string directory)
     : directory_(std::move(directory)) {
   require(!directory_.empty(), "cache directory must not be empty");
@@ -118,13 +157,30 @@ void ResultCache::load_store(const std::string& digest, Store& store) {
     if (!text.has_value()) return;
     const JsonValue doc = parse_json(*text, file_path(digest));
     const std::string schema = doc.at("schema").as_string();
-    if (schema != kSchemaV1 && schema != kSchemaV2) {
+    if (schema != kSchemaV1 && schema != kSchemaV2 && schema != kSchemaV3) {
       throw ParseError(file_path(digest), 0, "unexpected schema");
     }
     if (doc.at("digest").as_string() != digest) {
       throw ParseError(file_path(digest), 0, "digest does not match file");
     }
-    std::map<std::string, Entry> snapshot;
+    // The v3 header carries the SOC's digest inventory so the store can
+    // seed a replan; legacy v1/v2 stores load without one.
+    std::optional<soc::DigestInventory> inventory;
+    if (const JsonValue* header = doc.find("inventory")) {
+      soc::DigestInventory parsed;
+      parsed.digital = parse_inventory_cores(header->at("digital"),
+                                             file_path(digest));
+      parsed.analog =
+          parse_inventory_cores(header->at("analog"), file_path(digest));
+      const JsonValue& budget = header->at("max_power");
+      if (budget.type() != JsonValue::Type::kNumber ||
+          !(budget.as_number() >= 0.0)) {
+        throw ParseError(file_path(digest), 0, "malformed cache inventory");
+      }
+      parsed.max_power = budget.as_number();
+      inventory = std::move(parsed);
+    }
+    std::map<EntryKey, Entry> snapshot;
     for (const JsonValue& item : doc.at("entries").as_array()) {
       const std::optional<Cycles> width = as_cycles(item.at("width"));
       const std::optional<Cycles> time = as_cycles(item.at("test_time"));
@@ -135,28 +191,28 @@ void ResultCache::load_store(const std::string& digest, Store& store) {
           *time < 1) {
         throw ParseError(file_path(digest), 0, "malformed cache entry");
       }
-      // v2 entries may carry the power budget the pack honored; absent
-      // (every v1 entry) means unconstrained.
-      double max_power = 0.0;
+      EntryKey key;
+      key.tam_width = static_cast<int>(*width);
+      // v2/v3 entries may carry the power budget the pack honored;
+      // absent (every v1 entry) means unconstrained.
       if (const JsonValue* budget = item.find("max_power")) {
         if (budget->type() != JsonValue::Type::kNumber ||
             !(budget->as_number() > 0.0)) {
           throw ParseError(file_path(digest), 0, "malformed cache entry");
         }
-        max_power = budget->as_number();
+        key.max_power = budget->as_number();
       }
+      key.fingerprint = item.at("packing").as_string();
+      key.partition = item.at("partition").as_string();
       Entry entry;
       entry.test_time = *time;
       if (const JsonValue* label = item.find("label")) {
         entry.label = label->as_string();
       }
-      snapshot.insert_or_assign(
-          entry_key(static_cast<int>(*width), max_power,
-                    item.at("packing").as_string(),
-                    item.at("partition").as_string()),
-          std::move(entry));
+      snapshot.insert_or_assign(std::move(key), std::move(entry));
     }
     store.snapshot = std::move(snapshot);
+    if (!store.inventory.has_value()) store.inventory = std::move(inventory);
   } catch (const Error& e) {
     // A cache must only ever make runs faster: anything unparseable OR
     // unreadable (ParseError and plain Error alike — e.g. permission
@@ -177,15 +233,28 @@ void ResultCache::open(const std::string& digest,
   if (disk_backed()) load_store(digest, it->second);
 }
 
+void ResultCache::open(const std::string& digest, const soc::Soc& soc) {
+  open(digest, soc.name());
+  // The SOC in hand is authoritative over whatever the file header
+  // said (they agree unless the file was tampered with).
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stores_[digest].inventory = soc::digest_inventory(soc);
+}
+
+std::optional<soc::DigestInventory> ResultCache::inventory(
+    const std::string& digest) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto store = stores_.find(digest);
+  if (store == stores_.end()) return std::nullopt;
+  return store->second.inventory;
+}
+
 std::optional<Cycles> ResultCache::lookup(const std::string& digest,
-                                          int tam_width, double max_power,
-                                          const std::string& fingerprint,
-                                          const std::string& key) const {
+                                          const EntryKey& key) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto store = stores_.find(digest);
   if (store != stores_.end()) {
-    const auto it = store->second.snapshot.find(
-        entry_key(tam_width, max_power, fingerprint, key));
+    const auto it = store->second.snapshot.find(key);
     if (it != store->second.snapshot.end()) {
       ++hits_;
       return it->second.test_time;
@@ -195,17 +264,14 @@ std::optional<Cycles> ResultCache::lookup(const std::string& digest,
   return std::nullopt;
 }
 
-void ResultCache::record(const std::string& digest, int tam_width,
-                         double max_power, const std::string& fingerprint,
-                         const std::string& key, const std::string& label,
-                         Cycles test_time) {
+void ResultCache::record(const std::string& digest, const EntryKey& key,
+                         const std::string& label, Cycles test_time) {
   const std::lock_guard<std::mutex> lock(mutex_);
   Store& store = stores_[digest];
   Entry entry;
   entry.test_time = test_time;
   entry.label = label;
-  store.overlay.insert_or_assign(
-      entry_key(tam_width, max_power, fingerprint, key), std::move(entry));
+  store.overlay.insert_or_assign(key, std::move(entry));
   ++records_;
 }
 
@@ -220,48 +286,31 @@ void ResultCache::flush() {
     store.overlay.clear();
     if (!disk_backed() || !dirty) continue;
 
-    // A store stays on the v1 schema until it holds a power-constrained
-    // entry, so purely width-constrained caches are byte-compatible
-    // with pre-power readers and goldens.
-    const bool any_power = std::any_of(
-        store.snapshot.begin(), store.snapshot.end(), [](const auto& kv) {
-          const std::size_t bar = kv.first.find('|');
-          return bar != std::string::npos && bar + 1 < kv.first.size() &&
-                 kv.first[bar + 1] == 'p';
-        });
     std::ostringstream os;
     os << "{\n"
-       << "  \"schema\": \"" << (any_power ? kSchemaV2 : kSchemaV1)
-       << "\",\n"
+       << "  \"schema\": \"" << kSchemaV3 << "\",\n"
        << "  \"digest\": \"" << json_escape(digest) << "\",\n"
-       << "  \"soc_name\": \"" << json_escape(store.soc_name) << "\",\n"
-       << "  \"entries\": [";
+       << "  \"soc_name\": \"" << json_escape(store.soc_name) << "\",\n";
+    if (store.inventory.has_value()) {
+      os << "  \"inventory\": {\"max_power\": "
+         << round_trip_double(store.inventory->max_power)
+         << ", \"digital\": ";
+      write_inventory_cores(os, store.inventory->digital);
+      os << ", \"analog\": ";
+      write_inventory_cores(os, store.inventory->analog);
+      os << "},\n";
+    }
+    os << "  \"entries\": [";
     bool first = true;
     for (const auto& [key, entry] : store.snapshot) {
-      // entry_key is "w<width>|[p<max_power>|]<fingerprint>|<partition>".
-      const std::size_t bar1 = key.find('|');
-      check_invariant(key.size() > 1 && key[0] == 'w' &&
-                          bar1 != std::string::npos,
-                      "malformed in-memory cache key");
-      std::string max_power;
-      std::size_t rest = bar1 + 1;
-      if (rest < key.size() && key[rest] == 'p') {
-        const std::size_t bar = key.find('|', rest);
-        check_invariant(bar != std::string::npos,
-                        "malformed in-memory cache key");
-        max_power = key.substr(rest + 1, bar - rest - 1);
-        rest = bar + 1;
-      }
-      const std::size_t bar2 = key.find('|', rest);
-      check_invariant(bar2 != std::string::npos,
-                      "malformed in-memory cache key");
       os << (first ? "\n" : ",\n");
       first = false;
-      os << "    {\"width\": " << key.substr(1, bar1 - 1) << ", ";
-      if (!max_power.empty()) os << "\"max_power\": " << max_power << ", ";
-      os << "\"packing\": \""
-         << json_escape(key.substr(rest, bar2 - rest)) << "\", "
-         << "\"partition\": \"" << json_escape(key.substr(bar2 + 1))
+      os << "    {\"width\": " << key.tam_width << ", ";
+      if (key.max_power > 0.0) {
+        os << "\"max_power\": " << round_trip_double(key.max_power) << ", ";
+      }
+      os << "\"packing\": \"" << json_escape(key.fingerprint) << "\", "
+         << "\"partition\": \"" << json_escape(key.partition)
          << "\", \"label\": \"" << json_escape(entry.label) << "\", "
          << "\"test_time\": " << entry.test_time << "}";
     }

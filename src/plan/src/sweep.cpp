@@ -63,6 +63,10 @@ SweepResult run_sweep(const SweepConfig& config) {
           "sweep needs at least one power budget");
   require(!config.time_weights.empty(),
           "sweep needs at least one time weight");
+  require(config.replan_from.empty() || !config.cache_dir.empty(),
+          "replan needs a cache directory holding the baseline store");
+  require(config.replan_from.empty() || config.socs.size() == 1,
+          "replan needs exactly one SOC (the baseline is one revision)");
 
   std::vector<Series> series;
   series.reserve(config.socs.size() * config.time_weights.size());
@@ -113,12 +117,27 @@ SweepResult run_sweep(const SweepConfig& config) {
   tables.reserve(config.socs.size());
   for (const soc::Soc& soc : config.socs) {
     tables.push_back(tam::compute_pareto_tables(soc, table_width));
-    if (cache.has_value()) cache->open(soc::digest_hex(soc), soc.name());
+    // Opening with the SOC pins the store's digest inventory so the
+    // flushed file can seed a future replan.
+    if (cache.has_value()) cache->open(soc::digest_hex(soc), soc);
+  }
+  // The baseline store is loaded serially too; every series diffs
+  // against the same snapshot.
+  if (cache.has_value() && !config.replan_from.empty()) {
+    cache->open(config.replan_from);
   }
 
+  // Per-series replan provenance, aggregated after the fan-out (rows
+  // are disjoint per series, so only these need dedicated slots).
+  std::vector<int> series_reused(series.size(), 0);
+  std::vector<int> series_dirty(series.size(), 0);
+
   ThreadPool pool(outer);
-  for (const Series& s : series) {
-    pool.submit([&result, &config, &cache, &tables, s, inner] {
+  for (std::size_t series_index = 0; series_index < series.size();
+       ++series_index) {
+    const Series& s = series[series_index];
+    pool.submit([&result, &config, &cache, &tables, &series_reused,
+                 &series_dirty, series_index, s, inner] {
       const soc::Soc& soc = config.socs[s.soc_index];
       const double w_time = config.time_weights[s.weight_index];
       const auto row_index = [&](std::size_t width_index,
@@ -152,7 +171,12 @@ SweepResult run_sweep(const SweepConfig& config) {
         options.cache = cache.has_value() ? &*cache : nullptr;
         options.pareto_tables = &tables[s.soc_index];
         FrontierEngine engine(soc, options);
-        const FrontierResult frontier = engine.run();
+        const FrontierResult frontier = config.replan_from.empty()
+                                            ? engine.run()
+                                            : engine.replan(
+                                                  config.replan_from);
+        series_reused[series_index] = frontier.reused;
+        series_dirty[series_index] = frontier.dirty_partitions;
 
         std::map<std::pair<int, double>, const FrontierPoint*> by_cell;
         for (const FrontierPoint& point : frontier.points) {
@@ -176,6 +200,7 @@ SweepResult run_sweep(const SweepConfig& config) {
               row.t_max = point.t_max;
               row.evaluations = point.evaluations;
               row.total_combinations = point.total_combinations;
+              row.reused = point.reused;
               OptimizationResult reduction;
               reduction.evaluations = point.evaluations;
               reduction.total_combinations = point.total_combinations;
@@ -199,7 +224,21 @@ SweepResult run_sweep(const SweepConfig& config) {
     });
   }
   pool.wait();
-  if (cache.has_value()) cache->flush();
+  if (cache.has_value()) {
+    cache->flush();
+    result.cache_used = true;
+    result.cache_hits = cache->hits();
+    result.cache_misses = cache->misses();
+    result.cache_records = cache->records();
+    result.cache_corrupt_files = cache->corrupt_files();
+  }
+  if (!config.replan_from.empty()) {
+    result.replanned_from = config.replan_from;
+    for (const int reused : series_reused) result.reused += reused;
+    for (const int dirty : series_dirty) {
+      result.dirty_partitions = std::max(result.dirty_partitions, dirty);
+    }
+  }
   result.total_wall_ms = elapsed_ms(start);
   return result;
 }
@@ -224,6 +263,7 @@ bool any_power_constrained(const std::vector<SweepRow>& rows) {
 
 std::string SweepResult::to_csv() const {
   const bool constrained = any_power_constrained(rows);
+  const bool replan = !replanned_from.empty();
   std::ostringstream out;
   std::vector<std::string> header = {"soc", "tam_width", "w_time",
                                      "algorithm", "best_label", "best_total",
@@ -232,6 +272,7 @@ std::string SweepResult::to_csv() const {
                                      "total_combinations",
                                      "evaluation_reduction_percent",
                                      "wall_ms", "error"};
+  if (replan) header.insert(header.begin() + 12, "reused");
   if (constrained) header.insert(header.begin() + 2, "max_power");
   CsvWriter csv(out, header);
   for (const SweepRow& r : rows) {
@@ -244,6 +285,7 @@ std::string SweepResult::to_csv() const {
         std::to_string(r.total_combinations),
         round_trip_double(r.evaluation_reduction_percent),
         round_trip_double(r.wall_ms), r.error};
+    if (replan) row.insert(row.begin() + 12, std::to_string(r.reused));
     if (constrained) {
       row.insert(row.begin() + 2, round_trip_double(r.max_power));
     }
@@ -254,14 +296,27 @@ std::string SweepResult::to_csv() const {
 
 std::string SweepResult::to_json() const {
   const bool constrained = any_power_constrained(rows);
+  const bool replan = !replanned_from.empty();
+  const char* schema = cache_used ? "v3" : (constrained ? "v2" : "v1");
   std::ostringstream os;
   os << "{\n"
-     << "  \"schema\": \"msoc-sweep-" << (constrained ? "v2" : "v1")
-     << "\",\n"
+     << "  \"schema\": \"msoc-sweep-" << schema << "\",\n"
      << "  \"exhaustive\": " << (exhaustive ? "true" : "false") << ",\n"
      << "  \"epsilon\": " << round_trip_double(epsilon) << ",\n"
-     << "  \"jobs\": " << jobs << ",\n"
-     << "  \"total_wall_ms\": " << round_trip_double(total_wall_ms) << ",\n"
+     << "  \"jobs\": " << jobs << ",\n";
+  if (replan) {
+    os << "  \"replanned_from\": \"" << json_escape(replanned_from)
+       << "\",\n"
+       << "  \"reused\": " << reused << ",\n"
+       << "  \"dirty_partitions\": " << dirty_partitions << ",\n";
+  }
+  if (cache_used) {
+    os << "  \"cache\": {\"hits\": " << cache_hits << ", "
+       << "\"misses\": " << cache_misses << ", "
+       << "\"records\": " << cache_records << ", "
+       << "\"corrupt_files\": " << cache_corrupt_files << "},\n";
+  }
+  os << "  \"total_wall_ms\": " << round_trip_double(total_wall_ms) << ",\n"
      << "  \"cases\": [";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
@@ -285,8 +340,9 @@ std::string SweepResult::to_json() const {
        << "\"test_time\": " << r.test_time << ", "
        << "\"t_max\": " << r.t_max << "}, "
        << "\"evaluations\": " << r.evaluations << ", "
-       << "\"total_combinations\": " << r.total_combinations << ", "
-       << "\"evaluation_reduction_percent\": "
+       << "\"total_combinations\": " << r.total_combinations << ", ";
+    if (replan) os << "\"reused\": " << r.reused << ", ";
+    os << "\"evaluation_reduction_percent\": "
        << round_trip_double(r.evaluation_reduction_percent) << "}";
   }
   os << "\n  ]\n}\n";

@@ -1,0 +1,108 @@
+#pragma once
+// Per-core digest deltas between two SOC revisions — the classifier
+// behind incremental re-planning (docs/architecture.md, "staged
+// pipeline").
+//
+// A DigestInventory is the content-addressed summary of one SOC
+// revision: every core's full digest (soc::core_digest) and its
+// power-stripped packing digest (soc::packing_core_digest), plus the
+// SOC-level power budget.  Inventories are value types — the planning
+// result cache persists the baseline's inventory in its store header,
+// so a later revision can be diffed against a baseline without ever
+// reloading the baseline's .soc description.
+//
+// diff() compares the digest MULTISETS (cores are anonymous content;
+// two identical cores are two instances), so:
+//
+//   * renaming or reordering cores produces an all-clean delta;
+//   * editing one core moves exactly one instance from `clean` to
+//     `dirty_old`/`dirty_new`, even when duplicates of it exist;
+//   * adding or removing a core shows up as an unmatched instance.
+//
+// The two digest flavors answer the two reuse questions the planner
+// asks: `digital`/`analog` (full digests) gate reuse of
+// power-constrained makespans, `digital_packing`/`analog_packing`
+// gate reuse of unconstrained makespans, which provably cannot see
+// power annotations.
+
+#include <cstdint>
+#include <vector>
+
+#include "msoc/soc/soc.hpp"
+
+namespace msoc::soc {
+
+/// Both digest flavors of one core instance.
+struct CoreDigests {
+  std::uint64_t full = 0;     ///< soc::core_digest — every declared field.
+  std::uint64_t packing = 0;  ///< soc::packing_core_digest — power stripped.
+
+  friend bool operator==(const CoreDigests& a, const CoreDigests& b) {
+    return a.full == b.full && a.packing == b.packing;
+  }
+  friend bool operator<(const CoreDigests& a, const CoreDigests& b) {
+    if (a.full != b.full) return a.full < b.full;
+    return a.packing < b.packing;
+  }
+};
+
+/// Content-addressed summary of one SOC revision.  Core entries are
+/// sorted (order-independent, like soc::digest itself).
+struct DigestInventory {
+  std::vector<CoreDigests> digital;  ///< Sorted by (full, packing).
+  std::vector<CoreDigests> analog;   ///< Sorted by (full, packing).
+  double max_power = 0.0;            ///< Soc::max_power (0 = undeclared).
+};
+
+[[nodiscard]] DigestInventory digest_inventory(const Soc& soc);
+
+/// Multiset comparison of one digest flavor between two revisions.
+struct DigestSetDelta {
+  std::vector<std::uint64_t> clean;      ///< In both (multiset min).
+  std::vector<std::uint64_t> dirty_old;  ///< Only in the old revision.
+  std::vector<std::uint64_t> dirty_new;  ///< Only in the new revision.
+
+  /// No instance changed: every old digest is matched by a new one.
+  [[nodiscard]] bool all_clean() const {
+    return dirty_old.empty() && dirty_new.empty();
+  }
+  /// True when `digest` belongs to a changed instance of the NEW
+  /// revision.  Conservative for duplicates: if one of two identical
+  /// cores was edited away, the surviving twin's digest still appears
+  /// here and both are treated as dirty — reuse is only ever skipped,
+  /// never wrongly granted.
+  [[nodiscard]] bool is_dirty(std::uint64_t digest) const;
+};
+
+/// The full delta between two revisions, one DigestSetDelta per
+/// (core kind x digest flavor), plus the budget comparison.
+struct DigestDelta {
+  DigestSetDelta digital;          ///< Full digests.
+  DigestSetDelta analog;           ///< Full digests.
+  DigestSetDelta digital_packing;  ///< Power-stripped digests.
+  DigestSetDelta analog_packing;   ///< Power-stripped digests.
+  bool max_power_changed = false;
+
+  /// Every core's full content survived (budget may still differ).
+  [[nodiscard]] bool cores_clean() const {
+    return digital.all_clean() && analog.all_clean();
+  }
+  /// Every core's power-stripped content survived: unconstrained
+  /// makespans of the old revision are valid for the new one.
+  [[nodiscard]] bool packing_clean() const {
+    return digital_packing.all_clean() && analog_packing.all_clean();
+  }
+  /// Nothing planning-relevant changed at all.
+  [[nodiscard]] bool clean() const {
+    return cores_clean() && !max_power_changed;
+  }
+};
+
+/// Classifies every core digest of `older` vs `newer` into
+/// clean/dirty multisets.  Symmetric in cost, not in meaning: `clean`
+/// digests index results of `older` that remain valid for `newer`.
+[[nodiscard]] DigestDelta diff(const DigestInventory& older,
+                               const DigestInventory& newer);
+[[nodiscard]] DigestDelta diff(const Soc& older, const Soc& newer);
+
+}  // namespace msoc::soc

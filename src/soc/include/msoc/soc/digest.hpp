@@ -36,6 +36,16 @@ namespace msoc::soc {
 [[nodiscard]] std::uint64_t core_digest(const DigitalCore& core);
 [[nodiscard]] std::uint64_t core_digest(const AnalogCore& core);
 
+/// core_digest of the core with every power annotation stripped: the
+/// part of the description an UNCONSTRAINED pack (effective budget 0)
+/// can observe.  The packer consults powers only through the power
+/// profile, which exists only under a positive budget, so two cores
+/// with equal packing digests produce identical unconstrained
+/// makespans even when their power annotations differ.  Equal to
+/// core_digest for cores that declare no power.
+[[nodiscard]] std::uint64_t packing_core_digest(const DigitalCore& core);
+[[nodiscard]] std::uint64_t packing_core_digest(const AnalogCore& core);
+
 /// Whole-SOC digest: order-independent combine of the per-core digests.
 [[nodiscard]] std::uint64_t digest(const Soc& soc);
 

@@ -1,0 +1,90 @@
+#include "msoc/soc/delta.hpp"
+
+#include <algorithm>
+
+#include "msoc/soc/digest.hpp"
+
+namespace msoc::soc {
+
+namespace {
+
+/// Multiset diff of two SORTED digest vectors: shared instances land in
+/// `clean`, unmatched ones in `dirty_old`/`dirty_new`.  Linear merge —
+/// an instance of a duplicated digest matches at most one instance on
+/// the other side.
+DigestSetDelta diff_sorted(const std::vector<std::uint64_t>& older,
+                           const std::vector<std::uint64_t>& newer) {
+  DigestSetDelta delta;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < older.size() && j < newer.size()) {
+    if (older[i] == newer[j]) {
+      delta.clean.push_back(older[i]);
+      ++i;
+      ++j;
+    } else if (older[i] < newer[j]) {
+      delta.dirty_old.push_back(older[i++]);
+    } else {
+      delta.dirty_new.push_back(newer[j++]);
+    }
+  }
+  for (; i < older.size(); ++i) delta.dirty_old.push_back(older[i]);
+  for (; j < newer.size(); ++j) delta.dirty_new.push_back(newer[j]);
+  return delta;
+}
+
+std::vector<std::uint64_t> flavor(const std::vector<CoreDigests>& cores,
+                                  bool packing) {
+  std::vector<std::uint64_t> out;
+  out.reserve(cores.size());
+  for (const CoreDigests& core : cores) {
+    out.push_back(packing ? core.packing : core.full);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+bool DigestSetDelta::is_dirty(std::uint64_t digest) const {
+  return std::binary_search(dirty_new.begin(), dirty_new.end(), digest) ||
+         std::binary_search(dirty_old.begin(), dirty_old.end(), digest);
+}
+
+DigestInventory digest_inventory(const Soc& soc) {
+  DigestInventory inventory;
+  inventory.digital.reserve(soc.digital_count());
+  for (const DigitalCore& core : soc.digital_cores()) {
+    inventory.digital.push_back(
+        {core_digest(core), packing_core_digest(core)});
+  }
+  inventory.analog.reserve(soc.analog_count());
+  for (const AnalogCore& core : soc.analog_cores()) {
+    inventory.analog.push_back(
+        {core_digest(core), packing_core_digest(core)});
+  }
+  std::sort(inventory.digital.begin(), inventory.digital.end());
+  std::sort(inventory.analog.begin(), inventory.analog.end());
+  inventory.max_power = soc.max_power();
+  return inventory;
+}
+
+DigestDelta diff(const DigestInventory& older, const DigestInventory& newer) {
+  DigestDelta delta;
+  delta.digital = diff_sorted(flavor(older.digital, false),
+                              flavor(newer.digital, false));
+  delta.analog =
+      diff_sorted(flavor(older.analog, false), flavor(newer.analog, false));
+  delta.digital_packing = diff_sorted(flavor(older.digital, true),
+                                      flavor(newer.digital, true));
+  delta.analog_packing =
+      diff_sorted(flavor(older.analog, true), flavor(newer.analog, true));
+  delta.max_power_changed = older.max_power != newer.max_power;
+  return delta;
+}
+
+DigestDelta diff(const Soc& older, const Soc& newer) {
+  return diff(digest_inventory(older), digest_inventory(newer));
+}
+
+}  // namespace msoc::soc

@@ -82,6 +82,21 @@ std::uint64_t core_digest(const AnalogCore& core) {
   return h.value();
 }
 
+std::uint64_t packing_core_digest(const DigitalCore& core) {
+  // Hash a literal power-stripped copy so the equivalence "packing
+  // digest == core_digest of the stripped core" holds by construction,
+  // whatever fields core_digest grows later.
+  DigitalCore stripped = core;
+  stripped.power = 0.0;
+  return core_digest(stripped);
+}
+
+std::uint64_t packing_core_digest(const AnalogCore& core) {
+  AnalogCore stripped = core;
+  for (AnalogTestSpec& test : stripped.tests) test.power = 0.0;
+  return core_digest(stripped);
+}
+
 std::uint64_t digest(const Soc& soc) {
   // Hash the SORTED per-core digests so core order cannot matter; keep
   // digital and analog in separate sorted runs (they are different

@@ -1,0 +1,190 @@
+#include "msoc/soc/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "msoc/soc/benchmarks.hpp"
+#include "msoc/soc/digest.hpp"
+#include "powered_fixtures.hpp"
+
+namespace msoc::soc {
+namespace {
+
+/// d695m with one analog test lengthened by `extra` cycles — the
+/// canonical single-core content ECO.
+Soc analog_edited_d695m(Cycles extra) {
+  const Soc plain = make_d695m();
+  Soc out(plain.name());
+  for (const DigitalCore& core : plain.digital_cores()) {
+    out.add_digital(core);
+  }
+  for (std::size_t i = 0; i < plain.analog_count(); ++i) {
+    AnalogCore copy = plain.analog_cores()[i];
+    if (i == 0) copy.tests.front().cycles += extra;
+    out.add_analog(copy);
+  }
+  return out;
+}
+
+TEST(DigestInventory, CountsAndOrderMatchTheSoc) {
+  const Soc soc = make_d695m();
+  const DigestInventory inventory = digest_inventory(soc);
+  EXPECT_EQ(inventory.digital.size(), soc.digital_count());
+  EXPECT_EQ(inventory.analog.size(), soc.analog_count());
+  EXPECT_EQ(inventory.max_power, soc.max_power());
+  EXPECT_TRUE(std::is_sorted(inventory.digital.begin(),
+                             inventory.digital.end()));
+  EXPECT_TRUE(
+      std::is_sorted(inventory.analog.begin(), inventory.analog.end()));
+  // Unannotated cores: the packing (power-stripped) digest IS the full
+  // digest.
+  for (const CoreDigests& core : inventory.digital) {
+    EXPECT_EQ(core.full, core.packing);
+  }
+  for (const CoreDigests& core : inventory.analog) {
+    EXPECT_EQ(core.full, core.packing);
+  }
+}
+
+TEST(DigestDelta, IdenticalSocsDiffClean) {
+  const Soc soc = powered_d695m(2.0);
+  const DigestDelta delta = diff(soc, soc);
+  EXPECT_TRUE(delta.clean());
+  EXPECT_TRUE(delta.cores_clean());
+  EXPECT_TRUE(delta.packing_clean());
+  EXPECT_FALSE(delta.max_power_changed);
+  EXPECT_EQ(delta.digital.clean.size(), soc.digital_count());
+  EXPECT_EQ(delta.analog.clean.size(), soc.analog_count());
+  EXPECT_TRUE(delta.digital.dirty_old.empty());
+  EXPECT_TRUE(delta.analog.dirty_new.empty());
+}
+
+TEST(DigestDelta, SingleAnalogEditDirtiesExactlyThatCore) {
+  const Soc older = make_d695m();
+  const Soc newer = analog_edited_d695m(500);
+  const DigestDelta delta = diff(older, newer);
+
+  EXPECT_TRUE(delta.digital.all_clean());
+  EXPECT_TRUE(delta.digital_packing.all_clean());
+  ASSERT_EQ(delta.analog.dirty_old.size(), 1u);
+  ASSERT_EQ(delta.analog.dirty_new.size(), 1u);
+  EXPECT_EQ(delta.analog.clean.size(), older.analog_count() - 1);
+  EXPECT_FALSE(delta.clean());
+
+  // The dirty digests are exactly the edited core's, before and after.
+  EXPECT_EQ(delta.analog.dirty_old.front(),
+            core_digest(older.analog_cores()[0]));
+  EXPECT_EQ(delta.analog.dirty_new.front(),
+            core_digest(newer.analog_cores()[0]));
+  EXPECT_TRUE(delta.analog.is_dirty(core_digest(older.analog_cores()[0])));
+  EXPECT_TRUE(delta.analog.is_dirty(core_digest(newer.analog_cores()[0])));
+  for (std::size_t i = 1; i < older.analog_count(); ++i) {
+    const std::uint64_t digest_i = core_digest(older.analog_cores()[i]);
+    // A content-twin of the edited core (d695m carries a
+    // tests_equivalent pair) is conservatively dirty; every other
+    // core stays clean.
+    if (digest_i == core_digest(older.analog_cores()[0])) continue;
+    EXPECT_FALSE(delta.analog.is_dirty(digest_i)) << i;
+  }
+  // A content edit dirties the packing flavor too.
+  EXPECT_EQ(delta.analog_packing.dirty_old.size(), 1u);
+  EXPECT_FALSE(delta.packing_clean());
+}
+
+TEST(DigestDelta, PowerAnnotationEditIsCleanInThePackingFlavor) {
+  // Annotating powers (the ECO that motivates replan): every annotated
+  // core's FULL digest changes, but the power-stripped packing digests
+  // — all an unconstrained pack can observe — stay clean.
+  Soc older = make_d695m();
+  Soc newer = powered_d695m(2.0);
+  newer.set_max_power(0.0);  // isolate the annotations from the budget
+  const DigestDelta delta = diff(older, newer);
+
+  EXPECT_FALSE(delta.digital.all_clean());
+  EXPECT_FALSE(delta.analog.all_clean());
+  EXPECT_TRUE(delta.digital_packing.all_clean());
+  EXPECT_TRUE(delta.analog_packing.all_clean());
+  EXPECT_TRUE(delta.packing_clean());
+  EXPECT_FALSE(delta.cores_clean());
+  EXPECT_FALSE(delta.max_power_changed);
+}
+
+TEST(DigestDelta, BudgetOnlyEditLeavesEveryCoreClean) {
+  const Soc older = powered_d695m(2.0);
+  Soc newer = powered_d695m(2.0);
+  newer.set_max_power(older.max_power() * 1.5);
+  ASSERT_NE(digest(older), digest(newer));  // the SOC digest moves...
+  const DigestDelta delta = diff(older, newer);
+  EXPECT_TRUE(delta.cores_clean());        // ...but no core does
+  EXPECT_TRUE(delta.packing_clean());
+  EXPECT_TRUE(delta.max_power_changed);
+  EXPECT_FALSE(delta.clean());
+}
+
+TEST(DigestDelta, AddedAndRemovedCoresSurfaceAsDirty) {
+  const Soc older = make_d695m();
+  Soc grown = make_d695m();
+  AnalogCore extra = older.analog_cores()[0];
+  extra.name = "X";
+  extra.tests.front().cycles += 123;
+  grown.add_analog(extra);
+
+  const DigestDelta added = diff(older, grown);
+  EXPECT_TRUE(added.analog.dirty_old.empty());
+  ASSERT_EQ(added.analog.dirty_new.size(), 1u);
+  EXPECT_EQ(added.analog.dirty_new.front(), core_digest(extra));
+  EXPECT_EQ(added.analog.clean.size(), older.analog_count());
+
+  const DigestDelta removed = diff(grown, older);
+  ASSERT_EQ(removed.analog.dirty_old.size(), 1u);
+  EXPECT_TRUE(removed.analog.dirty_new.empty());
+}
+
+TEST(DigestDelta, DuplicateDigestsDiffAsAMultiset) {
+  // Two content-identical cores contribute TWO instances of one
+  // digest.  Editing one must leave exactly one clean instance — a set
+  // diff would wrongly report the surviving twin dirty (or the edit
+  // invisible).
+  Soc older("twins");
+  Soc newer("twins");
+  const Soc donor = make_d695m();
+  for (int i = 0; i < 2; ++i) {
+    AnalogCore core = donor.analog_cores()[0];
+    core.name = i == 0 ? "T1" : "T2";
+    older.add_analog(core);
+    if (i == 1) core.tests.front().cycles += 77;
+    newer.add_analog(core);
+  }
+  older.add_digital(donor.digital_cores()[0]);
+  newer.add_digital(donor.digital_cores()[0]);
+
+  const std::uint64_t twin = core_digest(donor.analog_cores()[0]);
+  const DigestDelta delta = diff(older, newer);
+  ASSERT_EQ(delta.analog.clean.size(), 1u);
+  EXPECT_EQ(delta.analog.clean.front(), twin);
+  ASSERT_EQ(delta.analog.dirty_old.size(), 1u);
+  EXPECT_EQ(delta.analog.dirty_old.front(), twin);
+  ASSERT_EQ(delta.analog.dirty_new.size(), 1u);
+  // The shared digest is conservatively dirty: a partition containing
+  // EITHER twin must re-pack, because digests cannot tell them apart.
+  EXPECT_TRUE(delta.analog.is_dirty(twin));
+}
+
+TEST(DigestDelta, InventoryRoundTripMatchesSocOverload) {
+  // diff(Soc, Soc) must agree with diff over precomputed inventories —
+  // the path replan takes when only the baseline's inventory survives.
+  const Soc older = make_d695m();
+  const Soc newer = analog_edited_d695m(500);
+  const DigestDelta via_socs = diff(older, newer);
+  const DigestDelta via_inventories =
+      diff(digest_inventory(older), digest_inventory(newer));
+  EXPECT_EQ(via_socs.analog.dirty_old, via_inventories.analog.dirty_old);
+  EXPECT_EQ(via_socs.analog.dirty_new, via_inventories.analog.dirty_new);
+  EXPECT_EQ(via_socs.analog.clean, via_inventories.analog.clean);
+  EXPECT_EQ(via_socs.digital.clean, via_inventories.digital.clean);
+  EXPECT_EQ(via_socs.max_power_changed, via_inventories.max_power_changed);
+}
+
+}  // namespace
+}  // namespace msoc::soc

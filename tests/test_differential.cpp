@@ -24,6 +24,7 @@
 #include "msoc/plan/frontier.hpp"
 #include "msoc/plan/optimizer.hpp"
 #include "msoc/soc/benchmarks.hpp"
+#include "msoc/soc/digest.hpp"
 #include "msoc/tam/schedule.hpp"
 
 namespace msoc::plan {
@@ -170,6 +171,99 @@ soc::Soc strip_power(const soc::Soc& soc) {
     stripped.add_analog(std::move(core));
   }
   return stripped;
+}
+
+/// One-core ECO mutation for the replan differential ladder.  Kinds 0
+/// and 1 touch only power (annotation / budget): invisible to the
+/// unconstrained packs the suite runs, so a replan must splice
+/// EVERYTHING.  Kinds 2 and 3 edit timing content: every sharing
+/// partition goes dirty and the replan must degrade to a full
+/// re-pack.  All four must stay bit-identical to a cold solve.
+soc::Soc mutate(const soc::Soc& soc, int kind) {
+  soc::Soc out(soc.name());
+  out.set_max_power(soc.max_power());
+  bool digital_edited = false;
+  for (soc::DigitalCore core : soc.digital_cores()) {
+    if (!digital_edited) {
+      if (kind == 0) core.power += 5.0;
+      if (kind == 2) {
+        if (core.scan_chain_lengths.empty()) {
+          core.patterns += 13;
+        } else {
+          core.scan_chain_lengths[0] += 7;
+        }
+      }
+      digital_edited = true;
+    }
+    out.add_digital(std::move(core));
+  }
+  bool analog_edited = false;
+  for (soc::AnalogCore core : soc.analog_cores()) {
+    if (!analog_edited && kind == 3) {
+      core.tests.front().cycles += 250;
+      analog_edited = true;
+    }
+    out.add_analog(std::move(core));
+  }
+  if (kind == 1) out.set_max_power(soc.max_power() * 1.25);
+  return out;
+}
+
+// Replan differential: for every seed, mutate one core (or the
+// budget), replan from the baseline store, and demand bit-identity
+// with a cold solve of the mutant — plus the right reuse regime for
+// the mutation kind.
+TEST(Differential, ReplanMatchesColdSolveAcrossMutationLadder) {
+  constexpr std::uint64_t kReplanSeeds = 25;
+  for (std::uint64_t seed = 1; seed <= kReplanSeeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const int kind = static_cast<int>(seed % 4);
+    const soc::Soc baseline = synthetic(seed, /*with_power=*/true);
+    const soc::Soc revision = mutate(baseline, kind);
+    ASSERT_NE(soc::digest_hex(baseline), soc::digest_hex(revision));
+    const int width = width_for(seed);
+
+    ResultCache cache;  // in-memory: flush() merges, nothing on disk
+    FrontierOptions options;
+    options.widths = {width};
+    options.max_powers = {0.0};  // unconstrained: packing-digest keyed
+    options.cache = &cache;
+    FrontierEngine baseline_engine(baseline, options);
+    (void)baseline_engine.run();
+    cache.flush();
+
+    FrontierEngine engine(revision, options);
+    const FrontierResult replanned =
+        engine.replan(soc::digest_hex(baseline));
+    ASSERT_EQ(replanned.replanned_from, soc::digest_hex(baseline));
+
+    FrontierOptions cold_options;
+    cold_options.widths = {width};
+    cold_options.max_powers = {0.0};
+    FrontierEngine cold_engine(revision, cold_options);
+    const FrontierResult cold = cold_engine.run();
+
+    ASSERT_EQ(replanned.points.size(), 1u);
+    ASSERT_EQ(cold.points.size(), 1u);
+    ASSERT_TRUE(replanned.points[0].ok()) << replanned.points[0].error;
+    expect_same_cost(replanned.points[0].best, cold.points[0].best,
+                     "replan kind " + std::to_string(kind));
+    EXPECT_EQ(replanned.points[0].t_max, cold.points[0].t_max);
+    EXPECT_EQ(replanned.points[0].pareto, cold.points[0].pareto);
+
+    if (kind <= 1) {
+      // Power-only edits: every makespan splices from the baseline.
+      EXPECT_EQ(replanned.points[0].evaluations, 0);
+      EXPECT_EQ(replanned.dirty_partitions, 0);
+      EXPECT_GT(replanned.reused, 0);
+    } else {
+      // Content edits dirty every sharing partition: full re-pack.
+      EXPECT_EQ(replanned.points[0].evaluations,
+                cold.points[0].evaluations);
+      EXPECT_GT(replanned.dirty_partitions, 0);
+      EXPECT_EQ(replanned.reused, 0);
+    }
+  }
 }
 
 // The power budget must genuinely bind somewhere on the ladder —

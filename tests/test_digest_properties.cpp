@@ -1,0 +1,166 @@
+// Property suite for the content-addressed digest layer: the
+// invariances the incremental-replan classifier (soc::diff) relies on.
+//
+//   * digest() and the per-core digest MULTISET ignore names and
+//     declaration order — cosmetic ECOs must hit the same cache;
+//   * editing one core's content moves exactly that core's digest,
+//     nobody else's — the locality that bounds a replan's dirty set;
+//   * packing_core_digest == core_digest without power annotations,
+//     and power-only edits move core_digest but never
+//     packing_core_digest — the split that lets unconstrained
+//     makespans survive a power-annotation ECO.
+
+#include "msoc/soc/digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "msoc/common/rng.hpp"
+#include "msoc/soc/benchmarks.hpp"
+#include "powered_fixtures.hpp"
+
+namespace msoc::soc {
+namespace {
+
+/// Rebuilds `soc` with cores shuffled (seeded) and every name rewritten.
+Soc shuffled_and_renamed(const Soc& soc, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DigitalCore> digital(soc.digital_cores().begin(),
+                                   soc.digital_cores().end());
+  std::vector<AnalogCore> analog(soc.analog_cores().begin(),
+                                 soc.analog_cores().end());
+  for (std::size_t i = digital.size(); i > 1; --i) {
+    std::swap(digital[i - 1],
+              digital[rng.uniform_u64(0, i - 1)]);
+  }
+  for (std::size_t i = analog.size(); i > 1; --i) {
+    std::swap(analog[i - 1], analog[rng.uniform_u64(0, i - 1)]);
+  }
+  Soc out("renamed_" + soc.name());
+  out.set_max_power(soc.max_power());
+  int counter = 0;
+  for (DigitalCore core : digital) {
+    core.name = "dig" + std::to_string(counter++);
+    out.add_digital(core);
+  }
+  for (AnalogCore core : analog) {
+    core.name = "ana" + std::to_string(counter++);
+    core.description = "relabeled";
+    out.add_analog(core);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> sorted_core_digests(const Soc& soc) {
+  std::vector<std::uint64_t> digests;
+  for (const DigitalCore& core : soc.digital_cores()) {
+    digests.push_back(core_digest(core));
+  }
+  for (const AnalogCore& core : soc.analog_cores()) {
+    digests.push_back(core_digest(core));
+  }
+  std::sort(digests.begin(), digests.end());
+  return digests;
+}
+
+TEST(DigestProperties, InvariantUnderRenameAndReorder) {
+  // Both flavors of fixture: bare content and power-annotated.
+  const Soc fixtures[] = {make_d695m(), make_p93791m(), powered_d695m(2.0)};
+  for (const Soc& soc : fixtures) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const Soc cosmetic = shuffled_and_renamed(soc, seed);
+      EXPECT_EQ(digest(soc), digest(cosmetic)) << soc.name() << " " << seed;
+      EXPECT_EQ(sorted_core_digests(soc), sorted_core_digests(cosmetic))
+          << soc.name() << " " << seed;
+    }
+  }
+}
+
+TEST(DigestProperties, SingleCoreEditMovesExactlyThatCoresDigest) {
+  const Soc base = make_d695m();
+  const std::vector<std::uint64_t> before = sorted_core_digests(base);
+
+  // Systematically edit each digital core, then each analog core, and
+  // check the digest multiset differs in exactly one element.
+  const std::size_t total = base.digital_count() + base.analog_count();
+  for (std::size_t victim = 0; victim < total; ++victim) {
+    Soc edited(base.name());
+    edited.set_max_power(base.max_power());
+    for (std::size_t i = 0; i < base.digital_count(); ++i) {
+      DigitalCore core = base.digital_cores()[i];
+      if (i == victim) core.patterns += 13;
+      edited.add_digital(core);
+    }
+    for (std::size_t i = 0; i < base.analog_count(); ++i) {
+      AnalogCore core = base.analog_cores()[i];
+      if (base.digital_count() + i == victim) {
+        core.tests.front().cycles += 13;
+      }
+      edited.add_analog(core);
+    }
+
+    EXPECT_NE(digest(base), digest(edited)) << victim;
+    std::vector<std::uint64_t> after = sorted_core_digests(edited);
+    ASSERT_EQ(after.size(), before.size());
+    // Multiset symmetric difference must be exactly {old core, new core}.
+    std::vector<std::uint64_t> gone;
+    std::set_difference(before.begin(), before.end(), after.begin(),
+                        after.end(), std::back_inserter(gone));
+    std::vector<std::uint64_t> born;
+    std::set_difference(after.begin(), after.end(), before.begin(),
+                        before.end(), std::back_inserter(born));
+    EXPECT_EQ(gone.size(), 1u) << victim;
+    EXPECT_EQ(born.size(), 1u) << victim;
+  }
+}
+
+TEST(DigestProperties, PackingDigestEqualsFullDigestWithoutPower) {
+  const Soc soc = make_p93791m();
+  for (const DigitalCore& core : soc.digital_cores()) {
+    EXPECT_EQ(packing_core_digest(core), core_digest(core)) << core.name;
+  }
+  for (const AnalogCore& core : soc.analog_cores()) {
+    EXPECT_EQ(packing_core_digest(core), core_digest(core)) << core.name;
+  }
+}
+
+TEST(DigestProperties, PowerOnlyEditMovesFullButNotPackingDigest) {
+  const Soc plain = make_d695m();
+  const Soc powered = powered_d695m(2.0);
+  ASSERT_EQ(plain.digital_count(), powered.digital_count());
+  ASSERT_EQ(plain.analog_count(), powered.analog_count());
+  for (std::size_t i = 0; i < plain.digital_count(); ++i) {
+    const DigitalCore& before = plain.digital_cores()[i];
+    const DigitalCore& after = powered.digital_cores()[i];
+    EXPECT_NE(core_digest(before), core_digest(after)) << i;
+    EXPECT_EQ(packing_core_digest(before), packing_core_digest(after)) << i;
+  }
+  for (std::size_t i = 0; i < plain.analog_count(); ++i) {
+    const AnalogCore& before = plain.analog_cores()[i];
+    const AnalogCore& after = powered.analog_cores()[i];
+    EXPECT_NE(core_digest(before), core_digest(after)) << i;
+    EXPECT_EQ(packing_core_digest(before), packing_core_digest(after)) << i;
+  }
+}
+
+TEST(DigestProperties, ContentEditMovesBothDigestFlavors) {
+  // The converse guard: packing digests must still see CONTENT.
+  const Soc powered = powered_d695m(2.0);
+  DigitalCore digital = powered.digital_cores()[0];
+  digital.patterns += 7;
+  EXPECT_NE(core_digest(digital), core_digest(powered.digital_cores()[0]));
+  EXPECT_NE(packing_core_digest(digital),
+            packing_core_digest(powered.digital_cores()[0]));
+
+  AnalogCore analog = powered.analog_cores()[0];
+  analog.tests.front().cycles += 7;
+  EXPECT_NE(core_digest(analog), core_digest(powered.analog_cores()[0]));
+  EXPECT_NE(packing_core_digest(analog),
+            packing_core_digest(powered.analog_cores()[0]));
+}
+
+}  // namespace
+}  // namespace msoc::soc

@@ -453,12 +453,15 @@ TEST(FrontierPower, WarmCacheCoversPowerEntriesWithoutCollisions) {
   EXPECT_GT(cold.evaluations, 0);
   cold_cache.flush();
 
-  // The constrained store is written on the v2 schema.
+  // Stores are written on the v3 schema: constrained entries carry
+  // their budget, and the header carries the SOC's digest inventory so
+  // the store can seed a replan.
   const std::optional<std::string> text = read_file_if_exists(
       (fs::path(dir) / (soc::digest_hex(soc) + ".json")).string());
   ASSERT_TRUE(text.has_value());
-  EXPECT_NE(text->find("msoc-cache-v2"), std::string::npos);
+  EXPECT_NE(text->find("msoc-cache-v3"), std::string::npos);
   EXPECT_NE(text->find("\"max_power\": "), std::string::npos);
+  EXPECT_NE(text->find("\"inventory\""), std::string::npos);
 
   ResultCache warm_cache(dir);
   options.cache = &warm_cache;

@@ -51,7 +51,7 @@ GATED_COUNTERS = {
 }
 
 # Booleans that must never flip true -> false.
-GATED_FLAGS = {"identical", "sublinear", "time_monotone"}
+GATED_FLAGS = {"identical", "sublinear", "time_monotone", "skip_target_met"}
 
 
 def walk(baseline, current, path, findings):

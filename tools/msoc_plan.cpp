@@ -24,7 +24,13 @@
 //                      instead of a single plan
 //     --frontier       enumerate the (width, time, cost) Pareto frontier
 //                      through plan::FrontierEngine
-//     --cache-dir DIR  persistent msoc-cache-v1 result cache for
+//     --cache-dir DIR  persistent msoc-cache-v3 result cache for
+//                      --sweep/--frontier
+//     --replan-from DIGEST
+//                      incremental re-plan: diff the SOC against the
+//                      cache store flushed for this digest (a previous
+//                      revision) and re-pack only partitions whose
+//                      per-core digests changed; needs --cache-dir and
 //                      --sweep/--frontier
 //     --json FILE      write results as JSON (msoc-sweep-v1, or
 //                      msoc-frontier-v1 with --frontier)
@@ -68,6 +74,7 @@ struct Options {
   bool sweep = false;
   bool frontier = false;
   std::optional<std::string> cache_dir;
+  std::optional<std::string> replan_from;  ///< Baseline SOC digest.
   std::optional<std::string> json_file;
   bool gantt = false;
   std::optional<std::string> csv_file;
@@ -95,8 +102,12 @@ void print_usage() {
       "  --jobs N         evaluation threads (default 1; 0 = all cores)\n"
       "  --sweep          benchmark sweep (SOCs x widths x weights)\n"
       "  --frontier       (width, time, cost) Pareto frontier in one run\n"
-      "  --cache-dir DIR  persistent result cache (msoc-cache-v1) for\n"
+      "  --cache-dir DIR  persistent result cache (msoc-cache-v3) for\n"
       "                   --sweep/--frontier\n"
+      "  --replan-from DIGEST  incremental re-plan against the cache\n"
+      "                   store of a previous SOC revision: only\n"
+      "                   partitions with changed per-core digests are\n"
+      "                   re-packed (needs --cache-dir)\n"
       "  --json FILE      write results as JSON (msoc-sweep-v1;\n"
       "                   msoc-frontier-v1 with --frontier)\n"
       "  --gantt          print an ASCII Gantt chart\n"
@@ -168,6 +179,9 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--sweep") options.sweep = true;
     else if (arg == "--frontier") options.frontier = true;
     else if (arg == "--cache-dir") options.cache_dir = value(i, "--cache-dir");
+    else if (arg == "--replan-from") {
+      options.replan_from = value(i, "--replan-from");
+    }
     else if (arg == "--json") options.json_file = value(i, "--json");
     else if (arg == "--gantt") options.gantt = true;
     else if (arg == "--csv") options.csv_file = value(i, "--csv");
@@ -184,6 +198,8 @@ Options parse_args(int argc, char** argv) {
                 "--width and --widths are mutually exclusive");
   msoc::require(!options.cache_dir || options.sweep || options.frontier,
                 "--cache-dir needs --sweep or --frontier");
+  msoc::require(!options.replan_from || options.cache_dir.has_value(),
+                "--replan-from needs --cache-dir (the baseline store)");
   msoc::require(!options.max_powers || options.sweep || options.frontier ||
                     options.max_powers->size() == 1,
                 "a single plan takes exactly one --max-power value");
@@ -252,7 +268,9 @@ int run_frontier_mode(const Options& options) {
               frontier.widths.size(),
               options.exhaustive ? "exhaustive" : "Cost_Optimizer", w_time,
               options.jobs);
-  const plan::FrontierResult result = engine.run();
+  const plan::FrontierResult result =
+      options.replan_from ? engine.replan(*options.replan_from)
+                          : engine.run();
   if (cache.has_value()) cache->flush();
 
   int failures = 0;
@@ -281,14 +299,27 @@ int run_frontier_mode(const Options& options) {
                   ? static_cast<std::size_t>(0)
                   : static_cast<std::size_t>(
                         result.points.front().total_combinations));
+  if (!result.replanned_from.empty()) {
+    std::printf("replan: baseline %s, %d results spliced, %d dirty "
+                "partitions\n",
+                result.replanned_from.c_str(), result.reused,
+                result.dirty_partitions);
+  } else if (options.replan_from) {
+    std::printf("replan: baseline %s unusable, planned cold\n",
+                options.replan_from->c_str());
+  }
   std::printf("test-time frontier is %s across widths\n",
               result.time_monotone ? "monotone non-increasing"
                                    : "NOT monotone (packer anomaly)");
   if (cache.has_value()) {
+    char corrupt_tag[48] = "";
+    if (cache->corrupt_files() > 0) {
+      std::snprintf(corrupt_tag, sizeof corrupt_tag,
+                    ", %d corrupt files ignored", cache->corrupt_files());
+    }
     std::printf("cache: %s (%lld hits, %lld new results%s)\n",
                 cache->directory().c_str(), cache->hits(),
-                cache->records(),
-                cache->corrupt_files() > 0 ? ", corrupt file ignored" : "");
+                cache->records(), corrupt_tag);
   }
   if (options.json_file) {
     write_file(*options.json_file, result.to_json(), "JSON");
@@ -326,6 +357,7 @@ int run_sweep_mode(const Options& options) {
   config.epsilon = options.epsilon;
   config.jobs = options.jobs;
   if (options.cache_dir) config.cache_dir = *options.cache_dir;
+  if (options.replan_from) config.replan_from = *options.replan_from;
 
   std::printf("sweep: %zu SOCs x %zu widths x %zu powers x %zu weights = "
               "%zu cases (%s, jobs=%d%s%s)\n",
@@ -358,6 +390,22 @@ int run_sweep_mode(const Options& options) {
   }
   std::printf("sweep finished in %.1f ms (%d infeasible of %zu cases)\n",
               result.total_wall_ms, failures, result.rows.size());
+  if (!result.replanned_from.empty()) {
+    std::printf("replan: baseline %s, %d results spliced, %d dirty "
+                "partitions\n",
+                result.replanned_from.c_str(), result.reused,
+                result.dirty_partitions);
+  }
+  if (result.cache_used) {
+    char corrupt_tag[48] = "";
+    if (result.cache_corrupt_files > 0) {
+      std::snprintf(corrupt_tag, sizeof corrupt_tag,
+                    ", %d corrupt files ignored",
+                    result.cache_corrupt_files);
+    }
+    std::printf("cache: %lld hits, %lld new results%s\n",
+                result.cache_hits, result.cache_records, corrupt_tag);
+  }
   if (options.json_file) {
     write_file(*options.json_file, result.to_json(), "JSON");
     std::printf("results written to %s\n", options.json_file->c_str());

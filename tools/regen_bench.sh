@@ -21,7 +21,8 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$root/build}"
 bench="$build/bench"
 
-for exe in packer_throughput frontier_perf sweep_perf power_ladder; do
+for exe in packer_throughput frontier_perf sweep_perf power_ladder \
+           incremental_replan; do
   if [[ ! -x "$bench/$exe" ]]; then
     echo "error: $bench/$exe not built (pass the build dir as \$1?)" >&2
     exit 1
@@ -53,6 +54,10 @@ normalize "$tmp/sweep.json" "$root/BENCH_sweep.json"
 
 "$bench/power_ladder" "$tmp/power.json" > /dev/null
 normalize "$tmp/power.json" "$root/BENCH_power.json"
+
+"$bench/incremental_replan" "$tmp/incremental.json" \
+  "$tmp/incremental_cache" > /dev/null
+normalize "$tmp/incremental.json" "$root/BENCH_incremental.json"
 
 echo "bench baselines regenerated:"
 ls -l "$root"/BENCH_*.json
