@@ -1,7 +1,7 @@
 // Frontier-engine cold-vs-warm perf trajectory.
 //
 // Runs plan::FrontierEngine on the built-in p93791m benchmark across
-// the paper's width ladder three times against one msoc-cache-v1
+// the paper's width ladder three times against one msoc-cache-v4
 // directory: COLD (cache wiped), WARM (every cell solved), and WARM2
 // (stability).  Verifies the warm runs perform ZERO TAM-optimizer
 // evaluations and return bit-identical frontiers, then writes the

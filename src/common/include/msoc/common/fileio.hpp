@@ -1,6 +1,6 @@
 #pragma once
 // Small file I/O helpers for the JSON/CSV artifacts the planner reads
-// and writes (sweep results, the msoc-cache-v1 store).  Reads
+// and writes (sweep results, msoc-cache-v4 snapshots).  Reads
 // distinguish "absent" from "unreadable"; writes are atomic
 // (temp file + rename) so a crashed or concurrent writer can never
 // leave a half-written document where a reader expects a whole one.
@@ -22,7 +22,11 @@ namespace msoc {
 /// Atomically replaces `path` with `content`: writes to a unique
 /// sibling temp file, then renames over `path` (atomic on POSIX).
 /// Throws Error on failure; the temp file is removed on error paths.
-void write_file_atomic(const std::string& path, const std::string& content);
+/// With `sync`, the temp file is fsync'd before the rename — for
+/// writers (cache compaction) that must not let a snapshot rename
+/// become visible before its bytes are durable.
+void write_file_atomic(const std::string& path, const std::string& content,
+                       bool sync = false);
 
 /// Creates `path` (and missing parents) as a directory; no-op when it
 /// already exists.  Throws Error when creation fails or `path` exists

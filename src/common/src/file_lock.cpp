@@ -1,0 +1,228 @@
+#include "msoc/common/file_lock.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(_WIN32)
+#include <fcntl.h>
+#include <io.h>
+#include <sys/stat.h>
+#else
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "msoc/common/error.hpp"
+
+namespace msoc {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw Error(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+#if defined(_WIN32)
+
+FileLock FileLock::exclusive(const std::string& path) {
+  int fd = -1;
+  ::_sopen_s(&fd, path.c_str(), _O_RDWR | _O_CREAT | _O_BINARY, _SH_DENYNO,
+             _S_IREAD | _S_IWRITE);
+  if (fd < 0) fail("cannot open", path);
+  return FileLock(fd, path);
+}
+
+std::optional<FileLock> FileLock::shared_if_exists(const std::string& path) {
+  int fd = -1;
+  ::_sopen_s(&fd, path.c_str(), _O_RDONLY | _O_BINARY, _SH_DENYNO,
+             _S_IREAD);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    fail("cannot open", path);
+  }
+  return FileLock(fd, path);
+}
+
+FileLock::~FileLock() {
+  if (fd_ >= 0) ::_close(fd_);
+}
+
+std::uint64_t FileLock::size() const {
+  const long long end = ::_lseeki64(fd_, 0, SEEK_END);
+  if (end < 0) fail("cannot seek", path_);
+  return static_cast<std::uint64_t>(end);
+}
+
+std::string FileLock::read_all() const {
+  std::string content(size(), '\0');
+  if (::_lseeki64(fd_, 0, SEEK_SET) < 0) fail("cannot seek", path_);
+  std::size_t got = 0;
+  while (got < content.size()) {
+    const int n = ::_read(fd_, content.data() + got,
+                          static_cast<unsigned>(content.size() - got));
+    if (n < 0) fail("read failed:", path_);
+    if (n == 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  content.resize(got);
+  return content;
+}
+
+std::uint64_t FileLock::append_and_sync(std::string_view bytes) {
+  if (::_lseeki64(fd_, 0, SEEK_END) < 0) fail("cannot seek", path_);
+  std::size_t put = 0;
+  while (put < bytes.size()) {
+    const int n = ::_write(fd_, bytes.data() + put,
+                           static_cast<unsigned>(bytes.size() - put));
+    if (n < 0) fail("write failed:", path_);
+    put += static_cast<std::size_t>(n);
+  }
+  if (::_commit(fd_) != 0) fail("fsync failed:", path_);
+  return size();
+}
+
+void FileLock::truncate(std::uint64_t new_size) {
+  if (::_chsize_s(fd_, static_cast<long long>(new_size)) != 0) {
+    fail("truncate failed:", path_);
+  }
+}
+
+void FileLock::write_at_and_sync(std::uint64_t offset,
+                                 std::string_view bytes) {
+  if (::_lseeki64(fd_, static_cast<long long>(offset), SEEK_SET) < 0) {
+    fail("cannot seek", path_);
+  }
+  std::size_t put = 0;
+  while (put < bytes.size()) {
+    const int n = ::_write(fd_, bytes.data() + put,
+                           static_cast<unsigned>(bytes.size() - put));
+    if (n < 0) fail("write failed:", path_);
+    put += static_cast<std::size_t>(n);
+  }
+  if (::_commit(fd_) != 0) fail("fsync failed:", path_);
+}
+
+#else  // POSIX
+
+namespace {
+
+int open_retry(const char* path, int flags, mode_t mode) {
+  int fd = -1;
+  do {
+    fd = ::open(path, flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+void flock_retry(int fd, int operation, const std::string& path) {
+  int rc = -1;
+  do {
+    rc = ::flock(fd, operation);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    ::close(fd);
+    fail("cannot lock", path);
+  }
+}
+
+}  // namespace
+
+FileLock FileLock::exclusive(const std::string& path) {
+  const int fd = open_retry(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) fail("cannot open", path);
+  flock_retry(fd, LOCK_EX, path);
+  return FileLock(fd, path);
+}
+
+std::optional<FileLock> FileLock::shared_if_exists(const std::string& path) {
+  const int fd = open_retry(path.c_str(), O_RDONLY | O_CLOEXEC, 0);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    fail("cannot open", path);
+  }
+  flock_retry(fd, LOCK_SH, path);
+  return FileLock(fd, path);
+}
+
+FileLock::~FileLock() {
+  // flock releases with the last close of the description.
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t FileLock::size() const {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) fail("cannot stat", path_);
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+std::string FileLock::read_all() const {
+  std::string content(size(), '\0');
+  std::size_t got = 0;
+  while (got < content.size()) {
+    const ssize_t n = ::pread(fd_, content.data() + got,
+                              content.size() - got,
+                              static_cast<off_t>(got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("read failed:", path_);
+    }
+    if (n == 0) break;  // shrunk under us; shorter content is the truth
+    got += static_cast<std::size_t>(n);
+  }
+  content.resize(got);
+  return content;
+}
+
+std::uint64_t FileLock::append_and_sync(std::string_view bytes) {
+  std::uint64_t offset = size();
+  write_at_and_sync(offset, bytes);
+  return offset + bytes.size();
+}
+
+void FileLock::truncate(std::uint64_t new_size) {
+  int rc = -1;
+  do {
+    rc = ::ftruncate(fd_, static_cast<off_t>(new_size));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) fail("truncate failed:", path_);
+}
+
+void FileLock::write_at_and_sync(std::uint64_t offset,
+                                 std::string_view bytes) {
+  std::size_t put = 0;
+  while (put < bytes.size()) {
+    const ssize_t n = ::pwrite(fd_, bytes.data() + put, bytes.size() - put,
+                               static_cast<off_t>(offset + put));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write failed:", path_);
+    }
+    put += static_cast<std::size_t>(n);
+  }
+  int rc = -1;
+  do {
+    rc = ::fsync(fd_);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) fail("fsync failed:", path_);
+}
+
+#endif
+
+FileLock::FileLock(FileLock&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    this->~FileLock();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+}  // namespace msoc

@@ -8,6 +8,7 @@
 #if defined(_WIN32)
 #include <process.h>
 #else
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -44,7 +45,8 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
-void write_file_atomic(const std::string& path, const std::string& content) {
+void write_file_atomic(const std::string& path, const std::string& content,
+                       bool sync) {
   // Unique per call (pid + per-process counter), so concurrent writers
   // (two sweep processes sharing one cache dir, or two threads in one)
   // never scribble on each other's temp file; last rename wins, both
@@ -68,6 +70,19 @@ void write_file_atomic(const std::string& path, const std::string& content) {
       throw Error("write failed: " + temp.string());
     }
   }
+#if !defined(_WIN32)
+  if (sync) {
+    const int fd = ::open(temp.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0 || ::fsync(fd) != 0) {
+      if (fd >= 0) ::close(fd);
+      fs::remove(temp, ec);
+      throw Error("fsync failed: " + temp.string());
+    }
+    ::close(fd);
+  }
+#else
+  (void)sync;
+#endif
   fs::rename(temp, target, ec);
   if (ec) {
     std::error_code cleanup;

@@ -1,0 +1,113 @@
+#include "msoc/common/journal.hpp"
+
+#include <cstring>
+
+namespace msoc {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'S', 'O', 'C', 'W', 'A', 'L', '4'};
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void put_u64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+std::uint32_t get_u32le(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64le(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string encode_journal_record(std::string_view payload) {
+  std::string out;
+  out.reserve(kJournalRecordOverhead + payload.size());
+  put_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  put_u64le(out, fnv1a64(payload));
+  out.append(payload);
+  return out;
+}
+
+std::string encode_journal_header(std::uint64_t generation) {
+  std::string out;
+  out.reserve(kJournalHeaderBytes);
+  out.append(kMagic, sizeof(kMagic));
+  put_u64le(out, generation);
+  return out;
+}
+
+JournalScan scan_journal(std::string_view bytes, std::uint64_t from) {
+  JournalScan scan;
+  if (bytes.empty()) return scan;  // fresh journal: clean, generation 0
+  if (bytes.size() < kJournalHeaderBytes ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    scan.bad_header = true;
+    scan.tail = JournalTail::kCorrupt;
+    return scan;
+  }
+  scan.generation = get_u64le(bytes.data() + sizeof(kMagic));
+  std::uint64_t offset = from;
+  if (offset < kJournalHeaderBytes || offset > bytes.size()) {
+    offset = kJournalHeaderBytes;
+  }
+  scan.valid_size = offset;
+  while (offset < bytes.size()) {
+    const std::uint64_t remaining = bytes.size() - offset;
+    if (remaining < kJournalRecordOverhead) {
+      scan.tail = JournalTail::kTorn;
+      return scan;
+    }
+    const std::uint32_t len = get_u32le(bytes.data() + offset);
+    if (len == 0 || len > kJournalMaxPayloadBytes) {
+      scan.tail = JournalTail::kCorrupt;
+      return scan;
+    }
+    if (remaining - kJournalRecordOverhead < len) {
+      scan.tail = JournalTail::kTorn;
+      return scan;
+    }
+    const std::uint64_t want = get_u64le(bytes.data() + offset + 4);
+    const std::string_view payload =
+        bytes.substr(offset + kJournalRecordOverhead, len);
+    if (fnv1a64(payload) != want) {
+      scan.tail = JournalTail::kCorrupt;
+      return scan;
+    }
+    scan.payloads.emplace_back(payload);
+    offset += kJournalRecordOverhead + len;
+    scan.valid_size = offset;
+  }
+  return scan;
+}
+
+}  // namespace msoc

@@ -37,8 +37,8 @@ struct SweepConfig {
   /// to the engines' evaluation fan-out.  Both levels are
   /// deterministic, so results never depend on the value.
   int jobs = 1;
-  /// Persistent TAM-makespan cache directory (msoc-cache-v3; v1/v2
-  /// stores are read); empty disables caching.  Lookups see only the
+  /// Persistent TAM-makespan cache directory (msoc-cache-v4; legacy
+  /// v1-v3 stores are read); empty disables caching.  Lookups see only the
   /// state loaded at sweep start (results computed during the sweep
   /// land on flush), so a warm re-run skips every solved cell while
   /// per-row evaluation counts stay scheduling-independent.

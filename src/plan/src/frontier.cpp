@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <optional>
 #include <sstream>
@@ -60,6 +61,10 @@ FrontierEngine::FrontierEngine(const soc::Soc& soc, FrontierOptions options)
   require(!options_.max_powers.empty(),
           "frontier needs at least one power budget");
   for (const double budget : options_.max_powers) {
+    // NaN slips through every sign test (NaN < 0.0 is false) and would
+    // poison the cache's EntryKey ordering; infinities serialize badly.
+    require(std::isfinite(budget) || budget < 0.0,
+            "power budgets must be finite (or negative = inherit)");
     powers_.push_back(budget < 0.0 ? soc_.max_power() : budget);
   }
   std::sort(powers_.begin(), powers_.end(), [](double a, double b) {

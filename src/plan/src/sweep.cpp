@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -61,6 +62,11 @@ SweepResult run_sweep(const SweepConfig& config) {
   require(!config.tam_widths.empty(), "sweep needs at least one TAM width");
   require(!config.max_powers.empty(),
           "sweep needs at least one power budget");
+  for (const double budget : config.max_powers) {
+    // NaN passes every sign test and would corrupt EntryKey ordering.
+    require(std::isfinite(budget) || budget < 0.0,
+            "power budgets must be finite (or negative = inherit)");
+  }
   require(!config.time_weights.empty(),
           "sweep needs at least one time weight");
   require(config.replan_from.empty() || !config.cache_dir.empty(),

@@ -1,6 +1,6 @@
 #pragma once
 // Content-addressed SOC digests for the persistent planning-result
-// cache (msoc-cache-v1).
+// cache (msoc-cache-v4).
 //
 // Two SOCs get the same digest exactly when every planning-relevant
 // quantity matches: the multiset of digital core descriptions and the

@@ -1,0 +1,131 @@
+// In-process concurrency stress for the msoc-cache-v4 store — the
+// thread-sanitizer-friendly sibling of the cross-process cache_stress
+// driver (which adds kill -9 fault injection; TSan cannot follow a
+// fork/SIGKILL fleet, so this variant keeps every actor in one
+// process).  Two shapes:
+//   * many threads sharing ONE ResultCache (the sweep worker pattern,
+//     exercising the internal mutex);
+//   * one ResultCache PER thread over one directory (the multi-process
+//     pattern, exercising the per-shard file locks via separate file
+//     descriptions).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "msoc/plan/result_cache.hpp"
+
+namespace msoc::plan {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kDigest = "ab12cd34ef56ab78";
+constexpr int kWriters = 4;
+constexpr int kEntriesPerWriter = 24;
+
+std::string fresh_dir(const char* name) {
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       ("msoc_cachestress_" + std::to_string(::getpid())) /
+                       name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+Cycles value_of(int writer, int index) {
+  return 1 + static_cast<Cycles>(writer) * 10000 +
+         static_cast<Cycles>(index);
+}
+
+ResultCache::EntryKey key_of(int writer, int index) {
+  return ResultCache::EntryKey(16, 0.0, "00000000feedbead",
+                               "w" + std::to_string(writer) + "-i" +
+                                   std::to_string(index));
+}
+
+TEST(CacheStress, ThreadsSharingOneCache) {
+  const std::string dir = fresh_dir("shared");
+  ResultCache cache(dir);
+  cache.open(kDigest, "stress_soc");
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&cache, w] {
+      for (int i = 0; i < kEntriesPerWriter; ++i) {
+        cache.record(kDigest, key_of(w, i), "t" + std::to_string(w),
+                     value_of(w, i));
+        // Interleave lookups (snapshot side) with records (overlay
+        // side) and flushes (journal side) across all threads.
+        (void)cache.lookup(kDigest, key_of(w, i / 2));
+        if (i % 5 == w % 5) cache.flush();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  cache.flush();
+  ResultCache verify(dir);
+  verify.open(kDigest);
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kEntriesPerWriter; ++i) {
+      const auto hit = verify.lookup(kDigest, key_of(w, i));
+      ASSERT_TRUE(hit.has_value()) << "w" << w << " i" << i;
+      EXPECT_EQ(*hit, value_of(w, i));
+    }
+  }
+  EXPECT_EQ(verify.corrupt_files(), 0);
+}
+
+TEST(CacheStress, CachePerThreadOverOneDirectory) {
+  const std::string dir = fresh_dir("per_thread");
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&dir, w] {
+      ResultCache cache(dir);
+      cache.open(kDigest, "stress_soc");
+      for (int i = 0; i < kEntriesPerWriter; ++i) {
+        cache.record(kDigest, key_of(w, i), "t" + std::to_string(w),
+                     value_of(w, i));
+        if (i % 3 == 0) cache.flush();
+      }
+      cache.flush();
+      if (w % 2 == 0) (void)cache.compact();
+    });
+  }
+  // Concurrent cold readers: whatever they see must be exact.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&dir] {
+      for (int round = 0; round < 6; ++round) {
+        ResultCache cache(dir);
+        cache.open(kDigest);
+        for (int w = 0; w < kWriters; ++w) {
+          for (int i = 0; i < kEntriesPerWriter; ++i) {
+            const auto hit = cache.lookup(kDigest, key_of(w, i));
+            if (hit.has_value()) {
+              EXPECT_EQ(*hit, value_of(w, i));
+            }
+          }
+        }
+        EXPECT_EQ(cache.corrupt_files(), 0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (std::thread& t : readers) t.join();
+  ResultCache verify(dir);
+  verify.open(kDigest);
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kEntriesPerWriter; ++i) {
+      const auto hit = verify.lookup(kDigest, key_of(w, i));
+      ASSERT_TRUE(hit.has_value()) << "w" << w << " i" << i;
+      EXPECT_EQ(*hit, value_of(w, i));
+    }
+  }
+  EXPECT_EQ(verify.corrupt_files(), 0);
+  EXPECT_EQ(verify.torn_tails(), 0);  // nobody was killed in here
+}
+
+}  // namespace
+}  // namespace msoc::plan

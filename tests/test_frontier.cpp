@@ -5,6 +5,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "msoc/common/error.hpp"
@@ -242,15 +243,12 @@ TEST(Frontier, WarmCacheAnswersWithZeroEvaluations) {
 
 TEST(Frontier, CorruptCacheFallsBackToRecompute) {
   const soc::Soc soc = soc::make_d695m();
-  const std::string dir = fresh_dir("frontier_corrupt");
 
   // Reference cold run (no cache at all).
   const FrontierResult reference =
       FrontierEngine(soc, d695m_options()).run();
 
-  ensure_directory(dir);
   const std::string digest = soc::digest_hex(soc);
-  const std::string cache_file = dir + "/" + digest + ".json";
   const std::vector<std::string> garbage_files = {
       "{ not json at all",                      // unparseable
       "{\"schema\": \"msoc-cache-v1\", \"dig",  // truncated
@@ -262,7 +260,15 @@ TEST(Frontier, CorruptCacheFallsBackToRecompute) {
           "\", \"entries\": [{\"width\": -1, \"packing\": \"p\", "
           "\"partition\": \"q\", \"test_time\": 1}]}",  // bad entry
   };
-  for (const std::string& garbage : garbage_files) {
+  for (std::size_t g = 0; g < garbage_files.size(); ++g) {
+    const std::string& garbage = garbage_files[g];
+    // One directory per variant: flush() journals repairs durably, so
+    // a shared directory would leak one iteration's repair into the
+    // next iteration's supposedly cold run.
+    const std::string dir =
+        fresh_dir(("frontier_corrupt_" + std::to_string(g)).c_str());
+    ensure_directory(dir);
+    const std::string cache_file = dir + "/" + digest + ".json";
     write_file_atomic(cache_file, garbage);
     ResultCache cache(dir);
     FrontierOptions options = d695m_options();
@@ -441,6 +447,20 @@ TEST(FrontierPower, BudgetBelowPeakTestPowerIsErrorPointNotFatal) {
   EXPECT_EQ(result.evaluations, 0);
 }
 
+TEST(FrontierPower, NonFiniteBudgetsRejectedAtConstruction) {
+  // NaN passes every sign test (NaN < 0.0 is false), so without an
+  // isfinite gate a NaN budget would reach the cache's EntryKey and
+  // break its strict weak ordering.
+  const soc::Soc soc = powered_d695m(2.0);
+  FrontierOptions options = d695m_options({16});
+  options.max_powers = {std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW(FrontierEngine(soc, options), Error);
+  options.max_powers = {std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(FrontierEngine(soc, options), Error);
+  options.max_powers = {-1.0};  // negative = inherit stays legal
+  EXPECT_NO_THROW(FrontierEngine(soc, options));
+}
+
 TEST(FrontierPower, WarmCacheCoversPowerEntriesWithoutCollisions) {
   const soc::Soc soc = powered_d695m(2.0);
   const std::string dir = fresh_dir("frontier_power_warm");
@@ -453,13 +473,18 @@ TEST(FrontierPower, WarmCacheCoversPowerEntriesWithoutCollisions) {
   EXPECT_GT(cold.evaluations, 0);
   cold_cache.flush();
 
-  // Stores are written on the v3 schema: constrained entries carry
-  // their budget, and the header carries the SOC's digest inventory so
-  // the store can seed a replan.
+  // flush() appends to the shard journal; compact() folds it into a
+  // v4 snapshot under <dir>/<pp>/.  Constrained entries carry their
+  // budget, and the header carries the SOC's digest inventory so the
+  // store can seed a replan.
+  const std::string digest = soc::digest_hex(soc);
+  const CompactionStats stats = cold_cache.compact();
+  EXPECT_EQ(stats.shards_compacted, 1);
+  EXPECT_GE(stats.snapshots_written, 1);
   const std::optional<std::string> text = read_file_if_exists(
-      (fs::path(dir) / (soc::digest_hex(soc) + ".json")).string());
+      (fs::path(dir) / digest.substr(0, 2) / (digest + ".json")).string());
   ASSERT_TRUE(text.has_value());
-  EXPECT_NE(text->find("msoc-cache-v3"), std::string::npos);
+  EXPECT_NE(text->find("msoc-cache-v4"), std::string::npos);
   EXPECT_NE(text->find("\"max_power\": "), std::string::npos);
   EXPECT_NE(text->find("\"inventory\""), std::string::npos);
 

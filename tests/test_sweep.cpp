@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <limits>
 
 #include "msoc/common/error.hpp"
 #include "msoc/soc/benchmarks.hpp"
@@ -147,13 +148,17 @@ TEST(Sweep, CacheDirMakesSecondSweepEvaluationFree) {
     EXPECT_EQ(warm.rows[i].t_max, cold.rows[i].t_max);
   }
   EXPECT_GT(cold_evaluations, 0);
-  // The store is one msoc-cache-v1 file per SOC digest.
-  std::size_t files = 0;
+  // The msoc-cache-v4 store shards by digest prefix: flush() appends
+  // to one journal.wal per shard directory, no legacy top-level files.
+  std::size_t shard_dirs = 0;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    EXPECT_EQ(entry.path().extension(), ".json");
-    ++files;
+    ASSERT_TRUE(entry.is_directory()) << entry.path();
+    EXPECT_EQ(entry.path().filename().string().size(), 2u);
+    EXPECT_TRUE(std::filesystem::is_regular_file(entry.path() /
+                                                 "journal.wal"));
+    ++shard_dirs;
   }
-  EXPECT_EQ(files, 1u);  // small_config sweeps one SOC
+  EXPECT_EQ(shard_dirs, 1u);  // small_config sweeps one SOC
 }
 
 TEST(Sweep, DefaultBenchmarkSweepShape) {
@@ -202,6 +207,19 @@ TEST(SweepPower, PowerLadderMultipliesCasesInOrder) {
   EXPECT_NE(plain.to_json().find("\"schema\": \"msoc-sweep-v1\""),
             std::string::npos);
   EXPECT_EQ(plain.to_json().find("max_power"), std::string::npos);
+}
+
+TEST(SweepPower, NonFiniteBudgetsRejectedUpFront) {
+  // NaN passes every sign test (NaN < 0.0 is false), so without an
+  // explicit isfinite gate it would flow into the cache's EntryKey and
+  // break its strict weak ordering.
+  SweepConfig config = powered_config();
+  config.max_powers = {std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW((void)run_sweep(config), Error);
+  config.max_powers = {std::numeric_limits<double>::infinity()};
+  EXPECT_THROW((void)run_sweep(config), Error);
+  config.max_powers = {-1.0};  // negative = inherit stays legal
+  EXPECT_NO_THROW((void)run_sweep(config));
 }
 
 TEST(SweepPower, InfeasibleBudgetIsSoftPerRow) {

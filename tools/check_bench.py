@@ -48,10 +48,20 @@ GATED_COUNTERS = {
     "makespan",
     "test_time",
     "tests",
+    # msoc-cache-v4 journal trajectory (bench/cache_contention): record
+    # counts and framing overhead are exact for the fixed workload, and
+    # corrupt_files gates at its baseline of 0 — any corruption fails.
+    "journal_records",
+    "journal_bytes",
+    "bytes_per_record",
+    "compactions",
+    "replayed_records",
+    "corrupt_files",
 }
 
 # Booleans that must never flip true -> false.
-GATED_FLAGS = {"identical", "sublinear", "time_monotone", "skip_target_met"}
+GATED_FLAGS = {"identical", "sublinear", "time_monotone", "skip_target_met",
+               "all_recovered"}
 
 
 def walk(baseline, current, path, findings):

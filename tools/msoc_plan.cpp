@@ -24,8 +24,11 @@
 //                      instead of a single plan
 //     --frontier       enumerate the (width, time, cost) Pareto frontier
 //                      through plan::FrontierEngine
-//     --cache-dir DIR  persistent msoc-cache-v3 result cache for
+//     --cache-dir DIR  persistent msoc-cache-v4 result cache for
 //                      --sweep/--frontier
+//     --cache-compact  fold the cache's shard journals into snapshot
+//                      files and migrate legacy v1/v2/v3 stores to the
+//                      v4 layout; needs --cache-dir, runs standalone
 //     --replan-from DIGEST
 //                      incremental re-plan: diff the SOC against the
 //                      cache store flushed for this digest (a previous
@@ -42,6 +45,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -73,6 +77,7 @@ struct Options {
   int jobs = 1;
   bool sweep = false;
   bool frontier = false;
+  bool cache_compact = false;
   std::optional<std::string> cache_dir;
   std::optional<std::string> replan_from;  ///< Baseline SOC digest.
   std::optional<std::string> json_file;
@@ -102,8 +107,10 @@ void print_usage() {
       "  --jobs N         evaluation threads (default 1; 0 = all cores)\n"
       "  --sweep          benchmark sweep (SOCs x widths x weights)\n"
       "  --frontier       (width, time, cost) Pareto frontier in one run\n"
-      "  --cache-dir DIR  persistent result cache (msoc-cache-v3) for\n"
+      "  --cache-dir DIR  persistent result cache (msoc-cache-v4) for\n"
       "                   --sweep/--frontier\n"
+      "  --cache-compact  fold the cache's shard journals into snapshots\n"
+      "                   and migrate legacy stores (needs --cache-dir)\n"
       "  --replan-from DIGEST  incremental re-plan against the cache\n"
       "                   store of a previous SOC revision: only\n"
       "                   partitions with changed per-core digests are\n"
@@ -133,8 +140,10 @@ std::vector<double> parse_power_list(const std::string& text) {
   std::vector<double> powers;
   for (const std::string_view field : msoc::split_fields(text, ",")) {
     const auto v = msoc::parse_double(field);
-    msoc::require(v.has_value() && *v >= 0.0,
-                  "--max-power needs comma-separated numbers >= 0");
+    // std::isfinite: parse_double accepts "nan"/"inf", and a NaN
+    // budget would break the cache's EntryKey ordering downstream.
+    msoc::require(v.has_value() && std::isfinite(*v) && *v >= 0.0,
+                  "--max-power needs comma-separated finite numbers >= 0");
     powers.push_back(*v);
   }
   msoc::require(!powers.empty(), "--max-power needs at least one budget");
@@ -178,6 +187,7 @@ Options parse_args(int argc, char** argv) {
       options.jobs = static_cast<int>(*v);
     } else if (arg == "--sweep") options.sweep = true;
     else if (arg == "--frontier") options.frontier = true;
+    else if (arg == "--cache-compact") options.cache_compact = true;
     else if (arg == "--cache-dir") options.cache_dir = value(i, "--cache-dir");
     else if (arg == "--replan-from") {
       options.replan_from = value(i, "--replan-from");
@@ -196,8 +206,15 @@ Options parse_args(int argc, char** argv) {
                 "--soc and --bench are mutually exclusive");
   msoc::require(!(options.width && options.widths),
                 "--width and --widths are mutually exclusive");
-  msoc::require(!options.cache_dir || options.sweep || options.frontier,
-                "--cache-dir needs --sweep or --frontier");
+  msoc::require(!options.cache_compact ||
+                    (!options.sweep && !options.frontier),
+                "--cache-compact is a standalone maintenance mode; drop "
+                "--sweep/--frontier");
+  msoc::require(!options.cache_compact || options.cache_dir.has_value(),
+                "--cache-compact needs --cache-dir");
+  msoc::require(!options.cache_dir || options.sweep || options.frontier ||
+                    options.cache_compact,
+                "--cache-dir needs --sweep, --frontier or --cache-compact");
   msoc::require(!options.replan_from || options.cache_dir.has_value(),
                 "--replan-from needs --cache-dir (the baseline store)");
   msoc::require(!options.max_powers || options.sweep || options.frontier ||
@@ -336,6 +353,24 @@ int run_frontier_mode(const Options& options) {
   return 0;
 }
 
+int run_compact_mode(const Options& options) {
+  using namespace msoc;
+  plan::ResultCache cache(*options.cache_dir);
+  const plan::CompactionStats stats = cache.compact();
+  std::printf("cache-compact: %s\n", cache.directory().c_str());
+  std::printf("  %d shard journals folded (%lld records), %d snapshots "
+              "written, %d legacy stores migrated\n",
+              stats.shards_compacted, stats.records_folded,
+              stats.snapshots_written, stats.legacy_files_migrated);
+  if (cache.corrupt_files() > 0) {
+    std::printf("  %d corrupt artifacts ignored\n", cache.corrupt_files());
+  }
+  if (cache.torn_tails() > 0) {
+    std::printf("  %lld torn journal tails recovered\n", cache.torn_tails());
+  }
+  return 0;
+}
+
 int run_sweep_mode(const Options& options) {
   using namespace msoc;
   require(!options.gantt && !options.validate,
@@ -431,6 +466,7 @@ int main(int argc, char** argv) {
       print_usage();
       return 0;
     }
+    if (options.cache_compact) return run_compact_mode(options);
     if (options.sweep) return run_sweep_mode(options);
     if (options.frontier) return run_frontier_mode(options);
 
