@@ -16,6 +16,9 @@
 #endif
 
 #include "msoc/common/error.hpp"
+#if !defined(_WIN32)
+#include "msoc/common/posix_io.hpp"
+#endif
 
 namespace msoc {
 
@@ -111,13 +114,9 @@ void FileLock::write_at_and_sync(std::uint64_t offset,
 
 namespace {
 
-int open_retry(const char* path, int flags, mode_t mode) {
-  int fd = -1;
-  do {
-    fd = ::open(path, flags, mode);
-  } while (fd < 0 && errno == EINTR);
-  return fd;
-}
+// open/fsync EINTR policy is shared with fileio.cpp via posix_io.hpp;
+// only the flock retry is specific to this file.
+using posix_io::open_retry;
 
 void flock_retry(int fd, int operation, const std::string& path) {
   int rc = -1;
@@ -204,11 +203,7 @@ void FileLock::write_at_and_sync(std::uint64_t offset,
     }
     put += static_cast<std::size_t>(n);
   }
-  int rc = -1;
-  do {
-    rc = ::fsync(fd_);
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0) fail("fsync failed:", path_);
+  if (!posix_io::fsync_retry(fd_)) fail("fsync failed:", path_);
 }
 
 #endif

@@ -1,6 +1,8 @@
 #include "msoc/common/fileio.hpp"
 
 #include <atomic>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -8,8 +10,10 @@
 #if defined(_WIN32)
 #include <process.h>
 #else
-#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
+
+#include "msoc/common/posix_io.hpp"
 #endif
 
 #include "msoc/common/error.hpp"
@@ -28,12 +32,85 @@ long long process_id() {
 #endif
 }
 
+#if !defined(_WIN32)
+
+/// fsync of the temp file (when `sync`): rename durability is only as
+/// good as the bytes it points at.
+void fsync_file_or_throw(const fs::path& file) {
+  const int fd =
+      posix_io::open_retry(file.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0 || !posix_io::fsync_retry(fd)) {
+    const int err = errno;
+    if (fd >= 0) ::close(fd);
+    throw Error("fsync failed: " + file.string() + ": " +
+                std::strerror(err));
+  }
+  ::close(fd);
+}
+
+/// fsync of the parent directory after rename: the rename itself lives
+/// in the DIRECTORY's data blocks, so until the directory is synced a
+/// crash can roll the entry back to the old file — fatal for callers
+/// (cache compaction) that delete the superseded legacy file as soon
+/// as write_file_atomic returns.
+void fsync_directory_or_throw(const fs::path& dir) {
+  const int fd =
+      posix_io::open_retry(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0 || !posix_io::fsync_retry(fd)) {
+    const int err = errno;
+    if (fd >= 0) ::close(fd);
+    throw Error("fsync failed for directory " + dir.string() + ": " +
+                std::strerror(err));
+  }
+  ::close(fd);
+}
+
+#endif  // !defined(_WIN32)
+
 }  // namespace
 
 std::optional<std::string> read_file_if_exists(const std::string& path) {
+#if defined(_WIN32)
   std::error_code ec;
   if (!fs::is_regular_file(path, ec) || ec) return std::nullopt;
   return read_file(path);
+#else
+  // Open FIRST, classify AFTER: a stat-then-open pair races against
+  // concurrent deleters (a compactor retiring a legacy store while a
+  // daemon client reads it) and would throw where the contract says
+  // "absent is nullopt".
+  const int fd = posix_io::open_retry(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT || errno == ENOTDIR) return std::nullopt;
+    throw Error("cannot open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("cannot stat " + path + ": " + std::strerror(err));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return std::nullopt;  // directory, FIFO, device: not a regular file
+  }
+  std::string content;
+  content.reserve(static_cast<std::size_t>(st.st_size));
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw Error("read failed: " + path + ": " + std::strerror(err));
+    }
+    if (n == 0) break;
+    content.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return content;
+#endif
 }
 
 std::string read_file(const std::string& path) {
@@ -72,13 +149,12 @@ void write_file_atomic(const std::string& path, const std::string& content,
   }
 #if !defined(_WIN32)
   if (sync) {
-    const int fd = ::open(temp.c_str(), O_RDONLY | O_CLOEXEC);
-    if (fd < 0 || ::fsync(fd) != 0) {
-      if (fd >= 0) ::close(fd);
+    try {
+      fsync_file_or_throw(temp);
+    } catch (const Error&) {
       fs::remove(temp, ec);
-      throw Error("fsync failed: " + temp.string());
+      throw;
     }
-    ::close(fd);
   }
 #else
   (void)sync;
@@ -90,6 +166,12 @@ void write_file_atomic(const std::string& path, const std::string& content,
     throw Error("cannot rename " + temp.string() + " to " + path + ": " +
                 ec.message());
   }
+#if !defined(_WIN32)
+  // The new name is durable only once the parent directory is synced;
+  // without this a crash after return can resurrect the old file even
+  // though the caller saw the rename "succeed" and acted on it.
+  if (sync) fsync_directory_or_throw(dir);
+#endif
 }
 
 void ensure_directory(const std::string& path) {

@@ -18,6 +18,8 @@
 
 namespace msoc::plan {
 
+class ResultCache;
+
 /// What to sweep.  SOCs are owned by value so configs built from the
 /// embedded benchmarks or from loaded .soc files are self-contained.
 struct SweepConfig {
@@ -43,6 +45,13 @@ struct SweepConfig {
   /// land on flush), so a warm re-run skips every solved cell while
   /// per-row evaluation counts stay scheduling-independent.
   std::string cache_dir;
+  /// Borrowed long-lived cache (the planning daemon's shared store);
+  /// mutually exclusive with cache_dir.  The sweep opens its SOCs'
+  /// digests, records into the shared overlay, and flushes at the end
+  /// like an owned cache, but the result's cache statistics are
+  /// DELTAS over this run (instance-lifetime counters would leak other
+  /// requests' traffic into the document).
+  ResultCache* cache = nullptr;
   /// Incremental re-plan baseline: when non-empty, every series calls
   /// FrontierEngine::replan against the store flushed for this SOC
   /// digest (a previous revision), re-packing only partitions whose

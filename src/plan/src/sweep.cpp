@@ -69,7 +69,10 @@ SweepResult run_sweep(const SweepConfig& config) {
   }
   require(!config.time_weights.empty(),
           "sweep needs at least one time weight");
-  require(config.replan_from.empty() || !config.cache_dir.empty(),
+  require(config.cache == nullptr || config.cache_dir.empty(),
+          "a sweep takes a cache_dir OR a borrowed cache, not both");
+  require(config.replan_from.empty() || !config.cache_dir.empty() ||
+              config.cache != nullptr,
           "replan needs a cache directory holding the baseline store");
   require(config.replan_from.empty() || config.socs.size() == 1,
           "replan needs exactly one SOC (the baseline is one revision)");
@@ -104,8 +107,18 @@ SweepResult run_sweep(const SweepConfig& config) {
   // read the snapshot, never other workers' fresh results: which
   // worker computes a cell must not influence what another can see, or
   // evaluation counts would depend on scheduling.
-  std::optional<ResultCache> cache;
-  if (!config.cache_dir.empty()) cache.emplace(config.cache_dir);
+  std::optional<ResultCache> owned_cache;
+  if (!config.cache_dir.empty()) owned_cache.emplace(config.cache_dir);
+  ResultCache* cache =
+      config.cache != nullptr ? config.cache
+                              : (owned_cache.has_value() ? &*owned_cache
+                                                         : nullptr);
+  // Borrowed caches carry other requests' traffic: report deltas over
+  // this sweep, which for an owned cache equal the instance counters.
+  const long long base_hits = cache != nullptr ? cache->hits() : 0;
+  const long long base_misses = cache != nullptr ? cache->misses() : 0;
+  const long long base_records = cache != nullptr ? cache->records() : 0;
+  const int base_corrupt = cache != nullptr ? cache->corrupt_files() : 0;
 
   // The sweep clock starts here: the per-SOC setup below (staircase
   // computation, cache file loads) is real sweep work and must stay
@@ -125,11 +138,11 @@ SweepResult run_sweep(const SweepConfig& config) {
     tables.push_back(tam::compute_pareto_tables(soc, table_width));
     // Opening with the SOC pins the store's digest inventory so the
     // flushed file can seed a future replan.
-    if (cache.has_value()) cache->open(soc::digest_hex(soc), soc);
+    if (cache != nullptr) cache->open(soc::digest_hex(soc), soc);
   }
   // The baseline store is loaded serially too; every series diffs
   // against the same snapshot.
-  if (cache.has_value() && !config.replan_from.empty()) {
+  if (cache != nullptr && !config.replan_from.empty()) {
     cache->open(config.replan_from);
   }
 
@@ -174,7 +187,7 @@ SweepResult run_sweep(const SweepConfig& config) {
         options.exhaustive = config.exhaustive;
         options.epsilon = config.epsilon;
         options.jobs = inner;
-        options.cache = cache.has_value() ? &*cache : nullptr;
+        options.cache = cache;
         options.pareto_tables = &tables[s.soc_index];
         FrontierEngine engine(soc, options);
         const FrontierResult frontier = config.replan_from.empty()
@@ -230,13 +243,13 @@ SweepResult run_sweep(const SweepConfig& config) {
     });
   }
   pool.wait();
-  if (cache.has_value()) {
+  if (cache != nullptr) {
     cache->flush();
     result.cache_used = true;
-    result.cache_hits = cache->hits();
-    result.cache_misses = cache->misses();
-    result.cache_records = cache->records();
-    result.cache_corrupt_files = cache->corrupt_files();
+    result.cache_hits = cache->hits() - base_hits;
+    result.cache_misses = cache->misses() - base_misses;
+    result.cache_records = cache->records() - base_records;
+    result.cache_corrupt_files = cache->corrupt_files() - base_corrupt;
   }
   if (!config.replan_from.empty()) {
     result.replanned_from = config.replan_from;

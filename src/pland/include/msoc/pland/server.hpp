@@ -1,0 +1,105 @@
+#pragma once
+// msoc_pland's serving loop: one UnixListener fanning connections out
+// over a ThreadPool, every worker funneling requests into ONE shared
+// plan::PlanService (the hot cache + single-flight layer lives there;
+// this module only moves frames).
+//
+// Lifecycle is built around a self-pipe so the daemon can stop from
+// anywhere: notify_stop() is a one-byte write — async-signal-safe, so
+// the SIGTERM handler in tools/msoc_pland.cpp may call it directly —
+// and every blocking point (the accept loop, each connection's
+// read-wait) polls the pipe's read end alongside its socket.  A stop
+// therefore DRAINS rather than aborts: requests already being
+// evaluated finish and their replies are sent; only then do the
+// connections close and run() return.  The listener is closed and its
+// socket file unlinked before the drain, so no new clients slip in.
+//
+// Backpressure is a plain bound on open connections (max_clients):
+// past it, an accepted client gets an ok=false "busy" envelope and an
+// immediate close instead of an unbounded queue slot.
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "msoc/common/net.hpp"
+#include "msoc/common/parallel.hpp"
+#include "msoc/plan/service.hpp"
+
+namespace msoc::pland {
+
+struct ServerConfig {
+  std::string socket_path;
+  /// Connection worker threads (<= 0 = hardware concurrency).  Also
+  /// the real concurrency bound on evaluations: connections past it
+  /// stay accepted but wait for a free worker.
+  int threads = 0;
+  /// Open connections past which new clients get a busy reply.
+  int max_clients = 64;
+  /// Shared persistent cache directory; empty serves cacheless (every
+  /// reply byte-identical to a cacheless standalone msoc_plan).
+  std::string cache_dir;
+  plan::ServiceLimits limits;
+};
+
+/// Transport-level counters (the planning-level ones live in
+/// plan::ServiceStats).
+struct ServerStats {
+  long long accepted = 0;       ///< Connections handed to a worker.
+  long long busy_rejected = 0;  ///< Connections refused at the bound.
+  long long frame_errors = 0;   ///< Bad-checksum/truncated/oversized frames.
+};
+
+class PlanServer {
+ public:
+  /// Binds the socket (throwing if a live daemon already owns the
+  /// path) and builds the service; serving starts with run()/start().
+  explicit PlanServer(ServerConfig config);
+  ~PlanServer();
+
+  PlanServer(const PlanServer&) = delete;
+  PlanServer& operator=(const PlanServer&) = delete;
+
+  /// Serves on the calling thread until notify_stop(); drains in-flight
+  /// requests before returning.
+  void run();
+
+  /// run() on a background thread (tests and the throughput bench).
+  void start();
+
+  /// Requests a stop.  Async-signal-safe and idempotent.
+  void notify_stop() noexcept;
+
+  /// notify_stop() + join the start() thread (no-op without start()).
+  void stop_and_join();
+
+  [[nodiscard]] plan::PlanService& service() noexcept { return service_; }
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return config_.socket_path;
+  }
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Worker threads actually spawned (resolves threads <= 0).
+  [[nodiscard]] int thread_count() const noexcept {
+    return pool_.thread_count();
+  }
+
+ private:
+  /// Polls `fd` + the stop pipe; false when the stop fired first.
+  [[nodiscard]] bool wait_readable(int fd) const;
+  void serve_connection(net::UnixSocket socket);
+
+  ServerConfig config_;
+  plan::PlanService service_;
+  net::UnixListener listener_;
+  ThreadPool pool_;
+  std::thread serve_thread_;
+  int stop_read_fd_ = -1;
+  int stop_write_fd_ = -1;
+  std::atomic<int> active_{0};
+  std::atomic<long long> accepted_{0};
+  std::atomic<long long> busy_rejected_{0};
+  std::atomic<long long> frame_errors_{0};
+};
+
+}  // namespace msoc::pland

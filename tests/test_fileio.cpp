@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
 #include <string>
+#include <thread>
 
 #include "msoc/common/error.hpp"
 
@@ -32,6 +34,46 @@ TEST(FileIo, ReadDirectoryReturnsNullopt) {
   EXPECT_EQ(read_file_if_exists(::testing::TempDir()), std::nullopt);
 }
 
+TEST(FileIo, ReadThroughNonDirectoryComponentReturnsNullopt) {
+  // ENOTDIR, not just ENOENT: a path that descends THROUGH a regular
+  // file is "absent" for lookup purposes, the same as a missing entry.
+  const std::string dir = unique_dir("fileio_enotdir");
+  ensure_directory(dir);
+  write_file_atomic(dir + "/plain", "x");
+  EXPECT_EQ(read_file_if_exists(dir + "/plain/below"), std::nullopt);
+}
+
+#if !defined(_WIN32)
+TEST(FileIo, ReadSpecialFileReturnsNullopt) {
+  // Openable but not a regular file: classified by fstat AFTER the
+  // open, so the answer cannot race a concurrent replace.
+  EXPECT_EQ(read_file_if_exists("/dev/null"), std::nullopt);
+}
+
+TEST(FileIo, ReadRacesAConcurrentDeleterWithoutThrowing) {
+  // The open-first contract: with a deleter flipping the file in and
+  // out of existence, every read must come back either absent or as
+  // the complete document — never a throw, never a partial read.
+  const std::string dir = unique_dir("fileio_race");
+  ensure_directory(dir);
+  const std::string path = dir + "/contested.json";
+  const std::string content(8192, 'z');
+  std::atomic<bool> stop{false};
+  std::thread deleter([&] {
+    while (!stop.load()) {
+      write_file_atomic(path, content);
+      fs::remove(path);
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    const auto hit = read_file_if_exists(path);
+    if (hit.has_value()) EXPECT_EQ(*hit, content);
+  }
+  stop.store(true);
+  deleter.join();
+}
+#endif
+
 TEST(FileIo, WriteReadRoundTrip) {
   const std::string dir = unique_dir("fileio_roundtrip");
   ensure_directory(dir);
@@ -44,6 +86,24 @@ TEST(FileIo, WriteReadRoundTrip) {
   // Overwrite is atomic replacement, not append.
   write_file_atomic(path, "shorter");
   EXPECT_EQ(read_file(path), "shorter");
+}
+
+TEST(FileIo, SyncedWriteRoundTripsAndCleansUp) {
+  // The durable path (temp fsync + rename + parent-directory fsync):
+  // same observable contract as the fast path — whole document, no
+  // temp droppings — plus it must not throw on an ordinary directory.
+  const std::string dir = unique_dir("fileio_sync");
+  ensure_directory(dir);
+  const std::string path = dir + "/durable.json";
+  write_file_atomic(path, "first", /*sync=*/true);
+  write_file_atomic(path, "second", /*sync=*/true);
+  EXPECT_EQ(read_file(path), "second");
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ++files;
+    EXPECT_EQ(entry.path().filename().string(), "durable.json");
+  }
+  EXPECT_EQ(files, 1u);
 }
 
 TEST(FileIo, AtomicWriteLeavesNoTempFiles) {

@@ -57,11 +57,17 @@ GATED_COUNTERS = {
     "compactions",
     "replayed_records",
     "corrupt_files",
+    # msoc_pland request trajectory (bench/daemon_throughput): the memo
+    # and single-flight contracts make these exact for the fixed
+    # request stream — any growth means the daemon re-evaluated work it
+    # should have served from memory.
+    "memo_hits",
+    "shared_replies",
 }
 
 # Booleans that must never flip true -> false.
 GATED_FLAGS = {"identical", "sublinear", "time_monotone", "skip_target_met",
-               "all_recovered"}
+               "all_recovered", "warm_speedup_target_met"}
 
 
 def walk(baseline, current, path, findings):

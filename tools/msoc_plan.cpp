@@ -41,6 +41,13 @@
 //     --csv FILE       export the schedule (or, with --sweep/--frontier,
 //                      the result table) as CSV
 //     --validate       replay the schedule through the cycle-level checker
+//     --daemon PATH    route the request through the msoc_pland daemon
+//                      listening on this Unix socket (msoc-rpc-v1);
+//                      falls back to in-process planning when nothing
+//                      is listening.  The reply's JSON document is
+//                      byte-identical to the in-process --json output
+//     --ping           with --daemon: probe the daemon and exit
+//     --shutdown       with --daemon: ask the daemon to drain and exit
 //     --help           this text
 
 #include <algorithm>
@@ -50,10 +57,15 @@
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "msoc/common/error.hpp"
+#include "msoc/common/fileio.hpp"
+#include "msoc/common/format.hpp"
+#include "msoc/common/json.hpp"
+#include "msoc/common/net.hpp"
 #include "msoc/common/parallel.hpp"
 #include "msoc/common/strings.hpp"
 #include "msoc/plan/frontier.hpp"
@@ -84,6 +96,9 @@ struct Options {
   bool gantt = false;
   std::optional<std::string> csv_file;
   bool validate = false;
+  std::optional<std::string> daemon;  ///< msoc_pland socket path.
+  bool ping = false;
+  bool shutdown_daemon = false;
   bool help = false;
 };
 
@@ -121,6 +136,11 @@ void print_usage() {
       "  --csv FILE       export schedule CSV (result table with\n"
       "                   --sweep/--frontier)\n"
       "  --validate       replay-check the schedule\n"
+      "  --daemon PATH    route through the msoc_pland daemon on this\n"
+      "                   Unix socket; in-process fallback when nothing\n"
+      "                   is listening\n"
+      "  --ping           with --daemon: probe the daemon and exit\n"
+      "  --shutdown       with --daemon: ask the daemon to drain and exit\n"
       "  --help           this text");
 }
 
@@ -196,6 +216,9 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--gantt") options.gantt = true;
     else if (arg == "--csv") options.csv_file = value(i, "--csv");
     else if (arg == "--validate") options.validate = true;
+    else if (arg == "--daemon") options.daemon = value(i, "--daemon");
+    else if (arg == "--ping") options.ping = true;
+    else if (arg == "--shutdown") options.shutdown_daemon = true;
     else {
       throw msoc::InfeasibleError("unknown argument: " + arg);
     }
@@ -215,11 +238,24 @@ Options parse_args(int argc, char** argv) {
   msoc::require(!options.cache_dir || options.sweep || options.frontier ||
                     options.cache_compact,
                 "--cache-dir needs --sweep, --frontier or --cache-compact");
-  msoc::require(!options.replan_from || options.cache_dir.has_value(),
-                "--replan-from needs --cache-dir (the baseline store)");
+  msoc::require(!options.replan_from || options.cache_dir.has_value() ||
+                    options.daemon.has_value(),
+                "--replan-from needs --cache-dir (the baseline store) or "
+                "--daemon (the daemon's cache)");
   msoc::require(!options.max_powers || options.sweep || options.frontier ||
                     options.max_powers->size() == 1,
                 "a single plan takes exactly one --max-power value");
+  msoc::require(options.daemon.has_value() ||
+                    (!options.ping && !options.shutdown_daemon),
+                "--ping/--shutdown need --daemon");
+  msoc::require(!(options.ping && options.shutdown_daemon),
+                "--ping and --shutdown are mutually exclusive");
+  msoc::require(!options.daemon ||
+                    (!options.cache_dir && !options.cache_compact &&
+                     !options.gantt && !options.validate),
+                "--daemon handles --sweep/--frontier/plan requests only; "
+                "drop --cache-dir/--cache-compact/--gantt/--validate "
+                "(the daemon's cache is configured server-side)");
   return options;
 }
 
@@ -353,6 +389,119 @@ int run_frontier_mode(const Options& options) {
   return 0;
 }
 
+/// The msoc-rpc-v1 request envelope for this invocation.  Only
+/// explicitly-passed flags are serialized — absent fields resolve to
+/// the same defaults server-side, so a daemon reply stays
+/// byte-identical to the in-process --json output.
+std::string build_daemon_request(const Options& options) {
+  using msoc::json_escape;
+  std::ostringstream out;
+  out << "{\"schema\":\"msoc-rpc-v1\",\"op\":\"";
+  if (options.ping) out << "ping";
+  else if (options.shutdown_daemon) out << "shutdown";
+  else if (options.sweep) out << "sweep";
+  else if (options.frontier) out << "frontier";
+  else out << "plan";
+  out << '"';
+  if (options.ping || options.shutdown_daemon) {
+    out << '}';
+    return out.str();
+  }
+  if (options.bench) {
+    out << ",\"bench\":\"" << json_escape(*options.bench) << '"';
+  }
+  if (options.soc_file) {
+    // The daemon may run in another directory (or namespace): ship the
+    // .soc content itself, not the path.
+    out << ",\"soc_text\":\""
+        << json_escape(msoc::read_file(*options.soc_file)) << '"';
+  }
+  if (options.width) out << ",\"width\":" << *options.width;
+  if (options.widths) {
+    out << ",\"widths\":[";
+    for (std::size_t i = 0; i < options.widths->size(); ++i) {
+      out << (i == 0 ? "" : ",") << (*options.widths)[i];
+    }
+    out << ']';
+  }
+  if (options.max_powers) {
+    out << ",\"max_powers\":[";
+    for (std::size_t i = 0; i < options.max_powers->size(); ++i) {
+      out << (i == 0 ? "" : ",")
+          << msoc::round_trip_double((*options.max_powers)[i]);
+    }
+    out << ']';
+  }
+  if (options.w_time) {
+    out << ",\"wt\":" << msoc::round_trip_double(*options.w_time);
+  }
+  if (options.exhaustive) out << ",\"exhaustive\":true";
+  if (options.epsilon != 0.0) {
+    out << ",\"epsilon\":" << msoc::round_trip_double(options.epsilon);
+  }
+  if (options.jobs != 1) out << ",\"jobs\":" << options.jobs;
+  if (options.replan_from) {
+    out << ",\"replan_from\":\"" << json_escape(*options.replan_from)
+        << '"';
+  }
+  out << '}';
+  return out.str();
+}
+
+/// Runs this invocation against the daemon.  Returns the process exit
+/// code, or -1 when nothing is listening and the caller should fall
+/// back to in-process planning.
+int run_daemon_mode(const Options& options) {
+  using namespace msoc;
+  std::optional<net::UnixSocket> socket =
+      net::UnixSocket::connect_if_listening(*options.daemon);
+  if (!socket.has_value()) {
+    if (options.ping || options.shutdown_daemon) {
+      std::fprintf(stderr, "error: no daemon listening on %s\n",
+                   options.daemon->c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "msoc_plan: no daemon listening on %s; planning "
+                 "in-process\n",
+                 options.daemon->c_str());
+    return -1;
+  }
+  socket->send_frame(build_daemon_request(options));
+  const net::FrameResult frame = socket->recv_frame();
+  require(frame.status == net::FrameStatus::kOk,
+          std::string("daemon reply unusable (") +
+              net::frame_status_name(frame.status) + ")");
+  const JsonValue reply = parse_json(frame.payload, "daemon reply");
+  require(reply.at("schema").as_string() == "msoc-rpc-v1",
+          "daemon reply has an unknown schema");
+  if (!reply.at("ok").as_bool()) {
+    std::fprintf(stderr, "error: daemon: %s\n",
+                 reply.at("error").as_string().c_str());
+    return 1;
+  }
+  if (options.ping) {
+    std::printf("daemon on %s is alive\n", options.daemon->c_str());
+    return 0;
+  }
+  if (options.shutdown_daemon) {
+    std::printf("daemon on %s is draining\n", options.daemon->c_str());
+    return 0;
+  }
+  const std::string& document = reply.at("document").as_string();
+  if (options.json_file) {
+    write_file(*options.json_file, document, "JSON");
+    std::printf("results written to %s\n", options.json_file->c_str());
+  } else {
+    std::fputs(document.c_str(), stdout);
+  }
+  if (options.csv_file) {
+    write_file(*options.csv_file, reply.at("csv").as_string(), "CSV");
+    std::printf("result table written to %s\n", options.csv_file->c_str());
+  }
+  return 0;
+}
+
 int run_compact_mode(const Options& options) {
   using namespace msoc;
   plan::ResultCache cache(*options.cache_dir);
@@ -465,6 +614,11 @@ int main(int argc, char** argv) {
     if (options.help) {
       print_usage();
       return 0;
+    }
+    if (options.daemon) {
+      const int exit_code = run_daemon_mode(options);
+      if (exit_code >= 0) return exit_code;
+      // No daemon listening: fall through to the in-process paths.
     }
     if (options.cache_compact) return run_compact_mode(options);
     if (options.sweep) return run_sweep_mode(options);

@@ -22,7 +22,7 @@ build="${1:-$root/build}"
 bench="$build/bench"
 
 for exe in packer_throughput frontier_perf sweep_perf power_ladder \
-           incremental_replan cache_contention; do
+           incremental_replan cache_contention daemon_throughput; do
   if [[ ! -x "$bench/$exe" ]]; then
     echo "error: $bench/$exe not built (pass the build dir as \$1?)" >&2
     exit 1
@@ -61,6 +61,9 @@ normalize "$tmp/incremental.json" "$root/BENCH_incremental.json"
 
 "$bench/cache_contention" "$tmp/cache.json" "$tmp/cache_dir" > /dev/null
 normalize "$tmp/cache.json" "$root/BENCH_cache.json"
+
+"$bench/daemon_throughput" "$tmp/daemon.json" "$tmp/daemon.sock" > /dev/null
+normalize "$tmp/daemon.json" "$root/BENCH_daemon.json"
 
 echo "bench baselines regenerated:"
 ls -l "$root"/BENCH_*.json
