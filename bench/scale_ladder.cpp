@@ -1,0 +1,195 @@
+// Hierarchical synthetic scale ladder.
+//
+// Walks soc::make_scale_soc up the rung sizes (500..5000 digital cores
+// in a depth-2 containment hierarchy, four analog cores, peak AND
+// sliding-window power budgets) and packs each rung once on a 64-wire
+// TAM with the racing/repair extras disabled, so the counters measure
+// the bare kernel trajectory: admission checks, skyline events
+// visited, retries and reservations per rung.  Gates:
+//   * every rung must pack feasibly with both budgets active, and its
+//     schedule must pass tam::check_schedule (peak and windowed power
+//     re-walked by the external oracle);
+//   * per-test admission work must grow sublinearly with the rung's
+//     core count — a quadratic kernel would blow this immediately;
+//   * the hierarchy flattening must be visible (containment-path core
+//     names) without perturbing the packing problem.
+// Writes the per-rung counters as JSON (schema "msoc-scale-ladder-v1")
+// for CI's counter gate (tools/check_bench.py over BENCH_scale.json).
+//
+// Usage: scale_ladder [output.json [max_rung]]
+//   max_rung caps the ladder (e.g. 500 for the sanitizer smoke run);
+//   0 or absent runs every rung.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "msoc/common/error.hpp"
+#include "msoc/common/format.hpp"
+#include "msoc/soc/benchmarks.hpp"
+#include "msoc/tam/counters.hpp"
+#include "msoc/tam/packing.hpp"
+#include "msoc/tam/schedule.hpp"
+
+namespace {
+
+struct RungResult {
+  int digital_cores = 0;
+  std::size_t tests = 0;
+  msoc::Cycles makespan = 0;
+  double peak_power = 0.0;
+  msoc::Cycles window_cycles = 0;
+  double window_limit = 0.0;
+  msoc::tam::PackCounterSnapshot counters;
+  double wall_ms = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msoc;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_scale.json";
+  const int max_rung = argc > 2 ? std::atoi(argv[2]) : 0;
+  constexpr int kTamWidth = 64;
+
+  int failures = 0;
+  std::vector<RungResult> results;
+  for (const int rung : soc::scale_ladder_rungs()) {
+    if (max_rung > 0 && rung > max_rung) continue;
+    const soc::Soc soc = soc::make_scale_soc(rung);
+    if (!soc.power_windowed() || soc.max_power() <= 0.0) {
+      std::fprintf(stderr,
+                   "FAIL: rung %d lost its power budgets (window %s, "
+                   "peak %g)\n",
+                   rung, soc.power_windowed() ? "on" : "off",
+                   soc.max_power());
+      ++failures;
+    }
+    // The flattened hierarchy must be visible in the names...
+    if (soc.digital_cores().front().name.find('_') == std::string::npos) {
+      std::fprintf(stderr,
+                   "FAIL: rung %d digital cores lost their containment "
+                   "path (got \"%s\")\n",
+                   rung, soc.digital_cores().front().name.c_str());
+      ++failures;
+    }
+
+    // Bare-kernel pack: one placement order, no racing, minimal repair
+    // — the ladder tracks admission-kernel scaling, not the quality
+    // extras (their counters ride the other benches).
+    tam::PackingOptions options;
+    options.race_orders = false;
+    options.serialized_fallback = false;
+    options.improvement_rounds = 2;
+    options.assign_wires = false;
+
+    tam::reset_pack_counters();
+    const auto started = std::chrono::steady_clock::now();
+    tam::Schedule schedule;
+    try {
+      schedule = tam::schedule_soc(soc, kTamWidth,
+                                   tam::singleton_partition(soc), options);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "FAIL: rung %d infeasible: %s\n", rung,
+                   e.what());
+      ++failures;
+      continue;
+    }
+    RungResult result;
+    result.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - started)
+                         .count();
+    result.counters = tam::snapshot_pack_counters();
+    result.digital_cores = rung;
+    result.tests = schedule.tests.size();
+    result.makespan = schedule.makespan();
+    result.peak_power = schedule.peak_power();
+    result.window_cycles = schedule.window_cycles;
+    result.window_limit = schedule.window_limit;
+
+    if (schedule.window_cycles == 0 || schedule.max_power <= 0.0) {
+      std::fprintf(stderr,
+                   "FAIL: rung %d schedule dropped a budget (window %llu, "
+                   "peak %g)\n",
+                   rung,
+                   static_cast<unsigned long long>(schedule.window_cycles),
+                   schedule.max_power);
+      ++failures;
+    }
+    // External oracle: re-walk peak and windowed power independently of
+    // the packer's own admission bookkeeping.
+    for (const tam::ScheduleViolation& v : tam::check_schedule(schedule)) {
+      std::fprintf(stderr, "FAIL: rung %d: %s\n", rung, v.message.c_str());
+      ++failures;
+    }
+    std::printf("rung %-5d  %5zu tests  T=%9llu cycles  "
+                "checks=%-9llu events=%-10llu  %.0f ms\n",
+                rung, result.tests,
+                static_cast<unsigned long long>(result.makespan),
+                static_cast<unsigned long long>(
+                    result.counters.admission_checks),
+                static_cast<unsigned long long>(
+                    result.counters.events_visited),
+                result.wall_ms);
+    results.push_back(result);
+  }
+
+  if (results.empty()) {
+    std::fprintf(stderr, "FAIL: the ladder produced no rungs\n");
+    return 1;
+  }
+
+  // Sublinearity gate over the widest span available: admission work
+  // per test may not grow faster than the core count itself (a
+  // quadratic-in-n kernel fails this by a wide margin).
+  bool sublinear = true;
+  if (results.size() > 1) {
+    const RungResult& lo = results.front();
+    const RungResult& hi = results.back();
+    const double work_lo = static_cast<double>(lo.counters.events_visited) /
+                           static_cast<double>(lo.tests);
+    const double work_hi = static_cast<double>(hi.counters.events_visited) /
+                           static_cast<double>(hi.tests);
+    const double core_ratio = static_cast<double>(hi.digital_cores) /
+                              static_cast<double>(lo.digital_cores);
+    sublinear = work_hi <= work_lo * core_ratio;
+    if (!sublinear) {
+      std::fprintf(stderr,
+                   "FAIL: per-test admission work grew superlinearly "
+                   "(%.1f -> %.1f events/test over a %gx core ratio)\n",
+                   work_lo, work_hi, core_ratio);
+      ++failures;
+    }
+  }
+
+  std::ofstream out(out_path);
+  out << "{\n  \"schema\": \"msoc-scale-ladder-v1\",\n"
+      << "  \"tam_width\": " << kTamWidth << ",\n"
+      << "  \"sublinear\": " << (sublinear ? "true" : "false") << ",\n"
+      << "  \"rungs\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RungResult& r = results[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "    {\"digital_cores\": " << r.digital_cores
+        << ", \"tests\": " << r.tests << ", \"makespan\": " << r.makespan
+        << ", \"peak_power\": " << round_trip_double(r.peak_power)
+        << ", \"window_cycles\": " << r.window_cycles
+        << ", \"window_limit\": " << round_trip_double(r.window_limit)
+        << ",\n     \"admission_checks\": " << r.counters.admission_checks
+        << ", \"events_visited\": " << r.counters.events_visited
+        << ", \"retries\": " << r.counters.retries
+        << ", \"reservations\": " << r.counters.reservations
+        << ", \"wall_ms\": " << round_trip_double(r.wall_ms) << "}";
+  }
+  out << "\n  ]\n}\n";
+  std::printf("scale-ladder trajectory written to %s\n", out_path.c_str());
+
+  if (failures > 0) {
+    std::fprintf(stderr, "%d scale-ladder gate(s) failed\n", failures);
+    return 1;
+  }
+  return 0;
+}

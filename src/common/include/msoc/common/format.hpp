@@ -22,4 +22,11 @@ namespace msoc {
 /// and CSV writers — equal doubles format equally, parse back exactly.
 [[nodiscard]] std::string round_trip_double(double value);
 
+/// Shortest decimal rendering that still parses back to exactly the
+/// same double (std::to_chars): "0.1" stays "0.1", not
+/// "0.10000000000000001".  Used by human-edited text formats (.soc);
+/// the JSON/CSV writers keep round_trip_double so committed golden
+/// documents stay byte-identical.
+[[nodiscard]] std::string shortest_double(double value);
+
 }  // namespace msoc

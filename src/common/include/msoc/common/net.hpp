@@ -72,6 +72,13 @@ class UnixSocket {
   /// the result; throws Error only on hard I/O errors.
   [[nodiscard]] FrameResult recv_frame();
 
+  /// Half-closes the write side, discards inbound bytes until the peer
+  /// hangs up or `timeout_ms` elapses, then closes.  Required when a
+  /// reply must reach a peer that may still be mid-send (the busy
+  /// rejection): closing with unread request bytes queued resets the
+  /// connection and destroys the reply before the peer reads it.
+  void shutdown_and_drain(int timeout_ms) noexcept;
+
  private:
   int fd_ = -1;
 };

@@ -1,7 +1,9 @@
 #include "msoc/common/format.hpp"
 
+#include <charconv>
 #include <sstream>
 
+#include "msoc/common/error.hpp"
 #include "msoc/common/table.hpp"
 
 namespace msoc {
@@ -52,6 +54,15 @@ std::string round_trip_double(double value) {
   os.precision(17);
   os << value;
   return os.str();
+}
+
+std::string shortest_double(double value) {
+  char buf[64];
+  const std::to_chars_result result =
+      std::to_chars(buf, buf + sizeof buf, value);
+  check_invariant(result.ec == std::errc(),
+                  "shortest_double buffer too small");
+  return std::string(buf, result.ptr);
 }
 
 }  // namespace msoc

@@ -8,6 +8,8 @@
 
 #if !defined(_WIN32)
 #include <cerrno>
+#include <chrono>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -72,6 +74,8 @@ void UnixSocket::send_frame(std::string_view) {
 FrameResult UnixSocket::recv_frame() {
   throw Error("msoc-rpc sockets are not supported on this platform");
 }
+
+void UnixSocket::shutdown_and_drain(int) noexcept {}
 
 UnixListener UnixListener::bind_and_listen(const std::string&, int) {
   throw Error("msoc-rpc sockets are not supported on this platform");
@@ -166,6 +170,33 @@ std::optional<UnixSocket> UnixSocket::connect_if_listening(
     fail("cannot connect to", path);
   }
   return UnixSocket(fd);
+}
+
+void UnixSocket::shutdown_and_drain(int timeout_ms) noexcept {
+  if (fd_ < 0) return;
+  ::shutdown(fd_, SHUT_WR);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  char scratch[4096];
+  for (;;) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) break;
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) break;
+    const ssize_t n = ::recv(fd_, scratch, sizeof scratch, 0);
+    if (n > 0) continue;
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF or hard error: the peer is done.
+  }
+  close();
 }
 
 void UnixSocket::send_frame(std::string_view payload) {

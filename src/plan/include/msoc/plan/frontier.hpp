@@ -94,6 +94,12 @@ struct FrontierOptions {
 struct FrontierPoint {
   int tam_width = 0;
   double max_power = 0.0;     ///< Effective power budget; 0 = unlimited.
+  /// Effective sliding-window budget (every window_cycles-cycle window
+  /// averages <= window_limit); both 0 = unwindowed.  One window per
+  /// run (resolved from packing options / the SOC), crossed with the
+  /// power ladder.
+  Cycles window_cycles = 0;
+  double window_limit = 0.0;
   CombinationCost best;
   Cycles t_max = 0;
   int evaluations = 0;        ///< TAM-optimizer runs at this width.
@@ -135,14 +141,18 @@ struct FrontierResult {
   double wall_ms = 0.0;       ///< Whole run, setup included.
 
   /// "msoc-frontier-v1" JSON document, "msoc-frontier-v2" (adding
-  /// per-point max_power) when any rung is power-constrained, or
+  /// per-point max_power) when any rung is power-constrained,
   /// "msoc-frontier-v3" (adding replanned_from / reused /
-  /// dirty_partitions) when the result came from a replan.  Non-replan
-  /// documents are byte-identical to the pre-replan engine's.
+  /// dirty_partitions) when the result came from a replan, or
+  /// "msoc-frontier-v4" (adding per-point window_cycles/window_limit)
+  /// when the run enforced a sliding-window budget.  Unwindowed
+  /// non-replan documents are byte-identical to the pre-replan
+  /// engine's.
   [[nodiscard]] std::string to_json() const;
   /// RFC-4180 CSV, one row per (power rung, width) cell; a max_power
-  /// column appears when any rung is power-constrained, a reused
-  /// column when the result came from a replan.
+  /// column appears when any rung is power-constrained,
+  /// window_cycles/window_limit columns when the run was windowed, a
+  /// reused column when the result came from a replan.
   [[nodiscard]] std::string to_csv() const;
 };
 
@@ -194,6 +204,8 @@ class FrontierEngine {
   const tam::ParetoTables* pareto_tables_ = nullptr;
   std::vector<int> widths_;  ///< Ascending, unique.
   std::vector<double> powers_;  ///< Resolved rungs, solve order.
+  /// Resolved sliding-window budget (inactive = unwindowed run).
+  soc::PowerWindow window_;
   int max_analog_width_ = 0;
   double peak_test_power_ = 0.0;
 

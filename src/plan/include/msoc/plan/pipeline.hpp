@@ -54,11 +54,13 @@ struct PartitionCell {
   std::string key_packing;  ///< ... over power-stripped digests.
 
   /// The cache key a cell at effective budget `max_power` stores under:
-  /// constrained packs see power annotations, unconstrained ones
-  /// provably cannot, so they key on the stripped digests and stay
-  /// valid across power-annotation-only revisions.
-  [[nodiscard]] const std::string& key_for(double max_power) const {
-    return max_power > 0.0 ? key_full : key_packing;
+  /// constrained packs (peak budget OR sliding-window budget) see power
+  /// annotations, unconstrained ones provably cannot, so those key on
+  /// the stripped digests and stay valid across power-annotation-only
+  /// revisions.
+  [[nodiscard]] const std::string& key_for(double max_power,
+                                           bool windowed = false) const {
+    return max_power > 0.0 || windowed ? key_full : key_packing;
   }
 };
 
@@ -87,8 +89,9 @@ class PartitionSpace {
   std::string all_share_key_packing;
 
   [[nodiscard]] const std::string& all_share_key_for(
-      double max_power) const {
-    return max_power > 0.0 ? all_share_key_full : all_share_key_packing;
+      double max_power, bool windowed = false) const {
+    return max_power > 0.0 || windowed ? all_share_key_full
+                                       : all_share_key_packing;
   }
 
   /// Per-cell reuse permission against a baseline delta: a cell is
@@ -113,11 +116,16 @@ class PartitionEvaluator {
   /// cells allowed to read `baseline_digest`'s store.  `cache` may be
   /// null (everything is packed fresh).  `trust_cache` false disables
   /// ALL store reads — the StaleCacheError retry path.
+  /// `window_cycles`/`window_limit` are the EFFECTIVE sliding-window
+  /// budget of the cell (both 0 = unwindowed); like max_power they are
+  /// explicit EntryKey coordinates, and an active window flips the
+  /// partition keys to the powered (full-digest) flavor.
   PartitionEvaluator(const PartitionSpace& space, ResultCache* cache,
                      const std::string& digest,
                      const std::string& baseline_digest,
                      const std::string& fingerprint, int width,
-                     double max_power, bool trust_cache,
+                     double max_power, Cycles window_cycles,
+                     double window_limit, bool trust_cache,
                      const std::vector<bool>* clean, int jobs);
 
   /// Resolves the all-share T_max: current store, then baseline store,
@@ -158,6 +166,8 @@ class PartitionEvaluator {
   const std::string& fingerprint_;
   int width_;
   double max_power_;
+  Cycles window_cycles_;
+  double window_limit_;
   bool trust_cache_;
   const std::vector<bool>* clean_;
   int jobs_;

@@ -119,26 +119,40 @@ struct CompactionStats {
 
 class ResultCache {
  public:
-  /// Typed entry key inside one digest's store — the four coordinates
-  /// a makespan depends on besides the SOC itself.
+  /// Typed entry key inside one digest's store — the coordinates a
+  /// makespan depends on besides the SOC itself.
   struct EntryKey {
     /// Field-wise construction for loaders that validate elsewhere.
     EntryKey() = default;
     /// Validating constructor (every computed key goes through here):
     /// rejects non-finite or negative budgets — NaN would break the
     /// strict weak ordering below and corrupt every std::map keyed on
-    /// EntryKey — and non-positive widths.
+    /// EntryKey — non-positive widths, and a half-set window (cycles
+    /// and limit must be positive together or zero together).
     EntryKey(int tam_width, double max_power, std::string fingerprint,
-             std::string partition);
+             std::string partition, Cycles window_cycles = 0,
+             double window_limit = 0.0);
 
     int tam_width = 0;
     double max_power = 0.0;  ///< Effective budget; 0 = unconstrained.
+    /// Effective sliding-window budget; both 0 = unwindowed.  Like
+    /// max_power these are explicit key fields (not fingerprinted),
+    /// and they serialize only when set, so pre-window stores and
+    /// unwindowed entries keep their exact on-disk bytes.
+    Cycles window_cycles = 0;
+    double window_limit = 0.0;
     std::string fingerprint;
     std::string partition;
 
     friend bool operator<(const EntryKey& a, const EntryKey& b) {
       if (a.tam_width != b.tam_width) return a.tam_width < b.tam_width;
       if (a.max_power != b.max_power) return a.max_power < b.max_power;
+      if (a.window_cycles != b.window_cycles) {
+        return a.window_cycles < b.window_cycles;
+      }
+      if (a.window_limit != b.window_limit) {
+        return a.window_limit < b.window_limit;
+      }
       if (a.fingerprint != b.fingerprint) {
         return a.fingerprint < b.fingerprint;
       }

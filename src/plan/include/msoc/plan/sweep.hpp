@@ -30,6 +30,14 @@ struct SweepConfig {
   /// unconstrained, > 0 explicit).  The default single inherit rung
   /// reproduces the pre-power sweep exactly on undeclared SOCs.
   std::vector<double> max_powers = {-1.0};
+  /// Sliding-window budget, resolved per SOC like
+  /// tam::PackingOptions::window_limit (< 0 = inherit
+  /// Soc::power_window, 0 = unwindowed, > 0 explicit with
+  /// window_cycles > 0).  One window per sweep, crossed with the power
+  /// ladder; the default inherit rung reproduces the pre-window sweep
+  /// exactly on unwindowed SOCs.
+  double window_limit = -1.0;
+  Cycles window_cycles = 0;
   std::vector<double> time_weights = {0.25, 0.5, 0.75};
   bool exhaustive = false;  ///< Cost_Optimizer when false.
   double epsilon = 0.0;     ///< Heuristic elimination slack.
@@ -70,6 +78,9 @@ struct SweepRow {
   std::string soc_name;
   int tam_width = 0;
   double max_power = 0.0;  ///< Effective power budget; 0 = unlimited.
+  /// Effective sliding-window budget; both 0 = unwindowed.
+  Cycles window_cycles = 0;
+  double window_limit = 0.0;
   double w_time = 0.0;
   std::string algorithm;  ///< "exhaustive" or "cost_optimizer".
   std::string best_label;
@@ -115,15 +126,18 @@ struct SweepResult {
   int dirty_partitions = 0;
 
   /// RFC-4180 CSV with a header row (a max_power column appears when
-  /// any case ran power-constrained, a reused column for replan
+  /// any case ran power-constrained, window_cycles/window_limit
+  /// columns when any case ran windowed, a reused column for replan
   /// sweeps).
   [[nodiscard]] std::string to_csv() const;
 
   /// "msoc-sweep-v1" JSON document; "msoc-sweep-v2" (adding per-case
   /// max_power) when any case ran power-constrained; "msoc-sweep-v3"
   /// (adding the cache statistics block and, for replan sweeps, the
-  /// replan provenance) whenever the sweep used a result cache.
-  /// Cacheless sweeps keep emitting the v1/v2 documents byte-for-byte.
+  /// replan provenance) whenever the sweep used a result cache;
+  /// "msoc-sweep-v4" (adding per-case window_cycles/window_limit)
+  /// when any case ran under a sliding-window budget.  Cacheless
+  /// unwindowed sweeps keep emitting the v1/v2 documents byte-for-byte.
   [[nodiscard]] std::string to_json() const;
 };
 

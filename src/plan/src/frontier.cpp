@@ -73,6 +73,10 @@ FrontierEngine::FrontierEngine(const soc::Soc& soc, FrontierOptions options)
   });
   powers_.erase(std::unique(powers_.begin(), powers_.end()), powers_.end());
 
+  // One sliding-window budget per run (packing options resolved against
+  // the SOC, like each max_power rung), crossed with the power ladder.
+  window_ = tam::effective_power_window(soc_, options_.packing);
+
   digest_ = soc::digest_hex(soc_);
   fingerprint_ = packing_fingerprint(options_.packing);
   names_ = mswrap::core_names(soc_.analog_cores());
@@ -129,6 +133,10 @@ FrontierPoint FrontierEngine::solve_point_attempt(int width,
   FrontierPoint point;
   point.tam_width = width;
   point.max_power = max_power;
+  if (window_.active()) {
+    point.window_cycles = window_.cycles;
+    point.window_limit = window_.limit;
+  }
   point.total_combinations = static_cast<int>(space_->cells.size());
 
   if (width < 1) {
@@ -161,6 +169,8 @@ FrontierPoint FrontierEngine::solve_point_attempt(int width,
       problem.packing.pareto_hint = pareto_tables_;
       // Already resolved against the SOC; never the inherit sentinel.
       problem.packing.max_power = max_power;
+      problem.packing.window_cycles = window_.cycles;
+      problem.packing.window_limit = window_.active() ? window_.limit : 0.0;
       model.emplace(problem);
     }
     return *model;
@@ -172,12 +182,14 @@ FrontierPoint FrontierEngine::solve_point_attempt(int width,
   // annotations, unconstrained ones provably cannot.
   const std::vector<bool>* clean = nullptr;
   if (!replan_baseline_.empty()) {
-    clean = max_power > 0.0 ? &*clean_full_ : &*clean_packing_;
+    clean = max_power > 0.0 || window_.active() ? &*clean_full_
+                                                : &*clean_packing_;
   }
-  PartitionEvaluator evaluator(*space_, options_.cache, digest_,
-                               replan_baseline_, fingerprint_, width,
-                               max_power, trust_cache, clean,
-                               options_.jobs);
+  PartitionEvaluator evaluator(
+      *space_, options_.cache, digest_, replan_baseline_, fingerprint_,
+      width, max_power, window_.cycles,
+      window_.active() ? window_.limit : 0.0, trust_cache, clean,
+      options_.jobs);
 
   // T_max: the all-share baseline every cost normalizes by.
   bool t_max_from_store = false;
@@ -320,6 +332,10 @@ FrontierResult FrontierEngine::run_grid() {
       } catch (const InfeasibleError& e) {
         point.tam_width = width;
         point.max_power = max_power;
+        if (window_.active()) {
+          point.window_cycles = window_.cycles;
+          point.window_limit = window_.limit;
+        }
         point.total_combinations = static_cast<int>(space_->cells.size());
         point.error = e.what();
       }
@@ -391,9 +407,9 @@ FrontierResult FrontierEngine::replan(const std::string& baseline_digest) {
   const int dirty_full = count_dirty(*clean_full_);
   const int dirty_packing = count_dirty(*clean_packing_);
   for (const double max_power : powers_) {
-    result.dirty_partitions =
-        std::max(result.dirty_partitions,
-                 max_power > 0.0 ? dirty_full : dirty_packing);
+    result.dirty_partitions = std::max(
+        result.dirty_partitions,
+        max_power > 0.0 || window_.active() ? dirty_full : dirty_packing);
   }
 
   replan_baseline_.clear();
@@ -412,10 +428,19 @@ bool any_power_constrained(const std::vector<FrontierPoint>& points) {
                      [](const FrontierPoint& p) { return p.max_power > 0.0; });
 }
 
+/// True when any point ran under a sliding-window budget: switches the
+/// serializers to v4 and emits the per-point window fields.
+bool any_windowed(const std::vector<FrontierPoint>& points) {
+  return std::any_of(points.begin(), points.end(), [](const FrontierPoint& p) {
+    return p.window_cycles > 0;
+  });
+}
+
 }  // namespace
 
 std::string FrontierResult::to_csv() const {
   const bool constrained = any_power_constrained(points);
+  const bool windowed = any_windowed(points);
   const bool replan = !replanned_from.empty();
   std::ostringstream out;
   std::vector<std::string> header = {"soc", "tam_width", "w_time",
@@ -425,6 +450,9 @@ std::string FrontierResult::to_csv() const {
                                      "total_combinations", "cache_hits",
                                      "pruned", "pareto", "wall_ms", "error"};
   if (replan) header.insert(header.begin() + 14, "reused");
+  if (windowed) {
+    header.insert(header.begin() + 2, {"window_cycles", "window_limit"});
+  }
   if (constrained) header.insert(header.begin() + 2, "max_power");
   CsvWriter csv(out, header);
   for (const FrontierPoint& p : points) {
@@ -438,6 +466,11 @@ std::string FrontierResult::to_csv() const {
         std::to_string(p.cache_hits), std::to_string(p.pruned),
         p.pareto ? "1" : "0", round_trip_double(p.wall_ms), p.error};
     if (replan) row.insert(row.begin() + 14, std::to_string(p.reused));
+    if (windowed) {
+      row.insert(row.begin() + 2,
+                 {std::to_string(p.window_cycles),
+                  round_trip_double(p.window_limit)});
+    }
     if (constrained) {
       row.insert(row.begin() + 2, round_trip_double(p.max_power));
     }
@@ -448,9 +481,10 @@ std::string FrontierResult::to_csv() const {
 
 std::string FrontierResult::to_json() const {
   const bool constrained = any_power_constrained(points);
+  const bool windowed = any_windowed(points);
   const bool replan = !replanned_from.empty();
   const char* schema =
-      replan ? "v3" : (constrained ? "v2" : "v1");
+      windowed ? "v4" : (replan ? "v3" : (constrained ? "v2" : "v1"));
   std::ostringstream os;
   os << "{\n"
      << "  \"schema\": \"msoc-frontier-" << schema << "\",\n"
@@ -477,6 +511,11 @@ std::string FrontierResult::to_json() const {
     os << "    {\"tam_width\": " << p.tam_width << ", ";
     if (constrained) {
       os << "\"max_power\": " << round_trip_double(p.max_power) << ", ";
+    }
+    if (windowed) {
+      os << "\"window_cycles\": " << p.window_cycles << ", "
+         << "\"window_limit\": " << round_trip_double(p.window_limit)
+         << ", ";
     }
     os << "\"wall_ms\": " << round_trip_double(p.wall_ms) << ", ";
     if (!p.ok()) {

@@ -119,7 +119,8 @@ PartitionEvaluator::PartitionEvaluator(
     const PartitionSpace& space, ResultCache* cache,
     const std::string& digest, const std::string& baseline_digest,
     const std::string& fingerprint, int width, double max_power,
-    bool trust_cache, const std::vector<bool>* clean, int jobs)
+    Cycles window_cycles, double window_limit, bool trust_cache,
+    const std::vector<bool>* clean, int jobs)
     : space_(space),
       cache_(cache),
       digest_(digest),
@@ -127,6 +128,8 @@ PartitionEvaluator::PartitionEvaluator(
       fingerprint_(fingerprint),
       width_(width),
       max_power_(max_power),
+      window_cycles_(window_cycles),
+      window_limit_(window_limit),
       trust_cache_(trust_cache),
       clean_(clean),
       jobs_(jobs),
@@ -136,7 +139,8 @@ std::optional<Cycles> PartitionEvaluator::lookup(const std::string& key,
                                                  const std::string& label,
                                                  bool cell_clean) {
   if (cache_ == nullptr || !trust_cache_) return std::nullopt;
-  ResultCache::EntryKey entry{width_, max_power_, fingerprint_, key};
+  ResultCache::EntryKey entry{width_, max_power_, fingerprint_, key,
+                              window_cycles_, window_limit_};
   if (std::optional<Cycles> hit = cache_->lookup(digest_, entry)) {
     ++cache_hits_;
     return hit;
@@ -162,7 +166,8 @@ Cycles PartitionEvaluator::begin_cell(
   const bool all_share_clean =
       clean_ != nullptr && !clean_->empty() &&
       std::all_of(clean_->begin(), clean_->end(), [](bool c) { return c; });
-  const std::string& key = space_.all_share_key_for(max_power_);
+  const std::string& key =
+      space_.all_share_key_for(max_power_, window_cycles_ > 0);
   // t_max hits are deliberately not counted in cache_hits/reused — the
   // baseline is the normalization constant, not a combination
   // evaluation (matches the paper's evaluation counting).
@@ -183,7 +188,8 @@ Cycles PartitionEvaluator::begin_cell(
     if (cache_ != nullptr) {
       cache_->record(digest_,
                      ResultCache::EntryKey{width_, max_power_, fingerprint_,
-                                           key},
+                                           key, window_cycles_,
+                                           window_limit_},
                      label, t_max_);
     }
   }
@@ -200,7 +206,8 @@ void PartitionEvaluator::resolve(
     const PartitionCell& cell = space_.cells[index];
     const bool cell_clean = clean_ != nullptr && (*clean_)[index];
     const std::optional<Cycles> hit =
-        lookup(cell.key_for(max_power_), cell.evaluation.label, cell_clean);
+        lookup(cell.key_for(max_power_, window_cycles_ > 0),
+               cell.evaluation.label, cell_clean);
     // A stored time above the baseline contradicts the packer's
     // serialized-fallback guarantee: the store is stale for this
     // width, so stop trusting it and recompute.
@@ -230,10 +237,12 @@ void PartitionEvaluator::resolve(
     time_of_[misses[i]] = packed[i];
     if (cache_ != nullptr) {
       const PartitionCell& cell = space_.cells[misses[i]];
-      cache_->record(digest_,
-                     ResultCache::EntryKey{width_, max_power_, fingerprint_,
-                                           cell.key_for(max_power_)},
-                     cell.evaluation.label, packed[i]);
+      cache_->record(
+          digest_,
+          ResultCache::EntryKey{width_, max_power_, fingerprint_,
+                                cell.key_for(max_power_, window_cycles_ > 0),
+                                window_cycles_, window_limit_},
+          cell.evaluation.label, packed[i]);
     }
   }
 }

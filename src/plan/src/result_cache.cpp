@@ -139,6 +139,11 @@ std::string entry_payload(const std::string& digest,
   if (key.max_power > 0.0) {
     os << "\"max_power\": " << round_trip_double(key.max_power) << ", ";
   }
+  if (key.window_cycles > 0) {
+    os << "\"window_cycles\": " << key.window_cycles
+       << ", \"window_limit\": " << round_trip_double(key.window_limit)
+       << ", ";
+  }
   os << "\"packing\": \"" << json_escape(key.fingerprint)
      << "\", \"partition\": \"" << json_escape(key.partition)
      << "\", \"label\": \"" << json_escape(label)
@@ -212,9 +217,12 @@ std::string partition_key(const std::vector<soc::AnalogCore>& cores,
 }
 
 ResultCache::EntryKey::EntryKey(int width, double power, std::string fp,
-                                std::string part)
+                                std::string part, Cycles wcycles,
+                                double wlimit)
     : tam_width(width),
       max_power(power),
+      window_cycles(wcycles),
+      window_limit(wlimit),
       fingerprint(std::move(fp)),
       partition(std::move(part)) {
   require(tam_width >= 1, "cache entry key needs a positive TAM width");
@@ -223,6 +231,10 @@ ResultCache::EntryKey::EntryKey(int width, double power, std::string fp,
   // through the JSON store.  Reject both here, at the innermost layer.
   require(std::isfinite(max_power) && max_power >= 0.0,
           "cache entry key needs a finite non-negative power budget");
+  require(std::isfinite(window_limit) && window_limit >= 0.0,
+          "cache entry key needs a finite non-negative window limit");
+  require((window_cycles > 0) == (window_limit > 0.0),
+          "cache entry key needs window cycles and limit set together");
 }
 
 ResultCache::ResultCache(std::string directory)
@@ -301,6 +313,19 @@ bool ResultCache::load_snapshot_file_locked(const std::string& path,
         }
         key.max_power = budget->as_number();
       }
+      // Windowed entries carry both fields; absent means unwindowed.
+      if (const JsonValue* wcycles = item.find("window_cycles")) {
+        const std::optional<Cycles> cycles = as_cycles(*wcycles);
+        const JsonValue* wlimit = item.find("window_limit");
+        if (!cycles.has_value() || *cycles < 1 || wlimit == nullptr ||
+            wlimit->type() != JsonValue::Type::kNumber ||
+            !std::isfinite(wlimit->as_number()) ||
+            !(wlimit->as_number() > 0.0)) {
+          throw ParseError(path, 0, "malformed cache entry");
+        }
+        key.window_cycles = *cycles;
+        key.window_limit = wlimit->as_number();
+      }
       key.fingerprint = item.at("packing").as_string();
       key.partition = item.at("partition").as_string();
       Entry entry;
@@ -372,6 +397,19 @@ void ResultCache::apply_payload_locked(const std::string& shard_key,
                            "malformed journal entry");
         }
         key.max_power = budget->as_number();
+      }
+      if (const JsonValue* wcycles = doc.find("window_cycles")) {
+        const std::optional<Cycles> cycles = as_cycles(*wcycles);
+        const JsonValue* wlimit = doc.find("window_limit");
+        if (!cycles.has_value() || *cycles < 1 || wlimit == nullptr ||
+            wlimit->type() != JsonValue::Type::kNumber ||
+            !std::isfinite(wlimit->as_number()) ||
+            !(wlimit->as_number() > 0.0)) {
+          throw ParseError(journal_path(shard_key), 0,
+                           "malformed journal entry");
+        }
+        key.window_cycles = *cycles;
+        key.window_limit = wlimit->as_number();
       }
       key.fingerprint = doc.at("packing").as_string();
       key.partition = doc.at("partition").as_string();
@@ -843,6 +881,11 @@ std::string ResultCache::serialize_store_locked(const std::string& digest,
     os << "    {\"width\": " << key.tam_width << ", ";
     if (key.max_power > 0.0) {
       os << "\"max_power\": " << round_trip_double(key.max_power) << ", ";
+    }
+    if (key.window_cycles > 0) {
+      os << "\"window_cycles\": " << key.window_cycles
+         << ", \"window_limit\": " << round_trip_double(key.window_limit)
+         << ", ";
     }
     os << "\"packing\": \"" << json_escape(key.fingerprint) << "\", "
        << "\"partition\": \"" << json_escape(key.partition)

@@ -77,6 +77,10 @@ struct PlanService::Request {
   std::optional<std::vector<int>> widths;
   std::optional<int> width;
   std::optional<std::vector<double>> max_powers;
+  /// Explicit sliding-window budget; absent = inherit the SOC's
+  /// declared window (the packing-options default).
+  std::optional<double> window_limit;
+  Cycles window_cycles = 0;
   std::optional<double> w_time;
   bool exhaustive = false;
   double epsilon = 0.0;
@@ -165,6 +169,21 @@ PlanService::Request PlanService::parse_request(
   require(request.op != "plan" || !request.max_powers ||
               request.max_powers->size() == 1,
           "a plan request takes exactly one max_powers value");
+  if (const JsonValue* limit = root.find("window_limit")) {
+    const double v = limit->as_number();
+    require(std::isfinite(v) && v >= 0.0,
+            "window_limit needs a finite number >= 0");
+    request.window_limit = v;
+  }
+  if (const JsonValue* cycles = root.find("window_cycles")) {
+    require(request.window_limit.has_value(),
+            "window_cycles needs a window_limit");
+    request.window_cycles =
+        static_cast<Cycles>(int_field(*cycles, "window_cycles", 1));
+  }
+  require(!request.window_limit || *request.window_limit == 0.0 ||
+              request.window_cycles > 0,
+          "a positive window_limit needs window_cycles");
   if (const JsonValue* wt = root.find("wt")) {
     const double v = wt->as_number();
     require(std::isfinite(v) && v >= 0.0 && v <= 1.0,
@@ -225,6 +244,13 @@ std::string PlanService::canonical_key(const Request& request) const {
       << round_trip_double(request.epsilon) << '\n'
       << request.jobs << '\n'
       << request.replan_from;
+  if (request.window_limit) {
+    // Appended only when present, so windowless requests keep the
+    // pre-window key bytes (the memo is per-process; this just keeps
+    // the serialization additive).
+    key << "\nwin:" << request.window_cycles << ':'
+        << round_trip_double(*request.window_limit);
+  }
   return key.str();
 }
 
@@ -269,6 +295,10 @@ std::string PlanService::evaluate_frontier(const Request& request) {
   FrontierOptions frontier;
   frontier.widths = width_ladder(request.widths, request.width);
   if (request.max_powers) frontier.max_powers = *request.max_powers;
+  if (request.window_limit) {
+    frontier.packing.window_limit = *request.window_limit;
+    frontier.packing.window_cycles = request.window_cycles;
+  }
   const double w_time = request.w_time.value_or(0.5);
   frontier.weights = {w_time, 1.0 - w_time};
   frontier.exhaustive = request.exhaustive;
@@ -295,6 +325,10 @@ std::string PlanService::evaluate_sweep(const Request& request) {
     config.tam_widths = width_ladder(request.widths, request.width);
   }
   if (request.max_powers) config.max_powers = *request.max_powers;
+  if (request.window_limit) {
+    config.window_limit = *request.window_limit;
+    config.window_cycles = request.window_cycles;
+  }
   if (request.w_time) config.time_weights = {*request.w_time};
   config.exhaustive = request.exhaustive;
   config.epsilon = request.epsilon;
@@ -319,7 +353,13 @@ std::string PlanService::evaluate_plan(const Request& request) {
   if (request.max_powers) {
     problem.packing.max_power = request.max_powers->front();
   }
+  if (request.window_limit) {
+    problem.packing.window_limit = *request.window_limit;
+    problem.packing.window_cycles = request.window_cycles;
+  }
   const double max_power = tam::effective_max_power(soc, problem.packing);
+  const soc::PowerWindow window =
+      tam::effective_power_window(soc, problem.packing);
 
   CostModel model(problem);
   OptimizationResult result;
@@ -349,6 +389,10 @@ std::string PlanService::evaluate_plan(const Request& request) {
   row.soc_name = soc.name();
   row.tam_width = width;
   row.max_power = max_power;
+  if (window.active()) {
+    row.window_cycles = window.cycles;
+    row.window_limit = window.limit;
+  }
   row.w_time = w_time;
   row.algorithm = request.exhaustive ? "exhaustive" : "cost_optimizer";
   row.best_label = best.label;

@@ -67,6 +67,10 @@ SweepResult run_sweep(const SweepConfig& config) {
     require(std::isfinite(budget) || budget < 0.0,
             "power budgets must be finite (or negative = inherit)");
   }
+  require(std::isfinite(config.window_limit) || config.window_limit < 0.0,
+          "the window limit must be finite (or negative = inherit)");
+  require(config.window_limit <= 0.0 || config.window_cycles > 0,
+          "an explicit window limit needs a positive window length");
   require(!config.time_weights.empty(),
           "sweep needs at least one time weight");
   require(config.cache == nullptr || config.cache_dir.empty(),
@@ -189,6 +193,8 @@ SweepResult run_sweep(const SweepConfig& config) {
         options.jobs = inner;
         options.cache = cache;
         options.pareto_tables = &tables[s.soc_index];
+        options.packing.window_limit = config.window_limit;
+        options.packing.window_cycles = config.window_cycles;
         FrontierEngine engine(soc, options);
         const FrontierResult frontier = config.replan_from.empty()
                                             ? engine.run()
@@ -209,6 +215,8 @@ SweepResult run_sweep(const SweepConfig& config) {
                 *by_cell.at({config.tam_widths[w], budget});
             SweepRow row = make_row(soc, config.tam_widths[w], budget,
                                     w_time, config);
+            row.window_cycles = point.window_cycles;
+            row.window_limit = point.window_limit;
             row.wall_ms = point.wall_ms;
             if (point.ok()) {
               row.best_label = point.best.label;
@@ -278,10 +286,18 @@ bool any_power_constrained(const std::vector<SweepRow>& rows) {
                      [](const SweepRow& r) { return r.max_power > 0.0; });
 }
 
+/// v4-schema switch: only a sweep that actually enforced a sliding
+/// window emits the window columns/fields.
+bool any_windowed(const std::vector<SweepRow>& rows) {
+  return std::any_of(rows.begin(), rows.end(),
+                     [](const SweepRow& r) { return r.window_cycles > 0; });
+}
+
 }  // namespace
 
 std::string SweepResult::to_csv() const {
   const bool constrained = any_power_constrained(rows);
+  const bool windowed = any_windowed(rows);
   const bool replan = !replanned_from.empty();
   std::ostringstream out;
   std::vector<std::string> header = {"soc", "tam_width", "w_time",
@@ -292,6 +308,9 @@ std::string SweepResult::to_csv() const {
                                      "evaluation_reduction_percent",
                                      "wall_ms", "error"};
   if (replan) header.insert(header.begin() + 12, "reused");
+  if (windowed) {
+    header.insert(header.begin() + 2, {"window_cycles", "window_limit"});
+  }
   if (constrained) header.insert(header.begin() + 2, "max_power");
   CsvWriter csv(out, header);
   for (const SweepRow& r : rows) {
@@ -305,6 +324,11 @@ std::string SweepResult::to_csv() const {
         round_trip_double(r.evaluation_reduction_percent),
         round_trip_double(r.wall_ms), r.error};
     if (replan) row.insert(row.begin() + 12, std::to_string(r.reused));
+    if (windowed) {
+      row.insert(row.begin() + 2,
+                 {std::to_string(r.window_cycles),
+                  round_trip_double(r.window_limit)});
+    }
     if (constrained) {
       row.insert(row.begin() + 2, round_trip_double(r.max_power));
     }
@@ -315,8 +339,10 @@ std::string SweepResult::to_csv() const {
 
 std::string SweepResult::to_json() const {
   const bool constrained = any_power_constrained(rows);
+  const bool windowed = any_windowed(rows);
   const bool replan = !replanned_from.empty();
-  const char* schema = cache_used ? "v3" : (constrained ? "v2" : "v1");
+  const char* schema =
+      windowed ? "v4" : (cache_used ? "v3" : (constrained ? "v2" : "v1"));
   std::ostringstream os;
   os << "{\n"
      << "  \"schema\": \"msoc-sweep-" << schema << "\",\n"
@@ -344,6 +370,11 @@ std::string SweepResult::to_json() const {
        << "\"tam_width\": " << r.tam_width << ", ";
     if (constrained) {
       os << "\"max_power\": " << round_trip_double(r.max_power) << ", ";
+    }
+    if (windowed) {
+      os << "\"window_cycles\": " << r.window_cycles << ", "
+         << "\"window_limit\": " << round_trip_double(r.window_limit)
+         << ", ";
     }
     os << "\"w_time\": " << round_trip_double(r.w_time) << ", "
        << "\"algorithm\": \"" << json_escape(r.algorithm) << "\", "

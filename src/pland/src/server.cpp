@@ -152,7 +152,13 @@ void PlanServer::run() {
             " clients already connected"));
       } catch (const Error&) {
       }
-      continue;  // ~UnixSocket closes
+      // The rejected client is usually still sending its request;
+      // closing now would reset the connection and destroy the busy
+      // envelope before the client reads it.  Drain until the client
+      // hangs up (bounded so a stalled peer cannot wedge the accept
+      // loop).
+      accepted->shutdown_and_drain(/*timeout_ms=*/1000);
+      continue;
     }
     ++active_;
     ++accepted_;

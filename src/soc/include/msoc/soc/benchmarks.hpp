@@ -60,9 +60,29 @@ struct SyntheticSocParams {
   /// power (so the budget always admits every test).  0 leaves the SOC
   /// unconstrained; 1 is the tightest feasible floor.
   double power_budget_factor = 0.0;
+  /// Module hierarchy (cores containing cores, p93791-style): when both
+  /// fields are positive, the digital cores are distributed round-robin
+  /// over the leaves of a complete `fanout`-ary containment tree of the
+  /// given depth, and the tree is flattened deterministically (DFS) for
+  /// planning — core names carry their containment path ("u2_u0_syn_7")
+  /// while the RNG stream stays bit-identical to the flat generator's.
+  /// Both zero (the default) keeps the flat naming.
+  int hierarchy_depth = 0;
+  int hierarchy_fanout = 0;
 };
 
 /// Generates a random-but-reproducible SOC for scaling experiments.
 [[nodiscard]] Soc make_synthetic_soc(const SyntheticSocParams& params);
+
+/// One rung of the hierarchical synthetic scale ladder: `digital_cores`
+/// power-annotated cores in a depth-2 containment hierarchy plus four
+/// analog cores, with both a peak budget (3x peak single-test power)
+/// and a sliding-window budget (60% of the peak budget over 4096
+/// cycles) so every constraint axis is exercised at scale.
+/// Deterministic for a fixed (digital_cores, seed).
+[[nodiscard]] Soc make_scale_soc(int digital_cores, std::uint64_t seed = 7);
+
+/// The ladder's rung sizes: 500, 1000, 2000, 5000 digital cores.
+[[nodiscard]] std::vector<int> scale_ladder_rungs();
 
 }  // namespace msoc::soc

@@ -4,9 +4,27 @@
 #include <string>
 #include <vector>
 
+#include "msoc/common/units.hpp"
 #include "msoc/soc/core.hpp"
 
 namespace msoc::soc {
+
+/// Sliding-window average-power budget: every window of `cycles` TAM
+/// clock cycles must average at most `limit` power units.  This bounds
+/// *sustained* dissipation (thermal), complementing Soc::max_power's
+/// instantaneous peak.  Inactive (both fields zero) by default, so
+/// peak-only and unconstrained models are untouched.
+struct PowerWindow {
+  Cycles cycles = 0;   ///< Window length in TAM clock cycles.
+  double limit = 0.0;  ///< Maximum average power over any window.
+
+  [[nodiscard]] bool active() const noexcept {
+    return cycles > 0 && limit > 0.0;
+  }
+  [[nodiscard]] bool operator==(const PowerWindow& other) const noexcept {
+    return cycles == other.cycles && limit == other.limit;
+  }
+};
 
 class Soc {
  public:
@@ -27,6 +45,22 @@ class Soc {
   /// True when a finite power budget is declared.
   [[nodiscard]] bool power_constrained() const noexcept {
     return max_power_ > 0.0;
+  }
+
+  /// The declared sliding-window average-power budget; inactive (both
+  /// fields zero) when the SOC declares none.
+  [[nodiscard]] const PowerWindow& power_window() const noexcept {
+    return power_window_;
+  }
+
+  /// Sets the windowed budget; throws InfeasibleError unless both
+  /// fields are positive (or both zero = clear).  The limit must be
+  /// finite — a NaN would poison cache-key ordering downstream.
+  void set_power_window(PowerWindow window);
+
+  /// True when a windowed budget is declared.
+  [[nodiscard]] bool power_windowed() const noexcept {
+    return power_window_.active();
   }
 
   /// Adds a digital core (validated); returns its index.
@@ -68,6 +102,7 @@ class Soc {
   std::vector<DigitalCore> digital_;
   std::vector<AnalogCore> analog_;
   double max_power_ = 0.0;
+  PowerWindow power_window_;
 };
 
 }  // namespace msoc::soc

@@ -129,6 +129,14 @@ std::uint64_t digest(const Soc& soc) {
     h.text("maxpower;");
     h.real(soc.max_power());
   }
+  // Same gating for the sliding-window budget: only a SOC that declares
+  // one hashes it, so pre-window digests (and their cache stores) are
+  // untouched.
+  if (soc.power_windowed()) {
+    h.text("powerwindow;");
+    h.integer(static_cast<long long>(soc.power_window().cycles));
+    h.real(soc.power_window().limit);
+  }
   return h.value();
 }
 

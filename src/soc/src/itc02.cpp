@@ -67,6 +67,17 @@ class Parser {
       if (budget < 0.0) fail("MaxPower must be non-negative");
       soc.set_max_power(budget);
       have_max_power_ = true;
+    } else if (key == "powerwindow") {
+      if (tok.size() != 3) {
+        fail("PowerWindow takes a window length and a limit");
+      }
+      if (have_power_window_) fail("duplicate PowerWindow");
+      const long long cycles = expect_int(tok[1], "PowerWindow cycles");
+      if (cycles <= 0) fail("PowerWindow cycles must be positive");
+      const double limit = expect_double(tok[2], "PowerWindow limit");
+      if (!(limit > 0.0)) fail("PowerWindow limit must be positive");
+      soc.set_power_window({static_cast<Cycles>(cycles), limit});
+      have_power_window_ = true;
     } else if (key == "module") {
       finish_pending(soc);
       if (tok.size() < 2) fail("Module needs an id");
@@ -176,6 +187,7 @@ class Parser {
   int line_ = 0;
   bool in_digital_ = false;
   bool have_max_power_ = false;
+  bool have_power_window_ = false;
   std::optional<DigitalCore> digital_;
   std::optional<AnalogCore> analog_;
 };
@@ -208,12 +220,19 @@ Soc load_soc_file(const std::string& path) {
 }
 
 void write_soc(std::ostream& out, const Soc& soc) {
+  // Every double goes through shortest_double: default stream precision
+  // (6 digits) silently truncated fractional frequencies, breaking
+  // parse(emit(soc)) == soc and with it soc::digest() stability.
   out << "# msoc test-planning SOC description (ITC'02-style)\n";
   out << "SocName " << soc.name() << '\n';
   // Power fields are emitted only when set: an unconstrained SOC writes
   // the exact pre-power dialect, so golden files and digests survive.
   if (soc.power_constrained()) {
-    out << "MaxPower " << round_trip_double(soc.max_power()) << '\n';
+    out << "MaxPower " << shortest_double(soc.max_power()) << '\n';
+  }
+  if (soc.power_windowed()) {
+    out << "PowerWindow " << soc.power_window().cycles << ' '
+        << shortest_double(soc.power_window().limit) << '\n';
   }
   for (const DigitalCore& c : soc.digital_cores()) {
     out << "\nModule " << c.id << ' ' << c.name << '\n';
@@ -227,7 +246,7 @@ void write_soc(std::ostream& out, const Soc& soc) {
     }
     out << "  Patterns " << c.patterns << '\n';
     if (c.power != 0.0) {
-      out << "  Power " << round_trip_double(c.power) << '\n';
+      out << "  Power " << shortest_double(c.power) << '\n';
     }
   }
   for (const AnalogCore& c : soc.analog_cores()) {
@@ -235,11 +254,11 @@ void write_soc(std::ostream& out, const Soc& soc) {
     if (!c.description.empty()) out << " \"" << c.description << '"';
     out << '\n';
     for (const AnalogTestSpec& t : c.tests) {
-      out << "  Test " << t.name << " FLow " << t.f_low.hz() << " FHigh "
-          << t.f_high.hz() << " FSample " << t.f_sample.hz() << " Cycles "
-          << t.cycles << " Width " << t.tam_width << " Resolution "
-          << t.resolution_bits;
-      if (t.power != 0.0) out << " Power " << round_trip_double(t.power);
+      out << "  Test " << t.name << " FLow " << shortest_double(t.f_low.hz())
+          << " FHigh " << shortest_double(t.f_high.hz()) << " FSample "
+          << shortest_double(t.f_sample.hz()) << " Cycles " << t.cycles
+          << " Width " << t.tam_width << " Resolution " << t.resolution_bits;
+      if (t.power != 0.0) out << " Power " << shortest_double(t.power);
       out << '\n';
     }
   }

@@ -1,5 +1,7 @@
 #include "msoc/soc/soc.hpp"
 
+#include <cmath>
+
 #include "msoc/common/error.hpp"
 
 namespace msoc::soc {
@@ -7,6 +9,15 @@ namespace msoc::soc {
 void Soc::set_max_power(double max_power) {
   require(max_power >= 0.0, "SOC power budget must be non-negative");
   max_power_ = max_power;
+}
+
+void Soc::set_power_window(PowerWindow window) {
+  require(std::isfinite(window.limit) && window.limit >= 0.0,
+          "SOC power-window limit must be finite and non-negative");
+  require((window.cycles > 0) == (window.limit > 0.0),
+          "SOC power window needs both a window length and a limit "
+          "(or neither)");
+  power_window_ = window;
 }
 
 double Soc::peak_test_power() const {

@@ -75,6 +75,16 @@ struct PackingOptions {
   /// power sum of everything running stays within it (PowerProfile),
   /// exactly as wire usage must stay within tam_width.
   double max_power = -1.0;
+  /// Sliding-window average-power budget (WindowedPowerProfile): every
+  /// window of `window_cycles` cycles must average at most
+  /// `window_limit` power units.  Same resolution convention as
+  /// max_power:
+  ///   < 0 (default) — inherit the SOC's declared Soc::power_window;
+  ///     0           — unwindowed, even if the SOC declares one;
+  ///   > 0           — explicit limit; window_cycles must then be > 0.
+  /// Orthogonal to the peak budget — either, both or neither may bind.
+  double window_limit = -1.0;
+  Cycles window_cycles = 0;
   /// Assign concrete wire ids by interval coloring (costs a sort).
   bool assign_wires = true;
   /// Race all placement orders and keep the shortest schedule (default).
@@ -122,6 +132,12 @@ struct PackingOptions {
 /// (resolving the options' inherit-from-SOC default); 0 = unlimited.
 [[nodiscard]] double effective_max_power(const soc::Soc& soc,
                                          const PackingOptions& options);
+
+/// The sliding-window budget a pack over `soc` with `options` actually
+/// enforces (inherit resolved); inactive = unwindowed.  Throws
+/// InfeasibleError on an explicit limit without a window length.
+[[nodiscard]] soc::PowerWindow effective_power_window(
+    const soc::Soc& soc, const PackingOptions& options);
 
 /// Schedules all tests of `soc` on a `tam_width`-wire TAM.
 /// `partition` groups the analog cores into shared wrappers.  Throws

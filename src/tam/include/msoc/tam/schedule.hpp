@@ -37,6 +37,11 @@ struct ScheduledTest {
 struct Schedule {
   int tam_width = 0;
   double max_power = 0.0;  ///< Budget this schedule honors; 0 = unlimited.
+  /// Sliding-window budget this schedule honors: every window of
+  /// `window_cycles` cycles averages at most `window_limit` power units.
+  /// Both zero = unwindowed (the two fields are set together).
+  Cycles window_cycles = 0;
+  double window_limit = 0.0;
   std::vector<ScheduledTest> tests;
 
   /// Completion time of the last test.
@@ -57,11 +62,12 @@ struct ScheduleViolation {
   std::string message;
 };
 
-/// Re-walks a schedule against the three scheduling invariants every
-/// producer must honor: instantaneous TAM usage <= tam_width, tests of
-/// one analog wrapper never overlap, and (when max_power > 0)
-/// instantaneous power <= max_power.  Returns all violations (empty ==
-/// valid).  This is the reusable validity oracle the property suites
+/// Re-walks a schedule against the scheduling invariants every producer
+/// must honor: instantaneous TAM usage <= tam_width, tests of one
+/// analog wrapper never overlap, (when max_power > 0) instantaneous
+/// power <= max_power, and (when window_cycles > 0) every
+/// window_cycles-long window averages at most window_limit power.
+/// Returns all violations (empty == valid).  This is the reusable validity oracle the property suites
 /// run over every schedule they see; schedule_soc runs it on its own
 /// output whenever a power budget is active.
 [[nodiscard]] std::vector<ScheduleViolation> check_schedule(

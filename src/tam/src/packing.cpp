@@ -13,6 +13,7 @@
 #include "msoc/tam/interval_set.hpp"
 #include "msoc/tam/power_profile.hpp"
 #include "msoc/tam/usage_profile.hpp"
+#include "msoc/tam/windowed_power.hpp"
 #include "msoc/wrapper/wrapper_design.hpp"
 
 namespace msoc::tam {
@@ -55,23 +56,33 @@ struct Placement {
 enum class WidthPreference { kNarrow, kWide };
 
 /// Earliest start from `not_before` satisfying wires, blocked intervals
-/// AND the power budget (when one is active).  Alternates the two
-/// profiles' retry times to a fixpoint: each probe strictly advances,
-/// and past the horizon both profiles are empty, so a pre-checked load
-/// (power <= budget, width <= capacity) always terminates.
+/// AND the power budgets (when active).  Alternates the profiles' retry
+/// times to a fixpoint: each probe strictly advances, and past the
+/// horizon every profile is empty, so a pre-checked load (power <=
+/// budget, admits_alone, width <= capacity) always terminates.
 Cycles earliest_feasible(const UsageProfile& profile,
-                         const PowerProfile* power_profile, int width,
+                         const PowerProfile* power_profile,
+                         const WindowedPowerProfile* window_profile, int width,
                          double power, Cycles duration,
                          const IntervalSet& blocked) {
   Cycles candidate = profile.earliest_start(width, duration, 0, blocked);
-  if (power_profile == nullptr) return candidate;
+  if (power_profile == nullptr && window_profile == nullptr) return candidate;
   while (true) {
     Cycles retry = 0;
-    if (power_profile->window_free(candidate, power, duration, &retry)) {
-      return candidate;
+    if (power_profile != nullptr &&
+        !power_profile->window_free(candidate, power, duration, &retry)) {
+      check_invariant(retry > candidate, "power packer failed to advance");
+      candidate = profile.earliest_start(width, duration, retry, blocked);
+      continue;
     }
-    check_invariant(retry > candidate, "power packer failed to advance");
-    candidate = profile.earliest_start(width, duration, retry, blocked);
+    if (window_profile != nullptr &&
+        !window_profile->window_free(candidate, power, duration, &retry)) {
+      check_invariant(retry > candidate,
+                      "windowed power packer failed to advance");
+      candidate = profile.earliest_start(width, duration, retry, blocked);
+      continue;
+    }
+    return candidate;
   }
 }
 
@@ -80,7 +91,9 @@ Cycles earliest_feasible(const UsageProfile& profile,
 /// fixed width the earliest feasible start is optimal under this cost,
 /// so only one candidate start per width needs to be examined.
 Placement choose_placement(const UsageProfile& profile,
-                           const PowerProfile* power_profile, double power,
+                           const PowerProfile* power_profile,
+                           const WindowedPowerProfile* window_profile,
+                           double power,
                            const std::vector<std::pair<int, Cycles>>& widths,
                            const IntervalSet& blocked,
                            Cycles current_makespan,
@@ -90,8 +103,9 @@ Placement choose_placement(const UsageProfile& profile,
 
   for (const auto& [width, duration] : widths) {
     {
-      const Cycles s = earliest_feasible(profile, power_profile, width,
-                                         power, duration, blocked);
+      const Cycles s = earliest_feasible(profile, power_profile,
+                                         window_profile, width, power,
+                                         duration, blocked);
       const Cycles makespan =
           std::max(current_makespan, s + duration);
       const Cycles area = static_cast<Cycles>(width) * duration;
@@ -235,6 +249,10 @@ void improve_schedule(Schedule& schedule,
     UsageProfile profile(schedule.tam_width);
     std::optional<PowerProfile> power_profile;
     if (schedule.max_power > 0.0) power_profile.emplace(schedule.max_power);
+    std::optional<WindowedPowerProfile> window_profile;
+    if (schedule.window_cycles > 0) {
+      window_profile.emplace(schedule.window_cycles, schedule.window_limit);
+    }
     Cycles rest_makespan = 0;
     for (std::size_t i = 0; i < schedule.tests.size(); ++i) {
       if (removed.count(i)) continue;
@@ -242,6 +260,9 @@ void improve_schedule(Schedule& schedule,
       profile.reserve(t.start, t.duration, t.width);
       if (power_profile.has_value()) {
         power_profile->reserve(t.start, t.duration, t.power);
+      }
+      if (window_profile.has_value()) {
+        window_profile->reserve(t.start, t.duration, t.power);
       }
       rest_makespan = std::max(rest_makespan, t.end());
     }
@@ -290,10 +311,14 @@ void improve_schedule(Schedule& schedule,
       }
       const Placement p = choose_placement(
           profile, power_profile.has_value() ? &*power_profile : nullptr,
+          window_profile.has_value() ? &*window_profile : nullptr,
           victim.power, widths, group_busy, new_makespan);
       profile.reserve(p.start, p.duration, p.width);
       if (power_profile.has_value()) {
         power_profile->reserve(p.start, p.duration, victim.power);
+      }
+      if (window_profile.has_value()) {
+        window_profile->reserve(p.start, p.duration, victim.power);
       }
       new_makespan = std::max(new_makespan, p.start + p.duration);
       ScheduledTest t = victim;
@@ -348,16 +373,24 @@ Cycles packing_target(const std::vector<DigitalItem>& digital,
 
 Schedule pack_once(const std::vector<DigitalItem>& digital,
                    const std::vector<AnalogGroupItem>& groups, int tam_width,
-                   double max_power, PlacementOrder order,
-                   WidthPreference pref) {
+                   double max_power, soc::PowerWindow window,
+                   PlacementOrder order, WidthPreference pref) {
   UsageProfile profile(tam_width);
   std::optional<PowerProfile> power_profile;
   if (max_power > 0.0) power_profile.emplace(max_power);
   const PowerProfile* power_ptr =
       power_profile.has_value() ? &*power_profile : nullptr;
+  std::optional<WindowedPowerProfile> window_profile;
+  if (window.active()) window_profile.emplace(window.cycles, window.limit);
+  const WindowedPowerProfile* window_ptr =
+      window_profile.has_value() ? &*window_profile : nullptr;
   Schedule schedule;
   schedule.tam_width = tam_width;
   schedule.max_power = max_power;
+  if (window.active()) {
+    schedule.window_cycles = window.cycles;
+    schedule.window_limit = window.limit;
+  }
   const Cycles target = packing_target(digital, groups, tam_width);
   Cycles makespan = target;
 
@@ -369,11 +402,15 @@ Schedule pack_once(const std::vector<DigitalItem>& digital,
       for (const wrapper::ParetoPoint& p : item.pareto) {
         widths.emplace_back(p.width, p.time);
       }
-      const Placement p = choose_placement(profile, power_ptr, item.power,
-                                           widths, {}, makespan, pref);
+      const Placement p = choose_placement(profile, power_ptr, window_ptr,
+                                           item.power, widths, {}, makespan,
+                                           pref);
       profile.reserve(p.start, p.duration, p.width);
       if (power_profile.has_value()) {
         power_profile->reserve(p.start, p.duration, item.power);
+      }
+      if (window_profile.has_value()) {
+        window_profile->reserve(p.start, p.duration, item.power);
       }
       makespan = std::max(makespan, p.start + p.duration);
       ScheduledTest t;
@@ -392,12 +429,15 @@ Schedule pack_once(const std::vector<DigitalItem>& digital,
       IntervalSet busy;
       for (const AnalogRect& rect : item.rects) {
         const Placement p =
-            choose_placement(profile, power_ptr, rect.power,
+            choose_placement(profile, power_ptr, window_ptr, rect.power,
                              {{rect.width, rect.duration}}, busy, makespan,
                              pref);
         profile.reserve(p.start, p.duration, p.width);
         if (power_profile.has_value()) {
           power_profile->reserve(p.start, p.duration, rect.power);
+        }
+        if (window_profile.has_value()) {
+          window_profile->reserve(p.start, p.duration, rect.power);
         }
         makespan = std::max(makespan, p.start + p.duration);
         busy.insert(p.start, p.start + p.duration);
@@ -430,7 +470,8 @@ bool rect_before(const AnalogRect& a, const AnalogRect& b) {
 /// iterative repair) and keeps the shortest schedule.
 Schedule pack_best(const std::vector<DigitalItem>& digital,
                    const std::vector<AnalogGroupItem>& groups, int tam_width,
-                   double max_power, const PackingOptions& options) {
+                   double max_power, soc::PowerWindow window,
+                   const PackingOptions& options) {
   std::vector<PlacementOrder> orders;
   if (options.race_orders) {
     orders = {PlacementOrder::kAreaDescending, PlacementOrder::kDigitalFirst,
@@ -444,8 +485,8 @@ Schedule pack_best(const std::vector<DigitalItem>& digital,
   for (PlacementOrder order : orders) {
     for (WidthPreference pref :
          {WidthPreference::kNarrow, WidthPreference::kWide}) {
-      Schedule candidate =
-          pack_once(digital, groups, tam_width, max_power, order, pref);
+      Schedule candidate = pack_once(digital, groups, tam_width, max_power,
+                                     window, order, pref);
       if (options.improvement_rounds > 0) {
         improve_schedule(candidate, digital, options.improvement_rounds);
       }
@@ -501,6 +542,15 @@ double effective_max_power(const soc::Soc& soc,
   return options.max_power;
 }
 
+soc::PowerWindow effective_power_window(const soc::Soc& soc,
+                                        const PackingOptions& options) {
+  if (options.window_limit < 0.0) return soc.power_window();
+  if (options.window_limit == 0.0) return {};
+  require(options.window_cycles > 0,
+          "an explicit window limit needs a positive window length");
+  return {options.window_cycles, options.window_limit};
+}
+
 AnalogPartition singleton_partition(const soc::Soc& soc) {
   AnalogPartition p;
   for (const soc::AnalogCore& c : soc.analog_cores()) {
@@ -528,6 +578,7 @@ Schedule schedule_soc(const soc::Soc& soc, int tam_width,
   // reject up front so the placement fixpoint always terminates.
   require(max_power <= 0.0 || soc.peak_test_power() <= max_power,
           "test power exceeds the SOC power budget");
+  const soc::PowerWindow window = effective_power_window(soc, options);
 
   // --- Validate the partition covers each analog core exactly once. ---
   std::set<std::string> seen;
@@ -596,8 +647,29 @@ Schedule schedule_soc(const soc::Soc& soc, int tam_width,
     groups.push_back(std::move(item));
   }
 
+  // Windowed analogue of the peak pre-check: every item must be
+  // admissible on an empty timeline at its LONGEST candidate duration
+  // (min(duration, window) in the integral makes the longest shape the
+  // binding one), so the windowed retry fixpoint always terminates.
+  if (window.active()) {
+    const WindowedPowerProfile probe(window.cycles, window.limit);
+    for (const DigitalItem& d : digital) {
+      require(probe.admits_alone(d.power, d.pareto.front().time),
+              "test power exceeds the windowed power budget: " +
+                  d.core->name);
+    }
+    for (const AnalogGroupItem& g : groups) {
+      for (const AnalogRect& r : g.rects) {
+        require(probe.admits_alone(r.power, r.duration),
+                "test power exceeds the windowed power budget: " +
+                    r.core->name);
+      }
+    }
+  }
+
   // --- Pack (racing placement orders unless disabled). ---
-  Schedule best = pack_best(digital, groups, tam_width, max_power, options);
+  Schedule best =
+      pack_best(digital, groups, tam_width, max_power, window, options);
 
   // --- Monotonicity guard. ---
   // The greedy packer is anomalous: relaxing serialization constraints
@@ -614,6 +686,8 @@ Schedule schedule_soc(const soc::Soc& soc, int tam_width,
       for (const AnalogGroupItem& g : groups) rect_count += g.rects.size();
       require(options.serialized_hint->tam_width == tam_width &&
                   options.serialized_hint->max_power == max_power &&
+                  options.serialized_hint->window_cycles == window.cycles &&
+                  options.serialized_hint->window_limit == window.limit &&
                   options.serialized_hint->tests.size() ==
                       digital.size() + rect_count,
               "serialized_hint does not match this SOC/width");
@@ -628,7 +702,7 @@ Schedule schedule_soc(const soc::Soc& soc, int tam_width,
       }
       std::sort(merged.rects.begin(), merged.rects.end(), rect_before);
       serialized = pack_best(digital, {std::move(merged)}, tam_width,
-                             max_power, options);
+                             max_power, window, options);
     }
     if (serialized.makespan() < best.makespan()) {
       // All analog tests in the serialized schedule are pairwise disjoint
@@ -649,9 +723,10 @@ Schedule schedule_soc(const soc::Soc& soc, int tam_width,
 
   if (options.assign_wires) assign_wires(best);
   // Under a power budget the packer polices itself on every output:
-  // check_schedule re-walks capacity, power and serialization, and any
-  // violation is a packer bug, not a caller error.
-  if (max_power > 0.0) {
+  // check_schedule re-walks capacity, power (peak and windowed) and
+  // serialization, and any violation is a packer bug, not a caller
+  // error.
+  if (max_power > 0.0 || window.active()) {
     const std::vector<ScheduleViolation> violations = check_schedule(best);
     check_invariant(violations.empty(),
                     violations.empty()

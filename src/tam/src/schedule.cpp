@@ -11,6 +11,56 @@
 
 namespace msoc::tam {
 
+namespace {
+
+/// Maximum sliding-window load integral over any [w, w+window) and the
+/// window start attaining it.  The sliding integral of a piecewise-
+/// constant load is piecewise linear in w, kinking only where w or
+/// w+window crosses a load breakpoint, so the max is attained at one of
+/// those starts — the same argument WindowedPowerProfile's admission
+/// check relies on, re-derived here independently as the oracle.
+std::pair<double, Cycles> max_window_integral(const Skyline<double>& load,
+                                              Cycles window) {
+  std::vector<Cycles> times;
+  std::vector<double> levels;
+  std::vector<double> prefix;
+  prefix.push_back(0.0);
+  for (const auto& [time, level] : load) {
+    if (!times.empty()) {
+      prefix.push_back(prefix.back() +
+                       levels.back() *
+                           static_cast<double>(time - times.back()));
+    }
+    times.push_back(time);
+    levels.push_back(level);
+  }
+  if (times.empty()) return {0.0, 0};
+  // Load is 0 before the first breakpoint and after the last (the
+  // skyline's final entry always drains to level 0).
+  const auto integral_to = [&](Cycles x) {
+    if (x <= times.front()) return 0.0;
+    const auto seg = std::upper_bound(times.begin(), times.end(), x);
+    const std::size_t i = static_cast<std::size_t>(seg - times.begin()) - 1;
+    return prefix[i] + levels[i] * static_cast<double>(x - times[i]);
+  };
+  double best = 0.0;
+  Cycles best_start = times.front();
+  const auto probe = [&](Cycles w) {
+    const double integral = integral_to(w + window) - integral_to(w);
+    if (integral > best) {
+      best = integral;
+      best_start = w;
+    }
+  };
+  for (const Cycles t : times) {
+    probe(t);
+    probe(t >= window ? t - window : 0);
+  }
+  return {best, best_start};
+}
+
+}  // namespace
+
 Cycles Schedule::makespan() const {
   Cycles end = 0;
   for (const ScheduledTest& t : tests) end = std::max(end, t.end());
@@ -82,6 +132,30 @@ std::vector<ScheduleViolation> check_schedule(const Schedule& schedule) {
         add(os.str());
         break;
       }
+    }
+  }
+
+  // Sliding-window average power against the schedule's window budget.
+  // Tolerance on the integral scale (budget = limit * window), matching
+  // WindowedPowerProfile's slack.
+  if (schedule.window_cycles > 0 && schedule.window_limit > 0.0) {
+    const double budget = schedule.window_limit *
+                          static_cast<double>(schedule.window_cycles);
+    const double slack = 1e-9 * (budget < 1.0 ? 1.0 : budget);
+    Skyline<double> load;
+    for (const ScheduledTest& t : schedule.tests) {
+      if (t.duration > 0 && t.power != 0.0) load.add(t.start, t.end(), t.power);
+    }
+    const auto [integral, at] =
+        max_window_integral(load, schedule.window_cycles);
+    if (integral > budget + slack) {
+      std::ostringstream os;
+      os << "windowed power budget exceeded in window starting at cycle "
+         << at << ": average "
+         << integral / static_cast<double>(schedule.window_cycles) << " > "
+         << schedule.window_limit << " over " << schedule.window_cycles
+         << " cycles";
+      add(os.str());
     }
   }
 

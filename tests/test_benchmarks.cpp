@@ -179,6 +179,96 @@ TEST(Synthetic, PowerGenerationIsGatedAndStreamPreserving) {
   }
 }
 
+// --- Module hierarchy and the synthetic scale ladder. ---
+
+TEST(SyntheticHierarchy, PureRenamingKeepsTheRngStreamBitIdentical) {
+  SyntheticSocParams params;
+  params.digital_cores = 20;
+  params.analog_cores = 3;
+  params.seed = 11;
+  params.min_test_power = 1.0;
+  params.max_test_power = 10.0;
+  params.power_budget_factor = 2.0;
+  const Soc flat = make_synthetic_soc(params);
+  params.hierarchy_depth = 2;
+  params.hierarchy_fanout = 3;
+  const Soc tree = make_synthetic_soc(params);
+
+  ASSERT_EQ(tree.digital_count(), flat.digital_count());
+  for (std::size_t i = 0; i < flat.digital_count(); ++i) {
+    const DigitalCore& f = flat.digital_cores()[i];
+    const DigitalCore& t = tree.digital_cores()[i];
+    // Identical test content — hierarchy is pure renaming, no RNG draws.
+    EXPECT_EQ(t.scan_chain_lengths, f.scan_chain_lengths);
+    EXPECT_EQ(t.patterns, f.patterns);
+    EXPECT_EQ(t.inputs, f.inputs);
+    EXPECT_EQ(t.outputs, f.outputs);
+    EXPECT_DOUBLE_EQ(t.power, f.power);
+    // The hierarchical name is the flat name plus a containment path.
+    EXPECT_NE(t.name, f.name);
+    ASSERT_GT(t.name.size(), f.name.size());
+    EXPECT_EQ(t.name.substr(t.name.size() - f.name.size()), f.name);
+    EXPECT_EQ(t.name[0], 'u');
+  }
+  ASSERT_EQ(tree.analog_count(), flat.analog_count());
+  for (std::size_t i = 0; i < flat.analog_count(); ++i) {
+    EXPECT_TRUE(
+        tree.analog_cores()[i].tests_equivalent(flat.analog_cores()[i]));
+  }
+  EXPECT_DOUBLE_EQ(tree.max_power(), flat.max_power());
+}
+
+TEST(SyntheticHierarchy, ContainmentPrefixesFollowTheDfsTree) {
+  SyntheticSocParams params;
+  params.digital_cores = 6;
+  params.seed = 3;
+  params.hierarchy_depth = 2;
+  params.hierarchy_fanout = 2;  // 4 leaves; cores round-robin over them
+  const Soc soc = make_synthetic_soc(params);
+  ASSERT_EQ(soc.digital_count(), 6u);
+  EXPECT_EQ(soc.digital_cores()[0].name, "u0_u0_syn_1");
+  EXPECT_EQ(soc.digital_cores()[1].name, "u0_u1_syn_2");
+  EXPECT_EQ(soc.digital_cores()[2].name, "u1_u0_syn_3");
+  EXPECT_EQ(soc.digital_cores()[3].name, "u1_u1_syn_4");
+  // Fifth core wraps back to the first leaf.
+  EXPECT_EQ(soc.digital_cores()[4].name, "u0_u0_syn_5");
+  EXPECT_EQ(soc.digital_cores()[5].name, "u0_u1_syn_6");
+}
+
+TEST(SyntheticHierarchy, RejectsMismatchedOrOversizedTrees) {
+  SyntheticSocParams params;
+  params.hierarchy_depth = 2;  // depth without fanout
+  EXPECT_THROW(make_synthetic_soc(params), InfeasibleError);
+  params.hierarchy_depth = 0;
+  params.hierarchy_fanout = 4;  // fanout without depth
+  EXPECT_THROW(make_synthetic_soc(params), InfeasibleError);
+  params.hierarchy_depth = 7;  // tree too deep
+  params.hierarchy_fanout = 2;
+  EXPECT_THROW(make_synthetic_soc(params), InfeasibleError);
+  params.hierarchy_depth = 2;
+  params.hierarchy_fanout = 65;  // tree too wide
+  EXPECT_THROW(make_synthetic_soc(params), InfeasibleError);
+}
+
+TEST(ScaleLadder, RungSizesAndDeterminism) {
+  EXPECT_EQ(scale_ladder_rungs(), (std::vector<int>{500, 1000, 2000, 5000}));
+  const Soc a = make_scale_soc(40);
+  const Soc b = make_scale_soc(40);
+  EXPECT_EQ(a.name(), "scale_40");
+  EXPECT_EQ(a.digital_count(), 40u);
+  EXPECT_EQ(a.analog_count(), 4u);
+  EXPECT_EQ(a.total_scan_cells(), b.total_scan_cells());
+  EXPECT_EQ(a.total_patterns(), b.total_patterns());
+  // Both constraint axes present: a peak budget and a tighter window.
+  EXPECT_GT(a.max_power(), 0.0);
+  ASSERT_TRUE(a.power_windowed());
+  EXPECT_EQ(a.power_window().cycles, 4096u);
+  EXPECT_DOUBLE_EQ(a.power_window().limit, a.max_power() * 0.6);
+  // The depth-2 fanout-8 hierarchy shows in the core names.
+  EXPECT_EQ(a.digital_cores()[0].name, "u0_u0_syn_1");
+  EXPECT_THROW(make_scale_soc(0), InfeasibleError);
+}
+
 TEST(Synthetic, BadPowerRangesRejected) {
   SyntheticSocParams params;
   params.min_test_power = 5.0;

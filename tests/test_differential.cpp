@@ -19,7 +19,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "msoc/plan/frontier.hpp"
 #include "msoc/plan/optimizer.hpp"
@@ -264,6 +267,106 @@ TEST(Differential, ReplanMatchesColdSolveAcrossMutationLadder) {
       EXPECT_EQ(replanned.reused, 0);
     }
   }
+}
+
+// --- Windowed rung: the sliding-window average-power axis. ---
+
+/// The power ladder's SOC plus a sliding-window budget.  The sustained
+/// limit sits between the peak single-test power (so every test admits
+/// alone — always feasible) and the declared peak budget (so the
+/// window is the tighter axis); window length and limit vary with the
+/// seed.
+soc::Soc windowed_synthetic(std::uint64_t seed) {
+  soc::Soc soc = synthetic(seed, /*with_power=*/true);
+  const Cycles window = 1024 + static_cast<Cycles>(seed % 4) * 512;
+  const double limit =
+      soc.peak_test_power() *
+      (1.15 + static_cast<double>(seed % 3) * 0.35);
+  soc.set_power_window({window, limit});
+  return soc;
+}
+
+/// Independent O(n^2) oracle: the worst sliding-window average power of
+/// a schedule, by re-scanning every candidate window start (each test
+/// edge, as a window start and as a window end) against every test.
+double brute_force_worst_window_average(const tam::Schedule& s) {
+  const Cycles window = s.window_cycles;
+  std::vector<Cycles> starts{0};
+  for (const tam::ScheduledTest& t : s.tests) {
+    for (const Cycles edge : {t.start, t.end()}) {
+      starts.push_back(edge);
+      if (edge >= window) starts.push_back(edge - window);
+    }
+  }
+  double worst = 0.0;
+  for (const Cycles w : starts) {
+    double integral = 0.0;
+    for (const tam::ScheduledTest& t : s.tests) {
+      const Cycles lo = std::max(w, t.start);
+      const Cycles hi = std::min(w + window, t.end());
+      if (hi > lo) integral += t.power * static_cast<double>(hi - lo);
+    }
+    worst = std::max(worst, integral);
+  }
+  return worst / static_cast<double>(window);
+}
+
+TEST(Differential, WindowedLadderHoldsTheSameContracts) {
+  constexpr std::uint64_t kWindowSeeds = 25;
+  for (std::uint64_t seed = 1; seed <= kWindowSeeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const soc::Soc soc = windowed_synthetic(seed);
+    const int width = width_for(seed);
+    const std::string what = soc.name() + "+window @W" +
+                             std::to_string(width);
+
+    CostModel exhaustive_model(problem_for(soc, width));
+    const OptimizationResult exhaustive =
+        optimize_exhaustive(exhaustive_model);
+    CostModel heuristic_model(problem_for(soc, width));
+    const HeuristicResult heuristic =
+        optimize_cost_heuristic(heuristic_model);
+    // The exhaustive floor holds under windowed budgets too.
+    EXPECT_GE(heuristic.best.total, exhaustive.best.total) << what;
+
+    // Winning schedules carry the window and re-walk cleanly.
+    expect_valid_schedule(exhaustive_model, exhaustive.best,
+                          what + " exhaustive");
+    expect_valid_schedule(heuristic_model, heuristic.best,
+                          what + " heuristic");
+    const tam::Schedule schedule =
+        heuristic_model.schedule_for(heuristic.best.partition);
+    ASSERT_EQ(schedule.window_cycles, soc.power_window().cycles) << what;
+    EXPECT_EQ(schedule.window_limit, soc.power_window().limit) << what;
+    // The independent O(n^2) window scan agrees with the packer's
+    // admission kernel and check_schedule's kink-probing oracle.
+    EXPECT_LE(brute_force_worst_window_average(schedule),
+              soc.power_window().limit * (1.0 + 1e-9) + 1e-9)
+        << what;
+  }
+}
+
+// The window must bind on a seed where the peak budget does not —
+// otherwise the rung only re-tests the instantaneous constraint.
+TEST(Differential, WindowBindsOnASeedWherePeakDoesNot) {
+  int binding = 0;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const soc::Soc soc = windowed_synthetic(seed);
+    const int width = width_for(seed);
+    PlanningProblem peak_only = problem_for(soc, width);
+    peak_only.packing.window_limit = 0.0;
+    PlanningProblem unconstrained = problem_for(soc, width);
+    unconstrained.packing.window_limit = 0.0;
+    unconstrained.packing.max_power = 0.0;
+    CostModel both_model(problem_for(soc, width));
+    CostModel peak_model(peak_only);
+    CostModel plain_model(unconstrained);
+    if (peak_model.t_max() == plain_model.t_max() &&
+        both_model.t_max() > plain_model.t_max()) {
+      ++binding;
+    }
+  }
+  EXPECT_GT(binding, 0);
 }
 
 // The power budget must genuinely bind somewhere on the ladder —

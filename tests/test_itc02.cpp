@@ -266,5 +266,110 @@ TEST(Itc02Power, RejectsNegativeMaxPowerAndPowerOutsideModule) {
                ParseError);
 }
 
+// --- PowerWindow: the sliding-window budget dialect. ---
+
+TEST(Itc02PowerWindow, ParsesWindowLengthAndLimit) {
+  const Soc soc = parse_soc_string(
+      "SocName w\nMaxPower 950.5\nPowerWindow 4096 120.5\n");
+  EXPECT_TRUE(soc.power_windowed());
+  EXPECT_EQ(soc.power_window().cycles, 4096u);
+  EXPECT_DOUBLE_EQ(soc.power_window().limit, 120.5);
+  // A window without MaxPower is legal: the peak and windowed
+  // constraints are independent.
+  const Soc bare = parse_soc_string("SocName w\nPowerWindow 10 1.5\n");
+  EXPECT_TRUE(bare.power_windowed());
+  EXPECT_FALSE(bare.power_constrained());
+}
+
+TEST(Itc02PowerWindow, RoundTripPreservesWindowExactly) {
+  Soc original = parse_soc_string(kPowerSample);
+  original.set_power_window({8192, 17.989432843724327});
+  const Soc back = parse_soc_string(write_soc_string(original));
+  EXPECT_TRUE(back.power_windowed());
+  EXPECT_EQ(back.power_window().cycles, original.power_window().cycles);
+  // Bit-exact, not just close: the writer emits the shortest string
+  // that round-trips.
+  EXPECT_EQ(back.power_window().limit, original.power_window().limit);
+}
+
+TEST(Itc02PowerWindow, UnwindowedSocNeverWritesTheLine) {
+  // The conditional dialect contract: an unannotated SOC's bytes (and
+  // therefore its digest and any golden file) must not change just
+  // because the toolchain learned a new keyword.
+  EXPECT_EQ(write_soc_string(make_d695()).find("PowerWindow"),
+            std::string::npos);
+  EXPECT_EQ(write_soc_string(parse_soc_string(kPowerSample))
+                .find("PowerWindow"),
+            std::string::npos);
+}
+
+TEST(Itc02PowerWindow, RejectsMalformedDeclarations) {
+  // Wrong arity.
+  EXPECT_THROW((void)parse_soc_string("PowerWindow 4096\n"), ParseError);
+  EXPECT_THROW((void)parse_soc_string("PowerWindow 4096 1 2\n"),
+               ParseError);
+  // Non-positive window or limit.
+  EXPECT_THROW((void)parse_soc_string("PowerWindow 0 5\n"), ParseError);
+  EXPECT_THROW((void)parse_soc_string("PowerWindow -16 5\n"), ParseError);
+  EXPECT_THROW((void)parse_soc_string("PowerWindow 16 0\n"), ParseError);
+  EXPECT_THROW((void)parse_soc_string("PowerWindow 16 -1\n"), ParseError);
+  // Non-numeric fields.
+  EXPECT_THROW((void)parse_soc_string("PowerWindow wide 5\n"), ParseError);
+  EXPECT_THROW((void)parse_soc_string("PowerWindow 16 hot\n"), ParseError);
+}
+
+TEST(Itc02PowerWindow, RejectsDuplicateWithLineNumber) {
+  try {
+    (void)parse_soc_string(
+        "SocName x\nPowerWindow 16 5\nPowerWindow 32 6\n", "bad.soc");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("duplicate PowerWindow"),
+              std::string::npos);
+  }
+}
+
+// Shortest-round-trip property: every awkward double survives a
+// write/parse cycle bit-exactly.  This is the regression net for the
+// precision bugfix — the old fixed-precision writer truncated values
+// like 0.1 and 1e-3 and quietly shifted budgets on re-load.
+TEST(Itc02PowerWindow, AwkwardDoublesRoundTripBitExactly) {
+  const double awkward[] = {
+      0.1, 0.2, 0.3, 1e-3, 1e-6, 2.0 / 3.0, 1.0 + 1e-15,
+      123.456789012345678, 1e15, 9.875e22, 17.989432843724327,
+  };
+  for (const double value : awkward) {
+    SCOPED_TRACE(value);
+    Soc soc("rt");
+    soc.set_max_power(value * 4.0);
+    soc.set_power_window({4096, value});
+    DigitalCore core;
+    core.id = 1;
+    core.name = "c";
+    core.inputs = 1;
+    core.patterns = 1;
+    core.power = value * 2.0;
+    soc.add_digital(std::move(core));
+    AnalogCore analog;
+    analog.name = "A";
+    AnalogTestSpec test;
+    test.name = "t";
+    test.f_sample = Hertz(1e6);
+    test.cycles = 10;
+    test.power = value;
+    analog.tests.push_back(test);
+    soc.add_analog(std::move(analog));
+
+    const Soc back = parse_soc_string(write_soc_string(soc));
+    EXPECT_EQ(back.max_power(), soc.max_power());
+    EXPECT_EQ(back.power_window().limit, value);
+    EXPECT_EQ(back.digital_cores()[0].power, value * 2.0);
+    EXPECT_EQ(back.analog_cores()[0].tests[0].power, value);
+    // Idempotent writer: a second cycle emits identical bytes.
+    EXPECT_EQ(write_soc_string(back), write_soc_string(soc));
+  }
+}
+
 }  // namespace
 }  // namespace msoc::soc

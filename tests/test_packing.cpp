@@ -3,11 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "msoc/common/error.hpp"
 #include "msoc/soc/benchmarks.hpp"
 #include "msoc/tam/interval_set.hpp"
 #include "msoc/tam/power_profile.hpp"
+#include "msoc/tam/windowed_power.hpp"
 #include "powered_fixtures.hpp"
 #include "msoc/tam/schedule.hpp"
 #include "msoc/tam/usage_profile.hpp"
@@ -374,6 +378,185 @@ TEST(PackingPower, UnannotatedSocIgnoresAnyBudget) {
   const soc::Soc s = soc::make_d695m();
   PackingOptions tight;
   tight.max_power = 1.0;
+  const Schedule constrained =
+      schedule_soc(s, 32, singleton_partition(s), tight);
+  const Schedule plain = schedule_soc(s, 32, singleton_partition(s));
+  EXPECT_EQ(constrained.makespan(), plain.makespan());
+  ASSERT_EQ(constrained.tests.size(), plain.tests.size());
+  for (std::size_t i = 0; i < plain.tests.size(); ++i) {
+    EXPECT_EQ(constrained.tests[i].start, plain.tests[i].start);
+    EXPECT_EQ(constrained.tests[i].width, plain.tests[i].width);
+  }
+}
+
+// --- WindowedPowerProfile: the sliding-window admission kernel. ---
+
+TEST(WindowedPowerRetry, AdmitsAloneClipsAtTheWindow) {
+  const WindowedPowerProfile p(10, 5.0);  // budget: 50 power-cycles
+  EXPECT_TRUE(p.admits_alone(5.0, 10));
+  EXPECT_TRUE(p.admits_alone(5.0, 1000));  // integral clips at the window
+  EXPECT_TRUE(p.admits_alone(25.0, 2));    // 50 exactly
+  EXPECT_FALSE(p.admits_alone(25.0, 3));   // 75
+  EXPECT_FALSE(p.admits_alone(5.1, 10));
+}
+
+TEST(WindowedPowerRetry, RetryAdvancesToTheNextBreakpoint) {
+  WindowedPowerProfile p(10, 5.0);
+  p.reserve(0, 10, 5.0);  // saturates every window touching [0, 10)
+  Cycles retry = 0;
+  EXPECT_FALSE(p.window_free(3, 5.0, 5, &retry));
+  EXPECT_EQ(retry, 10u);
+  // From the breakpoint every straddling window sums to exactly the
+  // budget: admitted (within slack), like PowerProfile's exact fit.
+  EXPECT_TRUE(p.window_free(10, 5.0, 5, &retry));
+}
+
+TEST(WindowedPowerRetry, RetryJumpsPastTheDrainWhenBreakpointsRunOut) {
+  WindowedPowerProfile p(10, 5.0);
+  p.reserve(0, 10, 5.0);
+  Cycles retry = 0;
+  // A short hot burst (admissible alone: 10*4 = 40 <= 50) fails at a
+  // start past the last load breakpoint — the only remaining probe is
+  // one full window past the drain, where no window mixes it with the
+  // old load.
+  EXPECT_FALSE(p.window_free(11, 10.0, 4, &retry));
+  EXPECT_EQ(retry, 20u);  // drain end (10) + window (10)
+  EXPECT_TRUE(p.window_free(20, 10.0, 4, &retry));
+}
+
+TEST(WindowedPowerRetry, AgreesWithABruteForceWindowScan) {
+  // Deterministic LCG workload: the kink-probing admission check must
+  // agree with an exhaustive every-cycle window scan, and accepted
+  // placements keep the whole timeline within budget.
+  constexpr Cycles kWindow = 7;
+  constexpr double kBudget = 63.0;  // limit 9 * window 7
+  WindowedPowerProfile p(kWindow, 9.0);
+  struct Placed {
+    Cycles start, end;
+    double power;
+  };
+  std::vector<Placed> placed;
+  std::uint64_t x = 12345;
+  const auto draw = [&x]() {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    return x >> 33;
+  };
+  for (int i = 0; i < 40; ++i) {
+    const Cycles start = draw() % 50;
+    const Cycles duration = 1 + draw() % 12;
+    const double power = 1.0 + static_cast<double>(draw() % 8);
+    double worst = 0.0;  // exhaustive scan, every integer window start
+    for (Cycles w = 0; w < 80; ++w) {
+      double integral = 0.0;
+      for (const Placed& t : placed) {
+        const Cycles lo = std::max(w, t.start);
+        const Cycles hi = std::min(w + kWindow, t.end);
+        if (hi > lo) integral += t.power * static_cast<double>(hi - lo);
+      }
+      const Cycles lo = std::max(w, start);
+      const Cycles hi = std::min(w + kWindow, start + duration);
+      if (hi > lo) integral += power * static_cast<double>(hi - lo);
+      worst = std::max(worst, integral);
+    }
+    Cycles retry = 0;
+    const bool free = p.window_free(start, power, duration, &retry);
+    EXPECT_EQ(free, worst <= kBudget + 1e-6) << "placement " << i;
+    if (free) {
+      p.reserve(start, duration, power);
+      placed.push_back({start, start + duration, power});
+    } else {
+      EXPECT_GT(retry, start) << "placement " << i;
+    }
+  }
+}
+
+// --- Windowed packing end to end. ---
+
+soc::Soc windowed_d695m(double window_factor) {
+  // Peak budget slack at 3x the peak single-test power; the sustained
+  // window limit sits just above the peak test so every test admits
+  // alone but stacking binds.
+  soc::Soc s = powered_d695m(3.0);
+  s.set_power_window({5000, s.peak_test_power() * window_factor});
+  return s;
+}
+
+TEST(PackingWindow, InheritedFromSocAndEnforced) {
+  const soc::Soc s = windowed_d695m(1.3);
+  const Schedule sched = schedule_soc(s, 32, singleton_partition(s));
+  EXPECT_EQ(sched.window_cycles, s.power_window().cycles);
+  EXPECT_EQ(sched.window_limit, s.power_window().limit);
+  EXPECT_TRUE(check_schedule(sched).empty());
+}
+
+TEST(PackingWindow, WindowBindsWhereThePeakDoesNot) {
+  const soc::Soc s = windowed_d695m(1.2);
+  PackingOptions unwindowed;
+  unwindowed.window_limit = 0.0;
+  Schedule plain = schedule_soc(s, 32, singleton_partition(s), unwindowed);
+  const Schedule windowed = schedule_soc(s, 32, singleton_partition(s));
+  EXPECT_EQ(plain.window_cycles, 0u);
+  EXPECT_GE(windowed.makespan(), plain.makespan());
+  // Injecting the window budget into the peak-only schedule must make
+  // the oracle reject it — proof the window, not the peak, binds here.
+  plain.window_cycles = s.power_window().cycles;
+  plain.window_limit = s.power_window().limit;
+  bool windowed_violation = false;
+  for (const ScheduleViolation& v : check_schedule(plain)) {
+    if (v.message.find("windowed power budget exceeded") !=
+        std::string::npos) {
+      windowed_violation = true;
+    }
+  }
+  EXPECT_TRUE(windowed_violation);
+}
+
+TEST(PackingWindow, ExplicitOverrideAndForceUnwindowed) {
+  const soc::Soc s = windowed_d695m(1.5);
+  PackingOptions options;
+  options.window_cycles = 2000;
+  options.window_limit = s.peak_test_power() * 2.0;
+  const Schedule sched =
+      schedule_soc(s, 32, singleton_partition(s), options);
+  EXPECT_EQ(sched.window_cycles, 2000u);
+  EXPECT_EQ(sched.window_limit, options.window_limit);
+  // Zero disables the window even though the SOC declares one.
+  options = PackingOptions{};
+  options.window_limit = 0.0;
+  EXPECT_FALSE(effective_power_window(s, options).active());
+  const Schedule plain =
+      schedule_soc(s, 32, singleton_partition(s), options);
+  EXPECT_EQ(plain.window_cycles, 0u);
+  // Default inherits the SOC declaration.
+  options = PackingOptions{};
+  EXPECT_TRUE(effective_power_window(s, options) == s.power_window());
+  // An explicit limit without a window length is a caller error.
+  options.window_limit = 10.0;
+  options.window_cycles = 0;
+  EXPECT_THROW((void)effective_power_window(s, options), InfeasibleError);
+  EXPECT_THROW(schedule_soc(s, 32, singleton_partition(s), options),
+               InfeasibleError);
+}
+
+TEST(PackingWindow, SingleTestHotterThanTheWindowBudgetIsInfeasible) {
+  soc::Soc s = powered_d695m(3.0);
+  s.set_power_window({100, s.peak_test_power() * 0.5});
+  try {
+    (void)schedule_soc(s, 32, singleton_partition(s));
+    FAIL() << "expected InfeasibleError";
+  } catch (const InfeasibleError& e) {
+    EXPECT_NE(
+        std::string(e.what()).find("exceeds the windowed power budget"),
+        std::string::npos);
+  }
+}
+
+TEST(PackingWindow, UnannotatedSocIgnoresAnyWindow) {
+  // Zero-power tests satisfy every window: bit-identical schedules.
+  const soc::Soc s = soc::make_d695m();
+  PackingOptions tight;
+  tight.window_cycles = 64;
+  tight.window_limit = 0.5;
   const Schedule constrained =
       schedule_soc(s, 32, singleton_partition(s), tight);
   const Schedule plain = schedule_soc(s, 32, singleton_partition(s));

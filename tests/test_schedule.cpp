@@ -249,5 +249,77 @@ TEST(PeakPower, ZeroForUnannotatedSchedules) {
   EXPECT_DOUBLE_EQ(valid_schedule().peak_power(), 0.0);
 }
 
+// --- check_schedule: the sliding-window power oracle. ---
+
+Schedule windowed_schedule(double b_power) {
+  // a at 6 power over [0, 10), b at `b_power` over [5, 15); window of
+  // 10 cycles averaging at most 10 (integral budget 100).  Peak is
+  // unlimited so only the window can complain.
+  Schedule s;
+  s.tam_width = 4;
+  s.window_cycles = 10;
+  s.window_limit = 10.0;
+  s.tests.push_back(make_test("a", 0, 10, 1, {0}));
+  s.tests.push_back(make_test("b", 5, 10, 1, {1}));
+  s.tests[0].power = 6.0;
+  s.tests[1].power = b_power;
+  return s;
+}
+
+TEST(CheckSchedule, WindowedBudgetAcceptsLoadWithinEveryWindow) {
+  // Worst window starts at 0: 6*10 + 4*5 = 80 <= 100.
+  EXPECT_TRUE(check_schedule(windowed_schedule(4.0)).empty());
+}
+
+TEST(CheckSchedule, WindowedOverloadDetectedWithWindowStart) {
+  // Window [0, 10): 6*10 + 9*5 = 105 > 100, though the instantaneous
+  // peak (15) never exceeds any declared limit.
+  const Schedule s = windowed_schedule(9.0);
+  const auto violations = check_schedule(s);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].message.find("windowed power budget exceeded"),
+            std::string::npos);
+  // The full validator reports it too.
+  bool found = false;
+  for (const auto& v : validate_schedule(s)) {
+    if (v.message.find("windowed power budget exceeded") !=
+        std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CheckSchedule, ZeroWindowFieldsDisableTheWindowOracle) {
+  Schedule s = windowed_schedule(9.0);
+  s.window_cycles = 0;
+  s.window_limit = 0.0;
+  EXPECT_TRUE(check_schedule(s).empty());
+}
+
+TEST(CheckSchedule, ExactWindowBudgetIsNotAViolation) {
+  // One long test at exactly the average limit: every window integral
+  // is exactly the budget.
+  Schedule s;
+  s.tam_width = 4;
+  s.window_cycles = 10;
+  s.window_limit = 10.0;
+  s.tests.push_back(make_test("a", 0, 30, 1, {0}));
+  s.tests[0].power = 10.0;
+  EXPECT_TRUE(check_schedule(s).empty());
+}
+
+TEST(CheckSchedule, WindowAndPeakViolationsAreIndependent) {
+  // Tight peak, loose window: only the instantaneous check fires.
+  Schedule s = windowed_schedule(9.0);
+  s.window_limit = 50.0;  // budget 500, never binds
+  s.max_power = 12.0;     // peak hits 15 on [5, 10)
+  const auto violations = check_schedule(s);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].message.find("power budget exceeded"),
+            std::string::npos);
+  EXPECT_EQ(violations[0].message.find("windowed"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace msoc::tam

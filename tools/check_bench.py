@@ -12,6 +12,11 @@ algorithmic regression, not noise.
 Rules:
   * A gated counter may grow by at most --tolerance (default 10%).
     Shrinking is fine (that is an improvement) but gets reported.
+  * A counter whose BASELINE is zero has no relative headroom: it may
+    grow by at most --zero-slack in absolute terms (default 0 — any
+    growth from a zero baseline fails).  A bench that legitimately
+    starts a counter at zero (e.g. retries on an uncontended workload)
+    passes an explicit allowance instead of dividing by zero.
   * Boolean gates ("identical", "sublinear", "time_monotone") must not
     flip from true to false.
   * Arrays are compared index by index over their common prefix: the
@@ -117,7 +122,7 @@ def numeric_diffs(baseline, current, path, out):
         out.append((path, float(baseline), float(current)))
 
 
-def compare(baseline, current, tolerance):
+def compare(baseline, current, tolerance, zero_slack=0.0):
     """Returns (failures, notes) comparing current against baseline."""
     findings = []
     walk(baseline, current, "$", findings)
@@ -133,7 +138,15 @@ def compare(baseline, current, tolerance):
     pairs = []
     numeric_diffs(baseline, current, "$", pairs)
     for path, base, cur in pairs:
-        if cur > base * (1.0 + tolerance):
+        if base == 0:
+            # No relative headroom exists at a zero baseline (and the
+            # percentage below would divide by zero): gate on the
+            # absolute allowance instead.
+            if cur > zero_slack:
+                failures.append(
+                    f"{path}: 0 -> {cur:g} "
+                    f"(zero baseline; absolute slack {zero_slack:g})")
+        elif cur > base * (1.0 + tolerance):
             failures.append(
                 f"{path}: {base:g} -> {cur:g} "
                 f"(+{100.0 * (cur - base) / base:.1f}%, "
@@ -195,6 +208,9 @@ def main():
                         help="freshly generated BENCH_*.json")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed counter growth (default 0.10 = 10%%)")
+    parser.add_argument("--zero-slack", type=float, default=0.0,
+                        help="absolute growth allowed on a counter whose "
+                             "baseline is 0 (default 0 = none)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the gate trips on an injected "
                              "regression of BASELINE")
@@ -209,7 +225,8 @@ def main():
         baseline = json.load(f)
     with open(args.current) as f:
         current = json.load(f)
-    failures, notes = compare(baseline, current, args.tolerance)
+    failures, notes = compare(baseline, current, args.tolerance,
+                              args.zero_slack)
     for note in notes:
         print(f"note: {note}")
     if failures:

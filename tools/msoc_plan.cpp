@@ -15,6 +15,11 @@
 //                      single plan takes one value; --sweep/--frontier
 //                      accept a ladder and solve every (width, power)
 //                      cell
+//     --power-window CYCLES:LIMIT
+//                      sliding-window power budget: every window of
+//                      CYCLES cycles must average at most LIMIT power
+//                      units (0 = unwindowed, overriding the SOC's
+//                      PowerWindow declaration; default: inherit it)
 //     --wt X           test-time weight w_T in [0,1] (default 0.5;
 //                      w_A = 1 - w_T)
 //     --exhaustive     evaluate every combination (default: Cost_Optimizer)
@@ -44,8 +49,9 @@
 //     --daemon PATH    route the request through the msoc_pland daemon
 //                      listening on this Unix socket (msoc-rpc-v1);
 //                      falls back to in-process planning when nothing
-//                      is listening.  The reply's JSON document is
-//                      byte-identical to the in-process --json output
+//                      is listening or the daemon is saturated.  The
+//                      reply's JSON document is byte-identical to the
+//                      in-process --json output
 //     --ping           with --daemon: probe the daemon and exit
 //     --shutdown       with --daemon: ask the daemon to drain and exit
 //     --help           this text
@@ -83,6 +89,10 @@ struct Options {
   std::optional<int> width;      ///< Default 32 (single) / sweep ladder.
   std::optional<std::vector<int>> widths;  ///< Explicit sweep ladder.
   std::optional<std::vector<double>> max_powers;  ///< Power ladder.
+  /// Explicit sliding-window budget; an inactive value ({0, 0}, from
+  /// `--power-window 0`) forces unwindowed planning even on a SOC that
+  /// declares a window.  Absent = inherit the SOC's declaration.
+  std::optional<msoc::soc::PowerWindow> power_window;
   std::optional<double> w_time;  ///< Default 0.5 (single) / sweep set.
   bool exhaustive = false;
   double epsilon = 0.0;
@@ -115,6 +125,9 @@ void print_usage() {
       "  --max-power LIST comma-separated power budgets (0 = unconstrained;\n"
       "                   default: the SOC's MaxPower).  One value for a\n"
       "                   single plan; a ladder for --sweep/--frontier\n"
+      "  --power-window CYCLES:LIMIT  sliding-window power budget: every\n"
+      "                   CYCLES-cycle window averages at most LIMIT\n"
+      "                   (0 = unwindowed; default: the SOC's PowerWindow)\n"
       "  --wt X           test-time weight w_T in [0,1] (default 0.5;\n"
       "                   w_A = 1 - w_T)\n"
       "  --exhaustive     exhaustive search instead of Cost_Optimizer\n"
@@ -138,7 +151,7 @@ void print_usage() {
       "  --validate       replay-check the schedule\n"
       "  --daemon PATH    route through the msoc_pland daemon on this\n"
       "                   Unix socket; in-process fallback when nothing\n"
-      "                   is listening\n"
+      "                   is listening or the daemon is saturated\n"
       "  --ping           with --daemon: probe the daemon and exit\n"
       "  --shutdown       with --daemon: ask the daemon to drain and exit\n"
       "  --help           this text");
@@ -170,6 +183,22 @@ std::vector<double> parse_power_list(const std::string& text) {
   return powers;
 }
 
+msoc::soc::PowerWindow parse_power_window(const std::string& text) {
+  if (text == "0") return {};  // force-unwindowed
+  const std::size_t colon = text.find(':');
+  msoc::require(colon != std::string::npos,
+                "--power-window needs CYCLES:LIMIT (or 0 = unwindowed)");
+  const auto cycles =
+      msoc::parse_int(std::string_view(text).substr(0, colon));
+  const auto limit =
+      msoc::parse_double(std::string_view(text).substr(colon + 1));
+  msoc::require(cycles.has_value() && *cycles >= 1,
+                "--power-window needs an integer cycle count >= 1");
+  msoc::require(limit.has_value() && std::isfinite(*limit) && *limit > 0.0,
+                "--power-window needs a finite limit > 0");
+  return {static_cast<msoc::Cycles>(*cycles), *limit};
+}
+
 Options parse_args(int argc, char** argv) {
   Options options;
   const auto value = [&](int& i, const char* flag) -> std::string {
@@ -191,6 +220,8 @@ Options parse_args(int argc, char** argv) {
       options.widths = parse_width_list(value(i, "--widths"));
     } else if (arg == "--max-power") {
       options.max_powers = parse_power_list(value(i, "--max-power"));
+    } else if (arg == "--power-window") {
+      options.power_window = parse_power_window(value(i, "--power-window"));
     } else if (arg == "--wt") {
       const auto v = msoc::parse_double(value(i, "--wt"));
       msoc::require(v.has_value() && *v >= 0.0 && *v <= 1.0,
@@ -307,6 +338,10 @@ int run_frontier_mode(const Options& options) {
   plan::FrontierOptions frontier;
   frontier.widths = width_ladder(options);
   frontier.max_powers = power_ladder(options);
+  if (options.power_window) {
+    frontier.packing.window_cycles = options.power_window->cycles;
+    frontier.packing.window_limit = options.power_window->limit;
+  }
   const double w_time = options.w_time.value_or(0.5);
   frontier.weights = {w_time, 1.0 - w_time};
   frontier.exhaustive = options.exhaustive;
@@ -435,6 +470,13 @@ std::string build_daemon_request(const Options& options) {
   if (options.w_time) {
     out << ",\"wt\":" << msoc::round_trip_double(*options.w_time);
   }
+  if (options.power_window) {
+    out << ",\"window_limit\":"
+        << msoc::round_trip_double(options.power_window->limit);
+    if (options.power_window->cycles > 0) {
+      out << ",\"window_cycles\":" << options.power_window->cycles;
+    }
+  }
   if (options.exhaustive) out << ",\"exhaustive\":true";
   if (options.epsilon != 0.0) {
     out << ",\"epsilon\":" << msoc::round_trip_double(options.epsilon);
@@ -449,8 +491,12 @@ std::string build_daemon_request(const Options& options) {
 }
 
 /// Runs this invocation against the daemon.  Returns the process exit
-/// code, or -1 when nothing is listening and the caller should fall
-/// back to in-process planning.
+/// code, or -1 when the caller should fall back to in-process
+/// planning: nothing is listening, or the daemon rejected the
+/// connection as saturated ("daemon busy").  Either way the fallback
+/// produces documents byte-identical to what the daemon would have
+/// returned (the rpc contract), so callers lose availability never
+/// correctness.
 int run_daemon_mode(const Options& options) {
   using namespace msoc;
   std::optional<net::UnixSocket> socket =
@@ -476,8 +522,18 @@ int run_daemon_mode(const Options& options) {
   require(reply.at("schema").as_string() == "msoc-rpc-v1",
           "daemon reply has an unknown schema");
   if (!reply.at("ok").as_bool()) {
-    std::fprintf(stderr, "error: daemon: %s\n",
-                 reply.at("error").as_string().c_str());
+    const std::string& error = reply.at("error").as_string();
+    // A saturated daemon is an availability condition, not a planning
+    // failure: plan in-process instead of surfacing a hard error
+    // (except for --ping/--shutdown, which are about the daemon
+    // itself).
+    if (!options.ping && !options.shutdown_daemon &&
+        error.rfind("daemon busy", 0) == 0) {
+      std::fprintf(stderr, "msoc_plan: %s; planning in-process\n",
+                   error.c_str());
+      return -1;
+    }
+    std::fprintf(stderr, "error: daemon: %s\n", error.c_str());
     return 1;
   }
   if (options.ping) {
@@ -536,6 +592,10 @@ int run_sweep_mode(const Options& options) {
     config.tam_widths = width_ladder(options);
   }
   if (options.max_powers) config.max_powers = *options.max_powers;
+  if (options.power_window) {
+    config.window_cycles = options.power_window->cycles;
+    config.window_limit = options.power_window->limit;
+  }
   if (options.w_time) config.time_weights = {*options.w_time};
   config.exhaustive = options.exhaustive;
   config.epsilon = options.epsilon;
@@ -635,17 +695,29 @@ int main(int argc, char** argv) {
     if (options.max_powers) {
       problem.packing.max_power = options.max_powers->front();
     }
+    if (options.power_window) {
+      problem.packing.window_cycles = options.power_window->cycles;
+      problem.packing.window_limit = options.power_window->limit;
+    }
     const double max_power = tam::effective_max_power(soc, problem.packing);
+    const soc::PowerWindow window =
+        tam::effective_power_window(soc, problem.packing);
 
     char power_note[48] = "";
     if (max_power > 0.0) {
       std::snprintf(power_note, sizeof power_note, "; max power %g",
                     max_power);
     }
-    std::printf("SOC %s: %zu digital, %zu analog cores; TAM width %d%s; "
+    char window_note[64] = "";
+    if (window.active()) {
+      std::snprintf(window_note, sizeof window_note,
+                    "; window %g/%llu cycles", window.limit,
+                    static_cast<unsigned long long>(window.cycles));
+    }
+    std::printf("SOC %s: %zu digital, %zu analog cores; TAM width %d%s%s; "
                 "w_T=%.2f w_A=%.2f; %s; jobs %d\n",
                 soc.name().c_str(), soc.digital_count(), soc.analog_count(),
-                width, power_note, w_time, 1.0 - w_time,
+                width, power_note, window_note, w_time, 1.0 - w_time,
                 options.exhaustive ? "exhaustive" : "Cost_Optimizer",
                 options.jobs);
 
@@ -687,6 +759,10 @@ int main(int argc, char** argv) {
       row.soc_name = soc.name();
       row.tam_width = width;
       row.max_power = max_power;
+      if (window.active()) {
+        row.window_cycles = window.cycles;
+        row.window_limit = window.limit;
+      }
       row.w_time = w_time;
       row.algorithm = options.exhaustive ? "exhaustive" : "cost_optimizer";
       row.best_label = best.label;

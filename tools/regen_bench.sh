@@ -22,7 +22,8 @@ build="${1:-$root/build}"
 bench="$build/bench"
 
 for exe in packer_throughput frontier_perf sweep_perf power_ladder \
-           incremental_replan cache_contention daemon_throughput; do
+           scale_ladder incremental_replan cache_contention \
+           daemon_throughput; do
   if [[ ! -x "$bench/$exe" ]]; then
     echo "error: $bench/$exe not built (pass the build dir as \$1?)" >&2
     exit 1
@@ -54,6 +55,9 @@ normalize "$tmp/sweep.json" "$root/BENCH_sweep.json"
 
 "$bench/power_ladder" "$tmp/power.json" > /dev/null
 normalize "$tmp/power.json" "$root/BENCH_power.json"
+
+"$bench/scale_ladder" "$tmp/scale.json" > /dev/null
+normalize "$tmp/scale.json" "$root/BENCH_scale.json"
 
 "$bench/incremental_replan" "$tmp/incremental.json" \
   "$tmp/incremental_cache" > /dev/null
